@@ -1,0 +1,295 @@
+// Benchmarks: one per paper table/figure (regenerating the experiment
+// at the tiny corpus scale; run cmd/experiments for the full-size
+// tables), plus unit benchmarks for the pipeline stages including the
+// paper's §IV-B15 runtime measurements.
+package headtalk
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/dataset"
+	"headtalk/internal/dsp"
+	"headtalk/internal/eval"
+	"headtalk/internal/features"
+	"headtalk/internal/liveness"
+	"headtalk/internal/mic"
+	"headtalk/internal/ml"
+	"headtalk/internal/orientation"
+	"headtalk/internal/room"
+	"headtalk/internal/speech"
+	"headtalk/internal/srp"
+)
+
+// benchRunner is shared across experiment benchmarks so corpus
+// generation is amortized through the runner's sample cache.
+var (
+	benchRunnerOnce sync.Once
+	benchRunnerInst *eval.Runner
+)
+
+func benchRunner() *eval.Runner {
+	benchRunnerOnce.Do(func() {
+		benchRunnerInst = eval.NewRunner(eval.Options{Seed: 42, Scale: dataset.ScaleTiny})
+	})
+	return benchRunnerInst
+}
+
+// benchExperiment reruns a registered experiment per iteration. The
+// first iteration includes corpus generation; later iterations measure
+// the training/evaluation work on cached samples.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, err := eval.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchRunner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per paper table/figure ---
+
+func BenchmarkFig3Spectra(b *testing.B)          { benchExperiment(b, "fig3") }
+func BenchmarkFig6GCCSRPCurves(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkLivenessEER(b *testing.B)          { benchExperiment(b, "liveness") }
+func BenchmarkTable3Definitions(b *testing.B)    { benchExperiment(b, "definitions") }
+func BenchmarkFig10PerAngle(b *testing.B)        { benchExperiment(b, "perangle") }
+func BenchmarkClassifierComparison(b *testing.B) { benchExperiment(b, "classifiers") }
+func BenchmarkFig11TrainingSize(b *testing.B)    { benchExperiment(b, "trainsize") }
+func BenchmarkDistance(b *testing.B)             { benchExperiment(b, "distance") }
+func BenchmarkFig12WakeWords(b *testing.B)       { benchExperiment(b, "wakewords") }
+func BenchmarkFig13Devices(b *testing.B)         { benchExperiment(b, "devices") }
+func BenchmarkFig14Environments(b *testing.B)    { benchExperiment(b, "environments") }
+func BenchmarkTable4MicCount(b *testing.B)       { benchExperiment(b, "miccount") }
+func BenchmarkPlacement(b *testing.B)            { benchExperiment(b, "placement") }
+func BenchmarkCrossEnvironment(b *testing.B)     { benchExperiment(b, "crossenv") }
+func BenchmarkFig15Temporal(b *testing.B)        { benchExperiment(b, "temporal") }
+func BenchmarkAmbientNoise(b *testing.B)         { benchExperiment(b, "noise") }
+func BenchmarkSitting(b *testing.B)              { benchExperiment(b, "sitting") }
+func BenchmarkLoudness(b *testing.B)             { benchExperiment(b, "loudness") }
+func BenchmarkSurroundingObjects(b *testing.B)   { benchExperiment(b, "objects") }
+func BenchmarkFig16CrossUser(b *testing.B)       { benchExperiment(b, "crossuser") }
+func BenchmarkDoVBaseline(b *testing.B)          { benchExperiment(b, "dov") }
+func BenchmarkUserStudy(b *testing.B)            { benchExperiment(b, "userstudy") }
+
+// --- ablation benchmarks (DESIGN.md design-choice index) ---
+
+func BenchmarkAblationPHATWeighting(b *testing.B) { benchExperiment(b, "ablation-phat") }
+func BenchmarkAblationFeatureGroups(b *testing.B) { benchExperiment(b, "ablation-features") }
+
+// --- extension experiments ---
+
+func BenchmarkExtMovingSpeaker(b *testing.B)   { benchExperiment(b, "moving") }
+func BenchmarkExtDeviceSelection(b *testing.B) { benchExperiment(b, "deviceselect") }
+
+// BenchmarkAblationSimImageOrder measures capture cost at image orders
+// 1 and 2 (the simulator-fidelity tradeoff DESIGN.md calls out).
+func BenchmarkAblationSimImageOrder(b *testing.B) {
+	for _, order := range []int{1, 2} {
+		b.Run(map[int]string{1: "order1", 2: "order2"}[order], func(b *testing.B) {
+			gen := dataset.NewGenerator(1)
+			gen.ImageOrder = order
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gen.Generate(dataset.Condition{AngleDeg: 0, Rep: i + 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- pipeline-stage benchmarks (§IV-B15 runtime) ---
+
+// benchCapture renders one capture for the unit benchmarks.
+func benchCapture(b *testing.B) *audio.Recording {
+	b.Helper()
+	gen := dataset.NewGenerator(77)
+	rec, err := dataset.CaptureRecording(gen, dataset.Condition{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rec
+}
+
+func BenchmarkSynthesizeWakeWord(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	voice := speech.DefaultVoice()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		speech.Synthesize(speech.WordComputer, voice, 48000, rng)
+	}
+}
+
+func BenchmarkCaptureSimulation(b *testing.B) {
+	gen := dataset.NewGenerator(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.CaptureRecording(gen, dataset.Condition{Rep: i + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateSample(b *testing.B) {
+	gen := dataset.NewGenerator(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Generate(dataset.Condition{Rep: i + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeOrientation measures the on-device orientation path
+// the paper times at 136 ms on a PC: feature extraction plus SVM
+// prediction on a preprocessed 4-channel capture.
+func BenchmarkRuntimeOrientation(b *testing.B) {
+	rec := benchCapture(b)
+	cfg := features.DefaultConfig(13, 48000)
+	// A small trained model (content irrelevant to the timing).
+	var x [][]float64
+	var y []int
+	gen := dataset.NewGenerator(5)
+	for i := 0; i < 10; i++ {
+		angle := 0.0
+		label := orientation.LabelFacing
+		if i%2 == 0 {
+			angle = 180
+			label = orientation.LabelNonFacing
+		}
+		s, err := gen.Generate(dataset.Condition{AngleDeg: angle, Rep: i + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		x = append(x, s.Features)
+		y = append(y, label)
+	}
+	model, err := orientation.Train(x, y, orientation.ModelConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feats, err := features.Extract(rec, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		model.Predict(feats)
+	}
+}
+
+// BenchmarkRuntimeLiveness measures the liveness path the paper times
+// at 42 ms on a PC: filterbank frontend plus network forward pass on
+// one mono utterance.
+func BenchmarkRuntimeLiveness(b *testing.B) {
+	rng := rand.New(rand.NewPCG(6, 7))
+	det := liveness.NewDetector(1)
+	det.Config().Epochs = 2
+	var waveforms [][]float64
+	var labels []int
+	for i := 0; i < 8; i++ {
+		buf := speech.Synthesize(speech.WordComputer, speech.RandomVoice(rng), 16000, rng)
+		waveforms = append(waveforms, buf.Samples)
+		labels = append(labels, i%2)
+	}
+	if err := det.Train(waveforms, 16000, labels); err != nil {
+		b.Fatal(err)
+	}
+	probe := waveforms[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Score(probe, 16000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreprocessBandpass(b *testing.B) {
+	rec := benchCapture(b)
+	bp, err := dsp.NewButterworthBandPass(5, 100, 16000, 48000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ch := range rec.Channels {
+			bp.Apply(ch)
+		}
+	}
+}
+
+func BenchmarkGCCPHATPair(b *testing.B) {
+	rec := benchCapture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srp.GCCPHATBand(rec.Channels[0], rec.Channels[1], 13, 48000, 100, 8000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOrientationFeatureVector(b *testing.B) {
+	rec := benchCapture(b)
+	cfg := features.DefaultConfig(13, 48000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := features.Extract(rec, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVMTrain200(b *testing.B) {
+	rng := rand.New(rand.NewPCG(8, 9))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		cls := i % 2
+		base := -1.0
+		if cls == 1 {
+			base = 1
+		}
+		row := make([]float64, 50)
+		for j := range row {
+			row[j] = base + rng.NormFloat64()
+		}
+		x = append(x, row)
+		y = append(y, cls)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svm := ml.NewSVM(10, ml.RBFKernel{Gamma: 0.02})
+		svm.Seed = uint64(i + 1)
+		if err := svm.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSteeredPowerMap(b *testing.B) {
+	rec := benchCapture(b)
+	array := mic.DeviceD2()
+	positions := array.Place(room.LabRoom().Dims.Scale(0.5))
+	pairs, err := srp.AllPairs(rec.Channels, srp.PairOptions{MaxLag: 13, PHAT: true, SampleRate: 48000, BandLo: 100, BandHi: 8000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	selPos := positions[:4]
+	azimuths := make([]float64, 72)
+	for i := range azimuths {
+		azimuths[i] = float64(i*5) - 180
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srp.SteeredPowerMap(selPos, pairs, 13, 48000, 340, azimuths)
+	}
+}

@@ -1,0 +1,134 @@
+// Command datagen writes synthetic HeadTalk corpora to disk as 16-bit
+// PCM WAV files plus a manifest.tsv describing each capture, mirroring
+// the layout a physical data collection would produce.
+//
+// Usage:
+//
+//	datagen -out dir [-dataset 1|2|3|4|5|6|7|8|spoof] [-full] [-seed N] [-limit N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/dataset"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "", "output directory (required)")
+		which = flag.String("dataset", "1", "dataset to generate: 1..8 or 'spoof'")
+		full  = flag.Bool("full", false, "paper-scale counts")
+		seed  = flag.Uint64("seed", 42, "generation seed")
+		limit = flag.Int("limit", 0, "cap the number of files (0 = all)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+
+	scale := dataset.ScaleSmall
+	if *full {
+		scale = dataset.ScalePaper
+	}
+	conds, err := condsFor(*which, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *limit > 0 && len(conds) > *limit {
+		conds = conds[:*limit]
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := dataset.NewGenerator(*seed)
+	manifest, err := os.Create(filepath.Join(*out, "manifest.tsv"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer manifest.Close()
+	fmt.Fprintln(manifest, "file\troom\tdevice\tword\tsession\tlocation\tangle\trep\tsource\tuser")
+
+	for i, c := range conds {
+		rec, err := dataset.CaptureRecording(gen, c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: capture %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		name := fmt.Sprintf("%05d.wav", i)
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := audio.WriteWAV(f, rec); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "datagen: writing %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		source := "human"
+		if c.Replay != "" {
+			source = "replay:" + c.Replay
+		}
+		session := c.Session
+		if session == 0 {
+			session = 1
+		}
+		rep := c.Rep
+		if rep == 0 {
+			rep = 1
+		}
+		fmt.Fprintf(manifest, "%s\t%s\t%s\t%s\t%d\t%s\t%g\t%d\t%s\t%d\n",
+			name, orDefault(c.Room, "lab"), orDefault(c.Device, "D2"), orDefault(c.Word, "Computer"),
+			session, c.Location(), c.AngleDeg, rep, source, c.UserID)
+		if (i+1)%50 == 0 {
+			fmt.Fprintf(os.Stderr, "datagen: %d/%d\n", i+1, len(conds))
+		}
+	}
+	fmt.Printf("wrote %d captures to %s\n", len(conds), *out)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func condsFor(which string, scale dataset.Scale) ([]dataset.Condition, error) {
+	switch strings.ToLower(which) {
+	case "1":
+		return dataset.Dataset1(scale), nil
+	case "2":
+		return dataset.Dataset2(scale), nil
+	case "3":
+		return dataset.Dataset3(scale), nil
+	case "4":
+		return dataset.Dataset4(scale), nil
+	case "5":
+		return dataset.Dataset5(scale), nil
+	case "6":
+		return dataset.Dataset6(scale), nil
+	case "7":
+		return dataset.Dataset7(scale), nil
+	case "8":
+		return dataset.Dataset8(scale), nil
+	case "spoof":
+		return dataset.SpoofCorpus(scale), nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown dataset %q (want 1..8 or spoof)", which)
+	}
+}

@@ -1,0 +1,90 @@
+// Command tune is a development utility that sweeps SVM
+// hyperparameters and simulator fidelity settings on the Table III
+// cell to calibrate the reproduction. It is not part of the paper's
+// experiment suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"headtalk/internal/dataset"
+	"headtalk/internal/features"
+	"headtalk/internal/orientation"
+)
+
+func main() {
+	var (
+		seed = flag.Uint64("seed", 42, "corpus seed")
+		reps = flag.Int("reps", 3, "repetitions per angle")
+	)
+	flag.Parse()
+
+	windows := []int{16384, 32768}
+	var conds []dataset.Condition
+	for sess := 1; sess <= 2; sess++ {
+		for _, dist := range []float64{1, 3, 5} {
+			for _, a := range dataset.AnglesWithBorderline {
+				for rep := 1; rep <= *reps; rep++ {
+					conds = append(conds, dataset.Condition{Session: sess, Distance: dist, AngleDeg: a, Rep: rep})
+				}
+			}
+		}
+	}
+	for _, window := range windows {
+		gen := dataset.NewGenerator(*seed)
+		win := window
+		gen.FeatureConfigFn = func(cfg features.Config) features.Config {
+			cfg.AnalysisWindow = win
+			return cfg
+		}
+		fmt.Fprintf(os.Stderr, "window=%d: generating %d samples...\n", window, len(conds))
+		var train, test []*dataset.Sample
+		for i, c := range conds {
+			s, err := gen.Generate(c)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if c.Session == 1 {
+				train = append(train, s)
+			} else {
+				test = append(test, s)
+			}
+			if (i+1)%100 == 0 {
+				fmt.Fprintf(os.Stderr, "  %d/%d\n", i+1, len(conds))
+			}
+		}
+
+		label := func(samples []*dataset.Sample) (x [][]float64, y []int) {
+			for _, s := range samples {
+				if l, ok := orientation.Definition4.Label(s.Cond.AngleDeg); ok {
+					x = append(x, s.Features)
+					y = append(y, l)
+				}
+			}
+			return
+		}
+		trX, trY := label(train)
+		teX, teY := label(test)
+		d := float64(len(trX[0]))
+		fmt.Printf("window=%d train=%d test=%d dims=%g\n", window, len(trX), len(teX), d)
+
+		for _, c := range []float64{1, 10, 100} {
+			for _, gscale := range []float64{0.25, 0.5, 1, 2, 4} {
+				m, err := orientation.Train(trX, trY, orientation.ModelConfig{C: c, Gamma: gscale / d, Seed: 1})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				met, err := m.Evaluate(teX, teY)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("  C=%-4g gamma=%.2g/d: acc=%.2f%% f1=%.2f%%\n", c, gscale, 100*met.Accuracy(), 100*met.F1())
+			}
+		}
+	}
+}

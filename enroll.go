@@ -1,0 +1,205 @@
+package headtalk
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"headtalk/internal/dataset"
+	"headtalk/internal/liveness"
+	"headtalk/internal/orientation"
+)
+
+// EnrollmentOptions controls Enroll, the convenience that trains both
+// HeadTalk gates from synthetic data. Zero values select the paper's
+// defaults (lab room, device D2, "Computer").
+type EnrollmentOptions struct {
+	Seed uint64
+	// Room, Device and Word select the enrollment environment.
+	Room, Device, Word string
+	// OrientationReps is the number of enrollment repetitions per
+	// (angle, distance); the default 2 yields ~30 samples per class,
+	// which Fig. 11 shows is already past the accuracy knee.
+	OrientationReps int
+	// LivenessPairs is the number of live/replayed utterance pairs
+	// for the liveness detector (default 36).
+	LivenessPairs int
+	// SkipLiveness trains only the orientation gate.
+	SkipLiveness bool
+	// Progress, when non-nil, receives progress lines.
+	Progress io.Writer
+}
+
+// Enrollment is the result of Enroll.
+type Enrollment struct {
+	Orientation *OrientationModel
+	Liveness    *LivenessDetector
+}
+
+// Enroll generates a synthetic enrollment corpus and trains the
+// orientation model (and, unless skipped, the liveness detector).
+// This is the "first day of setup" flow: the paper's user speaks the
+// wake word at marked angles; here the simulator does.
+func Enroll(opts EnrollmentOptions) (*Enrollment, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.OrientationReps <= 0 {
+		opts.OrientationReps = 2
+	}
+	if opts.LivenessPairs <= 0 {
+		opts.LivenessPairs = 36
+	}
+	progress := func(format string, args ...any) {
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, format+"\n", args...)
+		}
+	}
+
+	gen := dataset.NewGenerator(opts.Seed)
+	def := orientation.Definition4
+
+	// Orientation enrollment: Definition-4 angles at the three
+	// distances.
+	angles := append(append([]float64{}, def.Facing...), def.NonFacing...)
+	var x [][]float64
+	var y []int
+	total := len(angles) * len(dataset.Distances) * opts.OrientationReps
+	progress("enrolling orientation model: %d utterances...", total)
+	done := 0
+	for _, a := range angles {
+		for _, dist := range dataset.Distances {
+			for rep := 1; rep <= opts.OrientationReps; rep++ {
+				s, err := gen.Generate(dataset.Condition{
+					Room: opts.Room, Device: opts.Device, Word: opts.Word,
+					Distance: dist, AngleDeg: a, Rep: rep,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("headtalk: enrollment capture: %w", err)
+				}
+				label, _ := def.Label(a)
+				x = append(x, s.Features)
+				y = append(y, label)
+				done++
+				if done%20 == 0 {
+					progress("  orientation: %d/%d", done, total)
+				}
+			}
+		}
+	}
+	model, err := orientation.Train(x, y, orientation.ModelConfig{Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("headtalk: training orientation model: %w", err)
+	}
+	out := &Enrollment{Orientation: model}
+	if opts.SkipLiveness {
+		return out, nil
+	}
+
+	// Liveness enrollment: paired live/replayed captures across
+	// distances and replay devices.
+	genWav := dataset.NewGenerator(opts.Seed + 1)
+	genWav.KeepWaveforms = true
+	profiles := []string{"Sony SRS-X5", "Samsung Galaxy S21 Ultra", "Smart TV"}
+	var waveforms [][]float64
+	var labels []int
+	progress("enrolling liveness detector: %d utterance pairs...", opts.LivenessPairs)
+	for i := 0; i < opts.LivenessPairs; i++ {
+		dist := dataset.Distances[i%len(dataset.Distances)]
+		base := dataset.Condition{
+			Room: opts.Room, Device: opts.Device, Word: opts.Word,
+			Distance: dist, AngleDeg: 0, Rep: i + 1,
+		}
+		human, err := genWav.Generate(base)
+		if err != nil {
+			return nil, fmt.Errorf("headtalk: liveness enrollment: %w", err)
+		}
+		replayCond := base
+		replayCond.Replay = profiles[i%len(profiles)]
+		replayed, err := genWav.Generate(replayCond)
+		if err != nil {
+			return nil, fmt.Errorf("headtalk: liveness enrollment: %w", err)
+		}
+		waveforms = append(waveforms, human.Waveform, replayed.Waveform)
+		labels = append(labels, liveness.LabelHuman, liveness.LabelSpoof)
+		if (i+1)%10 == 0 {
+			progress("  liveness: %d/%d pairs", i+1, opts.LivenessPairs)
+		}
+	}
+	det := liveness.NewDetector(opts.Seed)
+	if err := det.Train(waveforms, dataset.SampleWaveformRate, labels); err != nil {
+		return nil, fmt.Errorf("headtalk: training liveness detector: %w", err)
+	}
+	out.Liveness = det
+	return out, nil
+}
+
+// SaveTo persists the enrollment into dir (orientation.json plus, when
+// the liveness gate was trained, liveness.json), so a deployment
+// enrolls once and loads on every boot.
+func (e *Enrollment) SaveTo(dir string) error {
+	if e.Orientation == nil {
+		return fmt.Errorf("headtalk: enrollment has no orientation model")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("headtalk: creating %s: %w", dir, err)
+	}
+	if err := writeModel(filepath.Join(dir, "orientation.json"), e.Orientation.Save); err != nil {
+		return err
+	}
+	if e.Liveness != nil {
+		if err := writeModel(filepath.Join(dir, "liveness.json"), e.Liveness.Save); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadEnrollment restores an enrollment saved with SaveTo. A missing
+// liveness.json leaves the liveness gate nil (orientation-only
+// deployments are valid).
+func LoadEnrollment(dir string) (*Enrollment, error) {
+	of, err := os.Open(filepath.Join(dir, "orientation.json"))
+	if err != nil {
+		return nil, fmt.Errorf("headtalk: opening orientation model: %w", err)
+	}
+	defer of.Close()
+	model, err := orientation.Load(of)
+	if err != nil {
+		return nil, err
+	}
+	out := &Enrollment{Orientation: model}
+
+	lf, err := os.Open(filepath.Join(dir, "liveness.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, nil
+		}
+		return nil, fmt.Errorf("headtalk: opening liveness model: %w", err)
+	}
+	defer lf.Close()
+	det, err := liveness.Load(lf)
+	if err != nil {
+		return nil, err
+	}
+	out.Liveness = det
+	return out, nil
+}
+
+// writeModel writes one model file atomically enough for this purpose
+// (write then close; partial files fail to parse on load).
+func writeModel(path string, save func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("headtalk: creating %s: %w", path, err)
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return fmt.Errorf("headtalk: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("headtalk: closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Enrollment: how much training does HeadTalk need, and how does it
+// age? This example sweeps the per-class enrollment size (the paper's
+// Fig. 11 finding: ~20 samples/class suffice), then simulates a
+// month-old room and shows confidence-filtered incremental learning
+// recovering the lost accuracy (Fig. 15).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"headtalk"
+	"headtalk/internal/dataset"
+	"headtalk/internal/orientation"
+)
+
+func main() {
+	log.SetFlags(0)
+	gen := headtalk.NewGenerator(47)
+
+	// Build an enrollment pool (session 1) and a held-out test set
+	// (session 2).
+	fmt.Println("synthesizing enrollment pool and test set...")
+	pool := collect(gen, 1, dataset.TemporalNow, 4)
+	test := collect(gen, 2, dataset.TemporalNow, 2)
+	testX, testY := split(test)
+
+	fmt.Println("\nper-class enrollment size vs accuracy:")
+	var model *headtalk.OrientationModel
+	for _, n := range []int{5, 10, 20, 40} {
+		x, y := balanced(pool, n)
+		m, err := headtalk.TrainOrientationModel(x, y, headtalk.OrientationConfig{Seed: 47})
+		if err != nil {
+			log.Fatalf("train (n=%d): %v", n, err)
+		}
+		metrics, err := m.Evaluate(testX, testY)
+		if err != nil {
+			log.Fatalf("evaluate: %v", err)
+		}
+		fmt.Printf("  %3d samples/class -> accuracy %.1f%%  F1 %.1f%%\n",
+			n, 100*metrics.Accuracy(), 100*metrics.F1())
+		model = m
+	}
+
+	// A month later the room has changed: accuracy drops, then
+	// recovers as the model absorbs its own confident predictions.
+	fmt.Println("\na month later (furniture moved, voice drifted):")
+	aged := collect(gen, 1, dataset.TemporalMonth, 3)
+	agedX, agedY := split(aged)
+	metrics, err := model.Evaluate(agedX, agedY)
+	if err != nil {
+		log.Fatalf("evaluate aged: %v", err)
+	}
+	fmt.Printf("  cold accuracy: %.1f%%\n", 100*metrics.Accuracy())
+
+	absorbed, err := model.IncrementalUpdate(agedX[:len(agedX)/2], 0.8)
+	if err != nil {
+		log.Fatalf("incremental update: %v", err)
+	}
+	metrics, err = model.Evaluate(agedX[len(agedX)/2:], agedY[len(agedY)/2:])
+	if err != nil {
+		log.Fatalf("evaluate after update: %v", err)
+	}
+	fmt.Printf("  after absorbing %d confident samples: %.1f%%\n", absorbed, 100*metrics.Accuracy())
+}
+
+// labeledSample pairs features with a Definition-4 label.
+type labeledSample struct {
+	features []float64
+	label    int
+}
+
+// collect gathers Definition-4-labeled captures for one session.
+func collect(gen *headtalk.Generator, session int, temporal dataset.Temporal, reps int) []labeledSample {
+	def := orientation.Definition4
+	angles := append(append([]float64{}, def.Facing...), def.NonFacing...)
+	var out []labeledSample
+	for _, a := range angles {
+		for _, dist := range dataset.Distances {
+			for rep := 1; rep <= reps; rep++ {
+				s, err := gen.Generate(headtalk.Condition{
+					Session: session, Distance: dist, AngleDeg: a, Rep: rep, Temporal: temporal,
+				})
+				if err != nil {
+					log.Fatalf("generate: %v", err)
+				}
+				label, _ := def.Label(a)
+				out = append(out, labeledSample{s.Features, label})
+			}
+		}
+	}
+	return out
+}
+
+func split(samples []labeledSample) ([][]float64, []int) {
+	x := make([][]float64, len(samples))
+	y := make([]int, len(samples))
+	for i, s := range samples {
+		x[i] = s.features
+		y[i] = s.label
+	}
+	return x, y
+}
+
+// balanced takes the first n samples of each class from the pool.
+func balanced(pool []labeledSample, n int) ([][]float64, []int) {
+	var x [][]float64
+	var y []int
+	counts := map[int]int{}
+	for _, s := range pool {
+		if counts[s.label] >= n {
+			continue
+		}
+		counts[s.label]++
+		x = append(x, s.features)
+		y = append(y, s.label)
+	}
+	return x, y
+}

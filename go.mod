@@ -1,0 +1,3 @@
+module headtalk
+
+go 1.24

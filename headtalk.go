@@ -1,0 +1,217 @@
+// Package headtalk is the public API of the HeadTalk reproduction: a
+// speaker-orientation-aware privacy control for voice assistants
+// (Zhang, Sabir & Das, DSN 2023).
+//
+// A HeadTalk System gates wake words behind two acoustic checks run on
+// the assistant's own microphone array:
+//
+//  1. Liveness — was the sound produced by a live human rather than
+//     replayed through a loudspeaker? (spectral high-band analysis via
+//     a small convolutional network)
+//  2. Orientation — was the human facing the device when speaking?
+//     (SRP-PHAT / GCC-PHAT reverberation features plus speech
+//     directivity features, classified by an RBF SVM)
+//
+// Because this reproduction has no physical microphone arrays, the
+// package also exposes the full acoustic simulation stack used to
+// generate training and evaluation data: a formant speech synthesizer,
+// frequency-banded source directivity, an image-source room simulator
+// and models of the paper's three prototype devices. See DESIGN.md for
+// the substitution inventory.
+//
+// # Quickstart
+//
+//	sys, err := headtalk.NewSystem(headtalk.Config{
+//		Liveness:    livenessDetector,
+//		Orientation: orientationModel,
+//	})
+//	sys.SetMode(headtalk.ModeHeadTalk)
+//	decision, err := sys.ProcessWake(recording)
+//	if decision.Accepted { /* forward audio to the cloud */ }
+//
+// See examples/quickstart for a complete runnable program that
+// synthesizes its own enrollment data.
+package headtalk
+
+import (
+	"math/rand/v2"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/core"
+	"headtalk/internal/dataset"
+	"headtalk/internal/features"
+	"headtalk/internal/liveness"
+	"headtalk/internal/mic"
+	"headtalk/internal/orientation"
+	"headtalk/internal/room"
+	"headtalk/internal/speech"
+	"headtalk/internal/va"
+)
+
+// Core system types.
+type (
+	// System is the HeadTalk privacy controller (mode state machine +
+	// liveness and orientation gates).
+	System = core.System
+	// Config assembles a System.
+	Config = core.Config
+	// Mode is the privacy mode (Normal / Mute / HeadTalk).
+	Mode = core.Mode
+	// Decision is the outcome of processing one wake word.
+	Decision = core.Decision
+	// Reason explains a Decision.
+	Reason = core.Reason
+)
+
+// Privacy modes (paper Fig. 1).
+const (
+	ModeNormal   = core.ModeNormal
+	ModeMute     = core.ModeMute
+	ModeHeadTalk = core.ModeHeadTalk
+)
+
+// NewSystem validates cfg and returns a controller in Normal mode.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// Audio types.
+type (
+	// Recording is a multi-channel microphone-array capture.
+	Recording = audio.Recording
+	// Buffer is a mono signal at a known sample rate.
+	Buffer = audio.Buffer
+)
+
+// Liveness detection.
+type (
+	// LivenessDetector distinguishes live humans from mechanical
+	// speakers.
+	LivenessDetector = liveness.Detector
+)
+
+// NewLivenessDetector returns an untrained detector seeded for
+// reproducibility.
+func NewLivenessDetector(seed uint64) *LivenessDetector {
+	return liveness.NewDetector(seed)
+}
+
+// Orientation detection.
+type (
+	// OrientationModel classifies facing vs non-facing utterances.
+	OrientationModel = orientation.Model
+	// OrientationConfig parameterizes model training.
+	OrientationConfig = orientation.ModelConfig
+	// FacingDefinition is a Table III facing/non-facing arc
+	// assignment.
+	FacingDefinition = orientation.Definition
+	// FeatureConfig controls orientation feature extraction.
+	FeatureConfig = features.Config
+)
+
+// Orientation labels.
+const (
+	LabelNonFacing = orientation.LabelNonFacing
+	LabelFacing    = orientation.LabelFacing
+)
+
+// Definition4 is the paper's winning facing/non-facing definition,
+// used by default throughout.
+var Definition4 = orientation.Definition4
+
+// TrainOrientationModel fits the facing/non-facing SVM on feature
+// vectors and labels.
+func TrainOrientationModel(x [][]float64, y []int, cfg OrientationConfig) (*OrientationModel, error) {
+	return orientation.Train(x, y, cfg)
+}
+
+// ExtractOrientationFeatures computes the paper's §III-B3 feature
+// vector from a preprocessed multi-channel recording.
+func ExtractOrientationFeatures(rec *Recording, cfg FeatureConfig) ([]float64, error) {
+	return features.Extract(rec, cfg)
+}
+
+// DefaultFeatureConfig returns the feature configuration for a GCC lag
+// window (±13 samples for the D2 array at 48 kHz).
+func DefaultFeatureConfig(maxLag int, sampleRate float64) FeatureConfig {
+	return features.DefaultConfig(maxLag, sampleRate)
+}
+
+// Simulation and synthetic data.
+type (
+	// Condition fully specifies one synthetic capture (room, device,
+	// wake word, geometry, noise, replay source, ...).
+	Condition = dataset.Condition
+	// Sample is a generated capture: features plus optional waveform.
+	Sample = dataset.Sample
+	// Generator renders Conditions into Samples deterministically.
+	Generator = dataset.Generator
+	// Array is a prototype device's microphone array.
+	Array = mic.Array
+	// VoiceProfile is a synthetic speaker voice.
+	VoiceProfile = speech.VoiceProfile
+	// WakeWord is a scripted utterance.
+	WakeWord = speech.WakeWord
+	// Room is a shoebox room model.
+	Room = room.Room
+)
+
+// NewGenerator returns a deterministic synthetic-corpus generator.
+func NewGenerator(seed uint64) *Generator { return dataset.NewGenerator(seed) }
+
+// Prototype devices (paper Table I).
+func DeviceD1() *Array { return mic.DeviceD1() }
+func DeviceD2() *Array { return mic.DeviceD2() }
+func DeviceD3() *Array { return mic.DeviceD3() }
+
+// Rooms from the paper's two environments.
+func LabRoom() Room  { return room.LabRoom() }
+func HomeRoom() Room { return room.HomeRoom() }
+
+// The paper's wake words.
+var (
+	WordComputer     = speech.WordComputer
+	WordAmazon       = speech.WordAmazon
+	WordHeyAssistant = speech.WordHeyAssistant
+)
+
+// SynthesizeWakeWord renders a wake word with the given voice at
+// sample rate fs.
+func SynthesizeWakeWord(word WakeWord, voice VoiceProfile, fs float64, rng *rand.Rand) *Buffer {
+	return speech.Synthesize(word, voice, fs, rng)
+}
+
+// DefaultVoice returns a neutral adult voice; RandomVoice draws a
+// plausible speaker.
+func DefaultVoice() VoiceProfile              { return speech.DefaultVoice() }
+func RandomVoice(rng *rand.Rand) VoiceProfile { return speech.RandomVoice(rng) }
+
+// Voice assistant simulation.
+type (
+	// Assistant wires a wake-word spotter to a HeadTalk controller and
+	// logs cloud uploads.
+	Assistant = va.Assistant
+	// Spotter is a template-matching wake-word detector.
+	Spotter = va.Spotter
+	// Response is the assistant's reaction to audio.
+	Response = va.Response
+	// Listener turns a continuous audio stream into gated wake events.
+	Listener = va.Listener
+	// ListenerConfig sizes a Listener.
+	ListenerConfig = va.ListenerConfig
+)
+
+// NewSpotter builds a wake-word spotter from synthesized templates.
+func NewSpotter(word WakeWord, numTemplates int, seed uint64) (*Spotter, error) {
+	return va.NewSpotter(word, numTemplates, seed)
+}
+
+// NewAssistant wires a spotter and a HeadTalk system into a simulated
+// voice assistant.
+func NewAssistant(name string, spotter *Spotter, sys *System) (*Assistant, error) {
+	return va.NewAssistant(name, spotter, sys, nil)
+}
+
+// NewListener attaches a streaming wake-word listener to an assistant:
+// feed it fixed-size capture frames and it returns gated wake events.
+func NewListener(assistant *Assistant, cfg ListenerConfig) (*Listener, error) {
+	return va.NewListener(assistant, cfg)
+}

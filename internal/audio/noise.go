@@ -1,0 +1,110 @@
+package audio
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// NoiseKind selects an ambient noise generator.
+type NoiseKind int
+
+// Supported ambient noise types. TVNoise models the paper's "TV playing
+// a popular series" condition: speech-band babble with level
+// fluctuations and occasional transients.
+const (
+	WhiteNoise NoiseKind = iota
+	PinkNoise
+	TVNoise
+)
+
+// String returns the noise kind's name.
+func (k NoiseKind) String() string {
+	switch k {
+	case WhiteNoise:
+		return "white"
+	case PinkNoise:
+		return "pink"
+	case TVNoise:
+		return "tv"
+	default:
+		return "unknown"
+	}
+}
+
+// GenerateNoise returns n samples of the requested noise at unit-ish
+// RMS (callers set the absolute level with SetSPL).
+func GenerateNoise(kind NoiseKind, n int, sampleRate float64, rng *rand.Rand) []float64 {
+	switch kind {
+	case WhiteNoise:
+		return whiteNoise(n, rng)
+	case PinkNoise:
+		return pinkNoise(n, rng)
+	case TVNoise:
+		return tvNoise(n, sampleRate, rng)
+	default:
+		return make([]float64, n)
+	}
+}
+
+func whiteNoise(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// pinkNoise uses Paul Kellet's economy filter: white noise through a
+// bank of one-pole low-pass filters summed with staggered time
+// constants, approximating a -3 dB/octave slope.
+func pinkNoise(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	var b0, b1, b2, b3, b4, b5, b6 float64
+	for i := range out {
+		w := rng.NormFloat64()
+		b0 = 0.99886*b0 + w*0.0555179
+		b1 = 0.99332*b1 + w*0.0750759
+		b2 = 0.96900*b2 + w*0.1538520
+		b3 = 0.86650*b3 + w*0.3104856
+		b4 = 0.55000*b4 + w*0.5329522
+		b5 = -0.7616*b5 - w*0.0168980
+		out[i] = (b0 + b1 + b2 + b3 + b4 + b5 + b6 + w*0.5362) * 0.11
+		b6 = w * 0.115926
+	}
+	return out
+}
+
+// tvNoise approximates household TV audio: pink-ish broadband energy
+// concentrated in the speech band, slow random level fluctuations
+// (dialogue pacing) and sparse wideband transients (doors, laughter).
+func tvNoise(n int, sampleRate float64, rng *rand.Rand) []float64 {
+	base := pinkNoise(n, rng)
+	out := make([]float64, n)
+	// Slow amplitude envelope: random walk low-passed to ~1 Hz.
+	env := 0.5
+	envTarget := 0.5
+	// Smoothing constant for a ~0.3 s time constant.
+	alpha := 1 - math.Exp(-1/(0.3*sampleRate))
+	segment := int(sampleRate * 0.4) // re-draw target every ~0.4 s
+	if segment < 1 {
+		segment = 1
+	}
+	for i := range out {
+		if i%segment == 0 {
+			envTarget = 0.15 + 0.85*rng.Float64()
+		}
+		env += alpha * (envTarget - env)
+		out[i] = base[i] * env
+	}
+	// Sparse transients: short decaying white bursts.
+	bursts := n / int(sampleRate*2+1)
+	for b := 0; b <= bursts; b++ {
+		start := rng.IntN(n)
+		dur := int(sampleRate * (0.02 + 0.08*rng.Float64()))
+		for j := 0; j < dur && start+j < n; j++ {
+			decay := math.Exp(-4 * float64(j) / float64(dur))
+			out[start+j] += rng.NormFloat64() * decay * 1.5
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package audio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WAV I/O supports 16-bit PCM, the format the prototype devices record
+// in. Multi-channel recordings are interleaved per the RIFF spec.
+
+const (
+	riffMagic = "RIFF"
+	waveMagic = "WAVE"
+	fmtChunk  = "fmt "
+	dataChunk = "data"
+)
+
+// WriteWAV encodes rec as 16-bit PCM WAV. Samples are clipped to
+// [-1, 1].
+func WriteWAV(w io.Writer, rec *Recording) error {
+	if len(rec.Channels) == 0 {
+		return fmt.Errorf("audio: cannot write WAV with zero channels")
+	}
+	channels := len(rec.Channels)
+	n := rec.Len()
+	for i, ch := range rec.Channels {
+		if len(ch) != n {
+			return fmt.Errorf("audio: channel %d length %d != %d", i, len(ch), n)
+		}
+	}
+	sampleRate := uint32(math.Round(rec.SampleRate))
+	byteRate := sampleRate * uint32(channels) * 2
+	blockAlign := uint16(channels * 2)
+	dataSize := uint32(n * channels * 2)
+
+	var header [44]byte
+	copy(header[0:4], riffMagic)
+	binary.LittleEndian.PutUint32(header[4:8], 36+dataSize)
+	copy(header[8:12], waveMagic)
+	copy(header[12:16], fmtChunk)
+	binary.LittleEndian.PutUint32(header[16:20], 16)
+	binary.LittleEndian.PutUint16(header[20:22], 1) // PCM
+	binary.LittleEndian.PutUint16(header[22:24], uint16(channels))
+	binary.LittleEndian.PutUint32(header[24:28], sampleRate)
+	binary.LittleEndian.PutUint32(header[28:32], byteRate)
+	binary.LittleEndian.PutUint16(header[32:34], blockAlign)
+	binary.LittleEndian.PutUint16(header[34:36], 16)
+	copy(header[36:40], dataChunk)
+	binary.LittleEndian.PutUint32(header[40:44], dataSize)
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("audio: writing WAV header: %w", err)
+	}
+
+	buf := make([]byte, n*channels*2)
+	for i := 0; i < n; i++ {
+		for c := 0; c < channels; c++ {
+			v := rec.Channels[c][i]
+			if v > 1 {
+				v = 1
+			}
+			if v < -1 {
+				v = -1
+			}
+			s := int16(math.Round(v * 32767))
+			binary.LittleEndian.PutUint16(buf[(i*channels+c)*2:], uint16(s))
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("audio: writing WAV data: %w", err)
+	}
+	return nil
+}
+
+// ReadWAV decodes a 16-bit PCM WAV stream into a Recording.
+func ReadWAV(r io.Reader) (*Recording, error) {
+	var header [12]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("audio: reading RIFF header: %w", err)
+	}
+	if string(header[0:4]) != riffMagic || string(header[8:12]) != waveMagic {
+		return nil, fmt.Errorf("audio: not a RIFF/WAVE stream")
+	}
+	var (
+		channels   uint16
+		sampleRate uint32
+		bits       uint16
+		data       []byte
+	)
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			return nil, fmt.Errorf("audio: reading chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		body := make([]byte, size)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, fmt.Errorf("audio: reading %q chunk: %w", id, err)
+		}
+		switch id {
+		case fmtChunk:
+			if size < 16 {
+				return nil, fmt.Errorf("audio: fmt chunk too small (%d bytes)", size)
+			}
+			format := binary.LittleEndian.Uint16(body[0:2])
+			if format != 1 {
+				return nil, fmt.Errorf("audio: unsupported WAV format %d (want PCM)", format)
+			}
+			channels = binary.LittleEndian.Uint16(body[2:4])
+			sampleRate = binary.LittleEndian.Uint32(body[4:8])
+			bits = binary.LittleEndian.Uint16(body[14:16])
+		case dataChunk:
+			data = body
+		}
+		if size%2 == 1 {
+			// Chunks are word-aligned; skip the pad byte.
+			var pad [1]byte
+			if _, err := io.ReadFull(r, pad[:]); err != nil && err != io.EOF {
+				return nil, fmt.Errorf("audio: reading chunk padding: %w", err)
+			}
+		}
+	}
+	if channels == 0 || data == nil {
+		return nil, fmt.Errorf("audio: missing fmt or data chunk")
+	}
+	if bits != 16 {
+		return nil, fmt.Errorf("audio: unsupported bit depth %d (want 16)", bits)
+	}
+	frames := len(data) / (int(channels) * 2)
+	rec := NewRecording(float64(sampleRate), int(channels), frames)
+	for i := 0; i < frames; i++ {
+		for c := 0; c < int(channels); c++ {
+			raw := int16(binary.LittleEndian.Uint16(data[(i*int(channels)+c)*2:]))
+			rec.Channels[c][i] = float64(raw) / 32767
+		}
+	}
+	return rec, nil
+}

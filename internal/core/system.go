@@ -1,0 +1,351 @@
+// Package core implements the HeadTalk privacy control itself (paper
+// Fig. 1 and Fig. 2): the preprocessing stage, the liveness gate, the
+// orientation gate, the Normal/Mute/HeadTalk mode state machine and
+// the face-once session semantics. The other internal packages are the
+// substrates this one composes.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/dsp"
+	"headtalk/internal/features"
+	"headtalk/internal/liveness"
+	"headtalk/internal/orientation"
+)
+
+// Mode is the assistant's privacy mode (paper Fig. 1).
+type Mode int
+
+// Privacy modes.
+const (
+	// ModeNormal accepts every detected wake word, like a stock VA.
+	ModeNormal Mode = iota
+	// ModeMute rejects everything; the physical mute button.
+	ModeMute
+	// ModeHeadTalk accepts a wake word only from a live human facing
+	// the device.
+	ModeHeadTalk
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeMute:
+		return "mute"
+	case ModeHeadTalk:
+		return "headtalk"
+	default:
+		return "unknown"
+	}
+}
+
+// Reason explains a decision.
+type Reason string
+
+// Decision reasons.
+const (
+	ReasonAccepted       Reason = "accepted"
+	ReasonMuted          Reason = "device muted"
+	ReasonNotLive        Reason = "rejected: mechanical speaker detected"
+	ReasonNotFacing      Reason = "rejected: speaker not facing the device"
+	ReasonSessionActive  Reason = "accepted: session already active"
+	ReasonNormalMode     Reason = "accepted: normal mode"
+	ReasonNoOrientation  Reason = "rejected: no orientation model enrolled"
+	ReasonNoLiveness     Reason = "rejected: no liveness model trained"
+	ReasonProcessingFail Reason = "rejected: processing error"
+)
+
+// Decision is the outcome of processing one wake-word utterance.
+type Decision struct {
+	Accepted bool
+	Reason   Reason
+	// LiveScore is the probability the audio is live human speech
+	// (only meaningful when the liveness gate ran).
+	LiveScore float64
+	LiveRan   bool
+	// FacingScore is the orientation classifier margin (positive =
+	// facing) when the orientation gate ran.
+	FacingScore float64
+	FacingRan   bool
+	// Latencies of the two gates (paper §IV-B15 reports 42 ms and
+	// 136 ms on a PC).
+	LivenessLatency    time.Duration
+	OrientationLatency time.Duration
+}
+
+// Config assembles a System.
+type Config struct {
+	// SampleRate of incoming recordings (default 48 kHz).
+	SampleRate float64
+	// BandpassLow/BandpassHigh bound the preprocessing filter
+	// (defaults 100 Hz / 16 kHz; paper §III).
+	BandpassLow, BandpassHigh float64
+	// BandpassOrder is the Butterworth order (default 5).
+	BandpassOrder int
+	// SessionTimeout: once a facing wake word opens a session, further
+	// commands within the window skip the facing check (the user "does
+	// not need to continuously face the device for the remaining
+	// session"). Default 30 s.
+	SessionTimeout time.Duration
+	// Liveness and Orientation are the trained gates. Either may be
+	// nil: a nil liveness detector skips the human/mechanical check, a
+	// nil orientation model causes HeadTalk mode to reject with
+	// ReasonNoOrientation.
+	Liveness    *liveness.Detector
+	Orientation *orientation.Model
+	// LivenessThreshold is the minimum live score (default 0.5).
+	LivenessThreshold float64
+	// Features configures orientation feature extraction. A zero
+	// MaxLag defaults to 13 samples (the D2 array at 48 kHz).
+	Features features.Config
+	// ChannelSubset selects which recording channels feed the
+	// orientation gate (nil = all channels). The paper uses 4-mic
+	// subsets by default.
+	ChannelSubset []int
+	// Clock abstracts time for session handling (tests inject a fake);
+	// nil uses time.Now.
+	Clock func() time.Time
+}
+
+// System is a HeadTalk privacy controller. It is safe for concurrent
+// use.
+type System struct {
+	mu          sync.Mutex
+	mode        Mode
+	cfg         Config
+	sessionOpen bool
+	sessionEnd  time.Time
+	log         []Event
+}
+
+// Event is one entry in the system's decision log (the paper's
+// command-history privacy control).
+type Event struct {
+	Time     time.Time
+	Mode     Mode
+	Decision Decision
+}
+
+// NewSystem validates the configuration and returns a system in
+// Normal mode.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = 48000
+	}
+	if cfg.BandpassLow == 0 {
+		cfg.BandpassLow = 100
+	}
+	if cfg.BandpassHigh == 0 {
+		cfg.BandpassHigh = 16000
+	}
+	if cfg.BandpassOrder == 0 {
+		cfg.BandpassOrder = 5
+	}
+	if cfg.SessionTimeout == 0 {
+		cfg.SessionTimeout = 30 * time.Second
+	}
+	if cfg.LivenessThreshold == 0 {
+		cfg.LivenessThreshold = 0.5
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.BandpassHigh >= cfg.SampleRate/2 {
+		return nil, fmt.Errorf("core: bandpass high %g Hz >= Nyquist %g", cfg.BandpassHigh, cfg.SampleRate/2)
+	}
+	if cfg.Features.MaxLag == 0 {
+		cfg.Features = features.DefaultConfig(13, cfg.SampleRate)
+	}
+	return &System{mode: ModeNormal, cfg: cfg}, nil
+}
+
+// orientationFeatures extracts the facing/non-facing feature vector
+// from a preprocessed recording, honoring the configured channel
+// subset.
+func (s *System) orientationFeatures(pre *audio.Recording) ([]float64, error) {
+	rec := pre
+	if len(s.cfg.ChannelSubset) > 0 {
+		sel, err := pre.Select(s.cfg.ChannelSubset)
+		if err != nil {
+			return nil, err
+		}
+		rec = sel
+	}
+	return features.Extract(rec, s.cfg.Features)
+}
+
+// Mode returns the current privacy mode.
+func (s *System) Mode() Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode
+}
+
+// SetMode switches privacy modes ("Alexa, enter HeadTalk mode").
+func (s *System) SetMode(m Mode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mode = m
+	s.sessionOpen = false
+}
+
+// SessionActive reports whether a facing-validated session is open.
+func (s *System) SessionActive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessionActiveLocked()
+}
+
+func (s *System) sessionActiveLocked() bool {
+	return s.sessionOpen && s.cfg.Clock().Before(s.sessionEnd)
+}
+
+// EndSession closes any open session immediately.
+func (s *System) EndSession() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessionOpen = false
+}
+
+// Preprocess applies the paper's fifth-order Butterworth band-pass
+// (100 Hz – 16 kHz) to every channel, returning a new recording.
+func (s *System) Preprocess(rec *audio.Recording) (*audio.Recording, error) {
+	bp, err := dsp.NewButterworthBandPass(s.cfg.BandpassOrder, s.cfg.BandpassLow, s.cfg.BandpassHigh, s.cfg.SampleRate)
+	if err != nil {
+		return nil, fmt.Errorf("core: designing bandpass: %w", err)
+	}
+	out := audio.NewRecording(rec.SampleRate, len(rec.Channels), rec.Len())
+	for i, ch := range rec.Channels {
+		copy(out.Channels[i], bp.Apply(ch))
+	}
+	return out, nil
+}
+
+// ProcessWake runs the full HeadTalk decision pipeline (paper Fig. 2)
+// on a detected wake-word recording and logs the outcome. The
+// recording should contain just the wake-word utterance from the
+// device's microphone array.
+func (s *System) ProcessWake(rec *audio.Recording) (Decision, error) {
+	s.mu.Lock()
+	mode := s.mode
+	s.mu.Unlock()
+
+	var d Decision
+	switch mode {
+	case ModeMute:
+		d = Decision{Accepted: false, Reason: ReasonMuted}
+	case ModeNormal:
+		d = Decision{Accepted: true, Reason: ReasonNormalMode}
+	case ModeHeadTalk:
+		var err error
+		d, err = s.headTalkDecision(rec)
+		if err != nil {
+			s.logEvent(mode, Decision{Reason: ReasonProcessingFail})
+			return Decision{Reason: ReasonProcessingFail}, err
+		}
+	}
+	s.logEvent(mode, d)
+	return d, nil
+}
+
+func (s *System) headTalkDecision(rec *audio.Recording) (Decision, error) {
+	var d Decision
+
+	// Session shortcut: a facing-validated session accepts follow-ups
+	// without re-checking orientation, but liveness is still enforced
+	// so a replay can't ride an open session.
+	sessionActive := s.SessionActive()
+
+	pre, err := s.Preprocess(rec)
+	if err != nil {
+		return d, err
+	}
+
+	if s.cfg.Liveness != nil {
+		start := time.Now()
+		score, lerr := s.cfg.Liveness.Score(pre.Mono(), pre.SampleRate)
+		d.LivenessLatency = time.Since(start)
+		if lerr != nil {
+			return d, fmt.Errorf("core: liveness gate: %w", lerr)
+		}
+		d.LiveScore = score
+		d.LiveRan = true
+		if score < s.cfg.LivenessThreshold {
+			d.Reason = ReasonNotLive
+			return d, nil
+		}
+	}
+
+	if sessionActive {
+		d.Accepted = true
+		d.Reason = ReasonSessionActive
+		s.extendSession()
+		return d, nil
+	}
+
+	if s.cfg.Orientation == nil {
+		d.Reason = ReasonNoOrientation
+		return d, nil
+	}
+	start := time.Now()
+	feats, ferr := s.orientationFeatures(pre)
+	if ferr != nil {
+		return d, fmt.Errorf("core: orientation features: %w", ferr)
+	}
+	pred := s.cfg.Orientation.Predict(feats)
+	d.FacingScore = s.cfg.Orientation.Score(feats)
+	d.OrientationLatency = time.Since(start)
+	d.FacingRan = true
+	if pred != orientation.LabelFacing {
+		d.Reason = ReasonNotFacing
+		return d, nil
+	}
+	d.Accepted = true
+	d.Reason = ReasonAccepted
+	s.openSession()
+	return d, nil
+}
+
+func (s *System) openSession() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessionOpen = true
+	s.sessionEnd = s.cfg.Clock().Add(s.cfg.SessionTimeout)
+}
+
+func (s *System) extendSession() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sessionOpen {
+		s.sessionEnd = s.cfg.Clock().Add(s.cfg.SessionTimeout)
+	}
+}
+
+func (s *System) logEvent(mode Mode, d Decision) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = append(s.log, Event{Time: s.cfg.Clock(), Mode: mode, Decision: d})
+}
+
+// History returns a copy of the decision log.
+func (s *System) History() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// ClearHistory deletes the decision log (the paper's delete-history
+// privacy control).
+func (s *System) ClearHistory() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = nil
+}

@@ -1,0 +1,199 @@
+// Package dataset reproduces the paper's data-collection protocol
+// (§IV, Table II) on top of the synthesis and room-simulation
+// substrates: wake words spoken (or replayed) at 14 angles, from nine
+// grid locations at 1/3/5 m, across two rooms, three devices, three
+// wake words, multiple sessions, ambient-noise conditions, loudness
+// levels, postures, placements, surrounding objects, temporal drift
+// and multiple users.
+package dataset
+
+import (
+	"fmt"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/geom"
+)
+
+// Collection-angle grid (paper: 14 angles spanning 360°, plus the ±75°
+// borderline angles collected for the Table III verification).
+var (
+	// Angles14 is the standard collection grid.
+	Angles14 = []float64{0, 15, -15, 30, -30, 45, -45, 60, -60, 90, -90, 135, -135, 180}
+	// AnglesWithBorderline adds ±75°.
+	AnglesWithBorderline = []float64{0, 15, -15, 30, -30, 45, -45, 60, -60, 75, -75, 90, -90, 135, -135, 180}
+	// AnglesDoV is the Ahuja et al. 8-angle grid (45° steps) used by
+	// the cross-user dataset.
+	AnglesDoV = []float64{0, 45, -45, 90, -90, 135, -135, 180}
+)
+
+// Distances and radial directions of the nine grid locations.
+var (
+	Distances = []float64{1, 3, 5}
+	Radials   = []float64{-15, 0, 15} // L, M, R
+)
+
+// LocationLabel returns the paper's grid label (e.g. "M3") for a
+// radial direction and distance.
+func LocationLabel(radialDeg, distance float64) string {
+	var r string
+	switch {
+	case radialDeg < 0:
+		r = "L"
+	case radialDeg > 0:
+		r = "R"
+	default:
+		r = "M"
+	}
+	return fmt.Sprintf("%s%d", r, int(distance))
+}
+
+// Temporal identifies when a sample was collected relative to
+// enrollment (paper §IV-B9).
+type Temporal string
+
+// Temporal settings.
+const (
+	TemporalNow   Temporal = ""
+	TemporalWeek  Temporal = "week"
+	TemporalMonth Temporal = "month"
+)
+
+// Posture of the speaker.
+type Posture int
+
+// Postures.
+const (
+	Standing Posture = iota
+	Sitting
+)
+
+// Mouth heights in meters.
+const (
+	standingMouthHeight = 1.65
+	sittingMouthHeight  = 1.15
+)
+
+// Condition fully specifies one sample of the synthetic corpus. Zero
+// values select the paper's defaults (lab room, device D2, "Computer",
+// session 1, M3 grid point, 70 dB, standing, placement A).
+type Condition struct {
+	Room      string  // "lab" or "home"
+	Device    string  // "D1", "D2", "D3"
+	Word      string  // wake word name
+	Session   int     // 1-based collection session
+	Distance  float64 // meters (1, 3, 5)
+	RadialDeg float64 // -15, 0, +15
+	AngleDeg  float64 // speaker head angle relative to facing the device
+	Rep       int     // repetition within a session (1-based)
+	SPL       float64 // loudness at 1 m (dB SPL); 0 = 70 dB
+	Posture   Posture
+	Placement string   // "A", "B", "C"; "" = "A"
+	Raised    bool     // device raised by 14.8 cm (§IV-B13)
+	Obstacle  string   // "", "partial", "full"
+	Temporal  Temporal // collection time relative to enrollment
+	// Replay names a loudspeaker profile ("Sony SRS-X5", ...); empty
+	// means a live human speaker.
+	Replay string
+	// UserID selects the speaker voice: 0 is the primary experimenter,
+	// 1..N are the multi-user corpus participants.
+	UserID int
+	// Ambient overrides the room's default noise floor when
+	// AmbientSPL > 0 (Dataset-4 plays white noise or a TV at 45 dB).
+	Ambient    audio.NoiseKind
+	AmbientSPL float64
+}
+
+// withDefaults resolves zero values to the paper's defaults.
+func (c Condition) withDefaults() Condition {
+	if c.Room == "" {
+		c.Room = "lab"
+	}
+	if c.Device == "" {
+		c.Device = "D2"
+	}
+	if c.Word == "" {
+		c.Word = "Computer"
+	}
+	if c.Session == 0 {
+		c.Session = 1
+	}
+	if c.Distance == 0 {
+		c.Distance = 3
+	}
+	if c.Rep == 0 {
+		c.Rep = 1
+	}
+	if c.SPL == 0 {
+		c.SPL = 70
+	}
+	if c.Placement == "" {
+		c.Placement = "A"
+	}
+	return c
+}
+
+// Location returns the grid label for the condition.
+func (c Condition) Location() string {
+	c = c.withDefaults()
+	return LocationLabel(c.RadialDeg, c.Distance)
+}
+
+// String summarizes the condition compactly for logs and errors.
+func (c Condition) String() string {
+	c = c.withDefaults()
+	src := "human"
+	if c.Replay != "" {
+		src = "replay:" + c.Replay
+	}
+	return fmt.Sprintf("%s/%s/%s/s%d/%s/%+.0f°/rep%d/%s", c.Room, c.Device, c.Word, c.Session, c.Location(), c.AngleDeg, c.Rep, src)
+}
+
+// placementSpec is a device mounting point with its outward axis.
+type placementSpec struct {
+	pos     geom.Vec3
+	outward float64 // azimuth the device faces, degrees
+}
+
+// devicePlacement returns the mounting geometry for a room/placement
+// pair. Heights follow the paper: lab study table 74 cm (A), coffee
+// table 45 cm (B), work table 75 cm (C), home TV shelf 83 cm.
+func devicePlacement(roomName, placement string, raised bool) (placementSpec, error) {
+	var spec placementSpec
+	switch roomName {
+	case "lab":
+		switch placement {
+		case "A":
+			spec = placementSpec{pos: geom.Vec3{X: 0.40, Y: 2.10, Z: 0.74}, outward: 0}
+		case "B":
+			spec = placementSpec{pos: geom.Vec3{X: 2.00, Y: 1.20, Z: 0.45}, outward: 0}
+		case "C":
+			spec = placementSpec{pos: geom.Vec3{X: 3.00, Y: 3.60, Z: 0.75}, outward: -90}
+		default:
+			return spec, fmt.Errorf("dataset: unknown lab placement %q", placement)
+		}
+	case "home":
+		if placement != "A" {
+			return spec, fmt.Errorf("dataset: home room only has placement A, got %q", placement)
+		}
+		spec = placementSpec{pos: geom.Vec3{X: 0.50, Y: 1.50, Z: 0.83}, outward: 0}
+	default:
+		return spec, fmt.Errorf("dataset: unknown room %q", roomName)
+	}
+	if raised {
+		spec.pos.Z += 0.148
+	}
+	return spec, nil
+}
+
+// speakerPosition returns the mouth position for a condition given the
+// device placement.
+func speakerPosition(spec placementSpec, c Condition) geom.Vec3 {
+	dir := geom.HeadingVec(spec.outward + c.RadialDeg)
+	height := standingMouthHeight
+	if c.Posture == Sitting {
+		height = sittingMouthHeight
+	}
+	p := spec.pos.Add(dir.Scale(c.Distance))
+	p.Z = height
+	return p
+}

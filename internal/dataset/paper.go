@@ -1,0 +1,304 @@
+package dataset
+
+import "headtalk/internal/audio"
+
+// This file encodes the paper's Table II datasets as condition
+// enumerations. Scale selects between a reduced replica (fast enough
+// for a single-core laptop run while preserving every experimental
+// axis) and the paper's full counts.
+
+// SampleWaveformRate is the rate of Sample.Waveform in Hz.
+const SampleWaveformRate = 16000
+
+// Scale selects corpus sizes.
+type Scale int
+
+// Scales.
+const (
+	// ScaleSmall keeps every variable axis but reduces grid locations
+	// (M1/M3/M5) and repetitions.
+	ScaleSmall Scale = iota
+	// ScalePaper reproduces the paper's counts (9 locations, 2
+	// repetitions).
+	ScalePaper
+	// ScaleTiny is the benchmark scale: a single grid location at 3 m
+	// with one repetition, just enough structure for every experiment
+	// to run end to end.
+	ScaleTiny
+)
+
+// grid returns the (radial, distance) pairs and repetition count for a
+// scale.
+func (s Scale) grid() (radials, distances []float64, reps int) {
+	switch s {
+	case ScalePaper:
+		return Radials, Distances, 2
+	case ScaleTiny:
+		return []float64{0}, []float64{3}, 1
+	default:
+		return []float64{0}, Distances, 1
+	}
+}
+
+// Sessions is the number of collection sessions (both scales use the
+// paper's two).
+const Sessions = 2
+
+// Words lists the paper's wake words in evaluation order.
+var Words = []string{"Hey Assistant", "Computer", "Amazon"}
+
+// DevicesIDs lists the prototype devices.
+var DeviceIDs = []string{"D1", "D2", "D3"}
+
+// RoomNames lists the two environments.
+var RoomNames = []string{"lab", "home"}
+
+// Dataset1 enumerates the main corpus: 2 rooms × 3 devices × 3 wake
+// words × grid locations × 14 angles × reps × 2 sessions (paper:
+// 9072 samples; small scale: 1512).
+func Dataset1(s Scale) []Condition {
+	radials, distances, reps := s.grid()
+	var out []Condition
+	for _, room := range RoomNames {
+		for _, dev := range DeviceIDs {
+			for _, word := range Words {
+				for sess := 1; sess <= Sessions; sess++ {
+					for _, rad := range radials {
+						for _, dist := range distances {
+							for _, a := range Angles14 {
+								for rep := 1; rep <= reps; rep++ {
+									out = append(out, Condition{
+										Room: room, Device: dev, Word: word,
+										Session: sess, RadialDeg: rad, Distance: dist,
+										AngleDeg: a, Rep: rep,
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Dataset1Slice enumerates the Dataset-1 cell for one room, device and
+// word, with the standard 14 angles (or the extended angle set with
+// ±75° when borderline is true, matching the Table III verification
+// collection).
+func Dataset1Slice(s Scale, roomName, device, word string, borderline bool) []Condition {
+	radials, distances, reps := s.grid()
+	angles := Angles14
+	if borderline {
+		angles = AnglesWithBorderline
+	}
+	var out []Condition
+	for sess := 1; sess <= Sessions; sess++ {
+		for _, rad := range radials {
+			for _, dist := range distances {
+				for _, a := range angles {
+					for rep := 1; rep <= reps; rep++ {
+						out = append(out, Condition{
+							Room: roomName, Device: device, Word: word,
+							Session: sess, RadialDeg: rad, Distance: dist,
+							AngleDeg: a, Rep: rep,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Dataset2 enumerates the replay corpus: the Sony loudspeaker playing
+// two wake words over the grid (paper: 1008 samples).
+func Dataset2(s Scale) []Condition {
+	radials, distances, reps := s.grid()
+	var out []Condition
+	for _, word := range []string{"Computer", "Hey Assistant"} {
+		for sess := 1; sess <= Sessions; sess++ {
+			for _, rad := range radials {
+				for _, dist := range distances {
+					for _, a := range Angles14 {
+						for rep := 1; rep <= reps; rep++ {
+							out = append(out, Condition{
+								Word: word, Session: sess, RadialDeg: rad,
+								Distance: dist, AngleDeg: a, Rep: rep,
+								Replay: "Sony SRS-X5",
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Dataset3 enumerates the temporal corpus: "Computer" at M1/M3/M5 one
+// week and one month after enrollment (paper: 336 samples).
+func Dataset3(s Scale) []Condition {
+	reps := 2
+	if s != ScalePaper {
+		reps = 1
+	}
+	var out []Condition
+	for _, temporal := range []Temporal{TemporalWeek, TemporalMonth} {
+		for sess := 1; sess <= Sessions; sess++ {
+			for _, dist := range Distances {
+				for _, a := range Angles14 {
+					for rep := 1; rep <= reps; rep++ {
+						out = append(out, Condition{
+							Session: sess, Distance: dist, AngleDeg: a,
+							Rep: rep, Temporal: temporal,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Dataset4 enumerates the ambient-noise corpus: white noise and TV
+// babble played at 45 dB SPL (paper: 168 samples).
+func Dataset4(s Scale) []Condition {
+	reps := 2
+	if s != ScalePaper {
+		reps = 1
+	}
+	var out []Condition
+	for _, amb := range []AmbientSpec{{KindName: "white", SPL: 45}, {KindName: "tv", SPL: 45}} {
+		for _, dist := range Distances {
+			for _, a := range Angles14 {
+				for rep := 1; rep <= reps; rep++ {
+					c := Condition{Distance: dist, AngleDeg: a, Rep: rep, AmbientSPL: amb.SPL}
+					c.Ambient = amb.kind()
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Dataset5 enumerates the sitting corpus (paper: 84 samples).
+func Dataset5(s Scale) []Condition {
+	reps := 2
+	if s != ScalePaper {
+		reps = 1
+	}
+	var out []Condition
+	for _, dist := range Distances {
+		for _, a := range Angles14 {
+			for rep := 1; rep <= reps; rep++ {
+				out = append(out, Condition{Distance: dist, AngleDeg: a, Rep: rep, Posture: Sitting})
+			}
+		}
+	}
+	return out
+}
+
+// Dataset6 enumerates the loudness corpus at 60 and 80 dB (paper: 168
+// samples).
+func Dataset6(s Scale) []Condition {
+	reps := 2
+	if s != ScalePaper {
+		reps = 1
+	}
+	var out []Condition
+	for _, spl := range []float64{60, 80} {
+		for _, dist := range Distances {
+			for _, a := range Angles14 {
+				for rep := 1; rep <= reps; rep++ {
+					out = append(out, Condition{Distance: dist, AngleDeg: a, Rep: rep, SPL: spl})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Dataset7 enumerates the surrounding-object corpus: partially
+// blocked, fully blocked and raised-device settings (paper: 252
+// samples).
+func Dataset7(s Scale) []Condition {
+	reps := 2
+	if s != ScalePaper {
+		reps = 1
+	}
+	type setting struct {
+		obstacle string
+		raised   bool
+	}
+	var out []Condition
+	for _, set := range []setting{{"partial", false}, {"full", false}, {"full", true}} {
+		for _, dist := range Distances {
+			for _, a := range Angles14 {
+				for rep := 1; rep <= reps; rep++ {
+					c := Condition{Distance: dist, AngleDeg: a, Rep: rep, Obstacle: set.obstacle, Raised: set.raised}
+					if set.raised {
+						// Raising the device above the obstacle clears
+						// the direct path (paper: accuracy recovers to
+						// 95%).
+						c.Obstacle = ""
+						c.Raised = true
+					}
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Dataset8 enumerates the multi-user corpus mirroring the Ahuja et
+// al. DoV collection: 10 participants, 9 grid locations, 8 angles at
+// 45° steps, 2 repetitions (paper: 1440 samples).
+func Dataset8(s Scale) []Condition {
+	radials, distances, reps := Radials, Distances, 2
+	if s != ScalePaper {
+		// Keep both repetitions even at reduced scales: the DoV
+		// baseline comparison trains on one repetition and tests on
+		// the other.
+		radials = []float64{0}
+	}
+	if s == ScaleTiny {
+		distances = []float64{1, 3}
+	}
+	var out []Condition
+	for user := 1; user <= 10; user++ {
+		for _, rad := range radials {
+			for _, dist := range distances {
+				for _, a := range AnglesDoV {
+					for rep := 1; rep <= reps; rep++ {
+						out = append(out, Condition{
+							Word: "Hey Assistant", UserID: user,
+							RadialDeg: rad, Distance: dist, AngleDeg: a, Rep: rep,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AmbientSpec names a noise kind for dataset building.
+type AmbientSpec struct {
+	KindName string
+	SPL      float64
+}
+
+func (a AmbientSpec) kind() audio.NoiseKind {
+	switch a.KindName {
+	case "white":
+		return audio.WhiteNoise
+	case "tv":
+		return audio.TVNoise
+	default:
+		return audio.PinkNoise
+	}
+}

@@ -1,0 +1,58 @@
+package dataset
+
+// SpoofCorpus builds an ASVspoof-2019-PA-like pretraining corpus for
+// the liveness detector: bona fide utterances from a pool of speakers
+// plus replayed versions through every loudspeaker profile, across
+// rooms, distances and angles. It substitutes for the ASVspoof corpus
+// the paper pretrains wav2vec2 on (§IV-A1); the speaker pool (user IDs
+// 101+) is disjoint from the Dataset-8 participants so liveness
+// pretraining never sees evaluation voices.
+func SpoofCorpus(s Scale) []Condition {
+	users := 8
+	repsHuman := 3
+	repsSpoof := 1
+	switch s {
+	case ScalePaper:
+		users = 16
+		repsHuman = 6
+		repsSpoof = 2
+	case ScaleTiny:
+		users = 2
+	}
+	profiles := []string{"Sony SRS-X5", "Samsung Galaxy S21 Ultra", "Smart TV"}
+	angles := []float64{0, 45, 180}
+	var out []Condition
+	for u := 0; u < users; u++ {
+		user := 101 + u
+		roomName := RoomNames[u%len(RoomNames)]
+		for _, dist := range Distances {
+			for _, a := range angles {
+				for rep := 1; rep <= repsHuman; rep++ {
+					out = append(out, Condition{
+						Room: roomName, Word: Words[(u+rep)%len(Words)],
+						UserID: user, Distance: dist, AngleDeg: a, Rep: rep,
+					})
+				}
+				for _, p := range profiles {
+					for rep := 1; rep <= repsSpoof; rep++ {
+						out = append(out, Condition{
+							Room: roomName, Word: Words[(u+rep)%len(Words)],
+							UserID: user, Distance: dist, AngleDeg: a, Rep: rep,
+							Replay: p,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LivenessLabel returns the liveness ground truth for a condition:
+// 1 (human) for live conditions, 0 (spoof) for replays.
+func LivenessLabel(c Condition) int {
+	if c.Replay != "" {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,204 @@
+// Package dsp provides the signal-processing primitives HeadTalk is
+// built on: FFTs, window functions, IIR/FIR filters, resampling,
+// convolution, spectral analysis and descriptive statistics. Everything
+// is implemented from scratch on top of the standard library so the
+// module has no external dependencies.
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two >= n. It returns 1 for
+// n <= 1.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// FFT computes the discrete Fourier transform of x and returns a newly
+// allocated slice. The input is not modified. Any length is supported:
+// power-of-two sizes use an iterative radix-2 Cooley-Tukey transform,
+// other sizes fall back to Bluestein's algorithm.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT computes the inverse discrete Fourier transform of x, including
+// the 1/N normalization, and returns a newly allocated slice.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	return out
+}
+
+// fftInPlace transforms x in place. When inverse is true the conjugate
+// transform is applied and the result is scaled by 1/len(x).
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if IsPow2(n) {
+		radix2(x, inverse)
+	} else {
+		bluestein(x, inverse)
+	}
+	if inverse {
+		scale := 1 / float64(n)
+		for i := range x {
+			x[i] *= complex(scale, 0)
+		}
+	}
+}
+
+// radix2 is an iterative decimation-in-time Cooley-Tukey FFT for
+// power-of-two lengths. When inverse is true the sign of the twiddle
+// exponent is flipped; normalization is the caller's responsibility.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				even := x[start+k]
+				odd := x[start+k+half] * w
+				x[start+k] = even + odd
+				x[start+k+half] = even - odd
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution via
+// power-of-two FFTs (the chirp-z transform).
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	m := NextPow2(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	chirp := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		// Chirp phase: pi * i^2 / n, computed modulo 2n to avoid
+		// precision loss for large i.
+		idx := (int64(i) * int64(i)) % int64(2*n)
+		phase := sign * math.Pi * float64(idx) / float64(n)
+		chirp[i] = cmplx.Exp(complex(0, phase))
+		a[i] = x[i] * chirp[i]
+		b[i] = cmplx.Conj(chirp[i])
+		if i > 0 {
+			b[m-i] = b[i]
+		}
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := 1 / float64(m)
+	for i := 0; i < n; i++ {
+		x[i] = a[i] * complex(scale, 0) * chirp[i]
+	}
+}
+
+// FFTReal computes the DFT of a real-valued signal and returns the
+// full complex spectrum of the same length as x.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	fftInPlace(c, false)
+	return c
+}
+
+// IFFTReal computes the inverse DFT of a spectrum that is assumed to be
+// conjugate-symmetric and returns the real part of the result. Small
+// imaginary residues from rounding are discarded.
+func IFFTReal(spec []complex128) []float64 {
+	c := IFFT(spec)
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// HalfSpectrum returns the non-redundant half of a real signal's
+// spectrum: bins 0..n/2 inclusive (n/2+1 bins for even n).
+func HalfSpectrum(x []float64) []complex128 {
+	full := FFTReal(x)
+	return full[:len(full)/2+1]
+}
+
+// Magnitude returns |spec[i]| for every bin.
+func Magnitude(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, v := range spec {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// Power returns |spec[i]|^2 for every bin.
+func Power(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, v := range spec {
+		re, im := real(v), imag(v)
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// BinFreq returns the center frequency in Hz of FFT bin i for a
+// transform of length n at sample rate fs.
+func BinFreq(i, n int, fs float64) float64 {
+	return float64(i) * fs / float64(n)
+}
+
+// FreqBin returns the FFT bin index closest to frequency f for a
+// transform of length n at sample rate fs, clamped to [0, n-1].
+func FreqBin(f float64, n int, fs float64) int {
+	bin := int(math.Round(f * float64(n) / fs))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= n {
+		bin = n - 1
+	}
+	return bin
+}

@@ -1,0 +1,270 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Biquad is a single second-order IIR section in direct form II
+// transposed. The zero value is an identity filter only after
+// coefficients are set; use the design constructors in this package.
+type Biquad struct {
+	B0, B1, B2 float64 // feed-forward coefficients
+	A1, A2     float64 // feedback coefficients (a0 normalized to 1)
+	z1, z2     float64 // state
+}
+
+// Process filters one sample through the section.
+func (b *Biquad) Process(x float64) float64 {
+	y := b.B0*x + b.z1
+	b.z1 = b.B1*x - b.A1*y + b.z2
+	b.z2 = b.B2*x - b.A2*y
+	return y
+}
+
+// Reset clears the section's internal state.
+func (b *Biquad) Reset() {
+	b.z1, b.z2 = 0, 0
+}
+
+// IIRFilter is a cascade of biquad sections.
+type IIRFilter struct {
+	sections []Biquad
+}
+
+// Sections returns the number of biquad sections in the cascade.
+func (f *IIRFilter) Sections() int { return len(f.sections) }
+
+// Reset clears all section states.
+func (f *IIRFilter) Reset() {
+	for i := range f.sections {
+		f.sections[i].Reset()
+	}
+}
+
+// Process filters one sample through the full cascade, updating state.
+func (f *IIRFilter) Process(x float64) float64 {
+	for i := range f.sections {
+		x = f.sections[i].Process(x)
+	}
+	return x
+}
+
+// Apply resets the filter and runs x through it, returning a new slice.
+func (f *IIRFilter) Apply(x []float64) []float64 {
+	f.Reset()
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = f.Process(v)
+	}
+	return out
+}
+
+// FiltFilt applies the filter forward and then backward, yielding a
+// zero-phase response with twice the effective order. The filter state
+// is reset before each pass.
+func (f *IIRFilter) FiltFilt(x []float64) []float64 {
+	fwd := f.Apply(x)
+	// Reverse, filter, reverse again.
+	for i, j := 0, len(fwd)-1; i < j; i, j = i+1, j-1 {
+		fwd[i], fwd[j] = fwd[j], fwd[i]
+	}
+	back := f.Apply(fwd)
+	for i, j := 0, len(back)-1; i < j; i, j = i+1, j-1 {
+		back[i], back[j] = back[j], back[i]
+	}
+	return back
+}
+
+// butterworthQs returns the section Q factors for an order-n Butterworth
+// prototype: one entry per conjugate pole pair. hasReal reports whether
+// an additional real pole (first-order section) is required (odd order).
+func butterworthQs(order int) (qs []float64, hasReal bool) {
+	pairs := order / 2
+	qs = make([]float64, 0, pairs)
+	for k := 0; k < pairs; k++ {
+		// Pole pair at angle theta from the imaginary axis; the angle
+		// from the negative real axis is pi/2 - theta, so
+		// Q = 1/(2 cos(pi/2 - theta)) = 1/(2 sin theta). Order 2 gives
+		// the familiar Q = 0.7071.
+		theta := math.Pi * float64(2*k+1) / float64(2*order)
+		qs = append(qs, 1/(2*math.Sin(theta)))
+	}
+	return qs, order%2 == 1
+}
+
+// rbjLowPass returns an RBJ-cookbook low-pass biquad (the bilinear
+// transform of the analog prototype with frequency prewarping).
+func rbjLowPass(fc, fs, q float64) Biquad {
+	w0 := 2 * math.Pi * fc / fs
+	cw, sw := math.Cos(w0), math.Sin(w0)
+	alpha := sw / (2 * q)
+	a0 := 1 + alpha
+	return Biquad{
+		B0: (1 - cw) / 2 / a0,
+		B1: (1 - cw) / a0,
+		B2: (1 - cw) / 2 / a0,
+		A1: -2 * cw / a0,
+		A2: (1 - alpha) / a0,
+	}
+}
+
+// rbjHighPass returns an RBJ-cookbook high-pass biquad.
+func rbjHighPass(fc, fs, q float64) Biquad {
+	w0 := 2 * math.Pi * fc / fs
+	cw, sw := math.Cos(w0), math.Sin(w0)
+	alpha := sw / (2 * q)
+	a0 := 1 + alpha
+	return Biquad{
+		B0: (1 + cw) / 2 / a0,
+		B1: -(1 + cw) / a0,
+		B2: (1 + cw) / 2 / a0,
+		A1: -2 * cw / a0,
+		A2: (1 - alpha) / a0,
+	}
+}
+
+// firstOrderLowPass returns a one-pole/one-zero low-pass section from
+// the bilinear transform of 1/(s/wc+1), expressed as a degenerate
+// biquad.
+func firstOrderLowPass(fc, fs float64) Biquad {
+	k := math.Tan(math.Pi * fc / fs)
+	a0 := k + 1
+	return Biquad{
+		B0: k / a0,
+		B1: k / a0,
+		A1: (k - 1) / a0,
+	}
+}
+
+// firstOrderHighPass returns a one-pole/one-zero high-pass section.
+func firstOrderHighPass(fc, fs float64) Biquad {
+	k := math.Tan(math.Pi * fc / fs)
+	a0 := k + 1
+	return Biquad{
+		B0: 1 / a0,
+		B1: -1 / a0,
+		A1: (k - 1) / a0,
+	}
+}
+
+func validateCutoff(fc, fs float64) error {
+	if fs <= 0 {
+		return fmt.Errorf("dsp: sample rate %g must be positive", fs)
+	}
+	if fc <= 0 || fc >= fs/2 {
+		return fmt.Errorf("dsp: cutoff %g Hz outside (0, %g) at fs=%g", fc, fs/2, fs)
+	}
+	return nil
+}
+
+// NewButterworthLowPass designs an order-n Butterworth low-pass filter
+// with -3 dB point fc at sample rate fs.
+func NewButterworthLowPass(order int, fc, fs float64) (*IIRFilter, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("dsp: filter order %d must be >= 1", order)
+	}
+	if err := validateCutoff(fc, fs); err != nil {
+		return nil, err
+	}
+	qs, hasReal := butterworthQs(order)
+	f := &IIRFilter{}
+	for _, q := range qs {
+		f.sections = append(f.sections, rbjLowPass(fc, fs, q))
+	}
+	if hasReal {
+		f.sections = append(f.sections, firstOrderLowPass(fc, fs))
+	}
+	return f, nil
+}
+
+// NewButterworthHighPass designs an order-n Butterworth high-pass
+// filter with -3 dB point fc at sample rate fs.
+func NewButterworthHighPass(order int, fc, fs float64) (*IIRFilter, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("dsp: filter order %d must be >= 1", order)
+	}
+	if err := validateCutoff(fc, fs); err != nil {
+		return nil, err
+	}
+	qs, hasReal := butterworthQs(order)
+	f := &IIRFilter{}
+	for _, q := range qs {
+		f.sections = append(f.sections, rbjHighPass(fc, fs, q))
+	}
+	if hasReal {
+		f.sections = append(f.sections, firstOrderHighPass(fc, fs))
+	}
+	return f, nil
+}
+
+// NewButterworthBandPass designs a band-pass filter as a cascade of an
+// order-n Butterworth high-pass at lo and an order-n Butterworth
+// low-pass at hi. This is the structure behind HeadTalk's preprocessing
+// stage (paper §III: "fifth-order Butterworth bandpass filter to keep
+// the audio within the frequency range of 100~16000 Hz").
+func NewButterworthBandPass(order int, lo, hi, fs float64) (*IIRFilter, error) {
+	if lo >= hi {
+		return nil, fmt.Errorf("dsp: band edges inverted: lo=%g hi=%g", lo, hi)
+	}
+	hp, err := NewButterworthHighPass(order, lo, fs)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := NewButterworthLowPass(order, hi, fs)
+	if err != nil {
+		return nil, err
+	}
+	return &IIRFilter{sections: append(hp.sections, lp.sections...)}, nil
+}
+
+// FIRLowPass designs a windowed-sinc (Hamming) linear-phase low-pass
+// FIR filter with the given number of taps and cutoff frequency fc at
+// sample rate fs. Taps is forced odd so the filter has integer group
+// delay of (taps-1)/2 samples.
+func FIRLowPass(taps int, fc, fs float64) []float64 {
+	if taps < 3 {
+		taps = 3
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	h := make([]float64, taps)
+	mid := (taps - 1) / 2
+	wc := 2 * math.Pi * fc / fs
+	win := Hamming.Coefficients(taps)
+	var sum float64
+	for i := 0; i < taps; i++ {
+		n := float64(i - mid)
+		var v float64
+		if i == mid {
+			v = wc / math.Pi
+		} else {
+			v = math.Sin(wc*n) / (math.Pi * n)
+		}
+		h[i] = v * win[i]
+		sum += h[i]
+	}
+	// Normalize to unity DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return h
+}
+
+// FIRFilter convolves x with the FIR taps h and returns a slice the
+// same length as x (the filter's leading transient is included; group
+// delay is not compensated).
+func FIRFilter(x, h []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		var acc float64
+		for j, tap := range h {
+			if k := i - j; k >= 0 {
+				acc += tap * x[k]
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package dsp
+
+import "fmt"
+
+// Decimate low-pass filters x (windowed-sinc FIR at 0.45 of the target
+// Nyquist) and keeps every factor-th sample. It is the fast path for
+// integer-ratio downsampling such as 48 kHz -> 16 kHz (factor 3).
+func Decimate(x []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: decimation factor %d must be >= 1", factor)
+	}
+	if factor == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	// Anti-alias filter: cutoff just below the new Nyquist frequency.
+	// Work in normalized units with fs = 1.
+	cutoff := 0.45 / float64(factor)
+	taps := FIRLowPass(8*factor+1, cutoff, 1.0)
+	filtered := FIRFilter(x, taps)
+	// Compensate the FIR group delay so decimated output aligns with
+	// the input timeline.
+	delay := (len(taps) - 1) / 2
+	n := (len(x) + factor - 1) / factor
+	out := make([]float64, 0, n)
+	for i := 0; i < len(x); i += factor {
+		j := i + delay
+		if j >= len(filtered) {
+			j = len(filtered) - 1
+		}
+		out = append(out, filtered[j])
+	}
+	return out, nil
+}
+
+// Resample converts x from sample rate from to sample rate to. Integer
+// downsampling ratios use Decimate; all other ratios use band-limited
+// linear interpolation (adequate for the synthesis-side rate changes in
+// this repo, where the source material is already band-limited).
+func Resample(x []float64, from, to float64) ([]float64, error) {
+	if from <= 0 || to <= 0 {
+		return nil, fmt.Errorf("dsp: sample rates must be positive (from=%g to=%g)", from, to)
+	}
+	if from == to {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	if ratio := from / to; ratio == float64(int(ratio)) && ratio > 1 {
+		return Decimate(x, int(ratio))
+	}
+	src := x
+	if to < from {
+		// Downsampling by a non-integer ratio: anti-alias first.
+		cutoff := 0.45 * to
+		taps := FIRLowPass(65, cutoff, from)
+		filtered := FIRFilter(x, taps)
+		delay := (len(taps) - 1) / 2
+		src = make([]float64, len(x))
+		for i := range src {
+			j := i + delay
+			if j >= len(filtered) {
+				j = len(filtered) - 1
+			}
+			src[i] = filtered[j]
+		}
+	}
+	n := int(float64(len(src)) * to / from)
+	out := make([]float64, n)
+	step := from / to
+	for i := range out {
+		pos := float64(i) * step
+		lo := int(pos)
+		if lo >= len(src)-1 {
+			out[i] = src[len(src)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = src[lo]*(1-frac) + src[lo+1]*frac
+	}
+	return out, nil
+}

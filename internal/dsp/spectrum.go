@@ -1,0 +1,171 @@
+package dsp
+
+import "fmt"
+
+// BandEnergy returns the mean magnitude of the spectrum bins between lo
+// and hi Hz (inclusive) for a half-spectrum of a length-n transform at
+// sample rate fs. It returns 0 when the band contains no bins.
+func BandEnergy(halfSpec []complex128, n int, fs, lo, hi float64) float64 {
+	loBin := FreqBin(lo, n, fs)
+	hiBin := FreqBin(hi, n, fs)
+	if hiBin >= len(halfSpec) {
+		hiBin = len(halfSpec) - 1
+	}
+	if loBin > hiBin {
+		return 0
+	}
+	var acc float64
+	for i := loBin; i <= hiBin; i++ {
+		re, im := real(halfSpec[i]), imag(halfSpec[i])
+		acc += hypot(re, im)
+	}
+	return acc / float64(hiBin-loBin+1)
+}
+
+func hypot(a, b float64) float64 {
+	// math.Hypot is robust but slow; plain sqrt is fine for audio-scale
+	// magnitudes.
+	return sqrt(a*a + b*b)
+}
+
+// STFT computes a short-time Fourier transform of x with the given
+// frame length, hop size and window, returning one half-spectrum per
+// frame. Frames that would run past the end of x are dropped.
+func STFT(x []float64, frameLen, hop int, win Window) ([][]complex128, error) {
+	if frameLen <= 0 || hop <= 0 {
+		return nil, fmt.Errorf("dsp: invalid STFT parameters frameLen=%d hop=%d", frameLen, hop)
+	}
+	coeffs := win.Coefficients(frameLen)
+	var frames [][]complex128
+	for start := 0; start+frameLen <= len(x); start += hop {
+		frame := ApplyWindow(x[start:start+frameLen], coeffs)
+		frames = append(frames, HalfSpectrum(frame))
+	}
+	return frames, nil
+}
+
+// Spectrogram returns the magnitude spectrogram of x (frames ×
+// frequency bins).
+func Spectrogram(x []float64, frameLen, hop int, win Window) ([][]float64, error) {
+	frames, err := STFT(x, frameLen, hop, win)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(frames))
+	for i, f := range frames {
+		out[i] = Magnitude(f)
+	}
+	return out, nil
+}
+
+// WelchPSD estimates the power spectral density of x by averaging
+// periodograms of Hann-windowed segments with 50% overlap. It returns
+// the one-sided PSD (frameLen/2+1 bins) and works for any signal at
+// least one frame long.
+func WelchPSD(x []float64, frameLen int) ([]float64, error) {
+	if frameLen <= 0 {
+		return nil, fmt.Errorf("dsp: invalid frame length %d", frameLen)
+	}
+	if len(x) < frameLen {
+		return nil, fmt.Errorf("dsp: signal length %d < frame length %d", len(x), frameLen)
+	}
+	hop := frameLen / 2
+	if hop == 0 {
+		hop = 1
+	}
+	win := Hann.Coefficients(frameLen)
+	var winPower float64
+	for _, w := range win {
+		winPower += w * w
+	}
+	psd := make([]float64, frameLen/2+1)
+	var count int
+	for start := 0; start+frameLen <= len(x); start += hop {
+		frame := ApplyWindow(x[start:start+frameLen], win)
+		spec := HalfSpectrum(frame)
+		for i, v := range spec {
+			re, im := real(v), imag(v)
+			psd[i] += (re*re + im*im) / winPower
+		}
+		count++
+	}
+	for i := range psd {
+		psd[i] /= float64(count)
+	}
+	return psd, nil
+}
+
+// SpectralCentroid returns the magnitude-weighted mean frequency of x
+// at sample rate fs, a coarse "brightness" measure used by the liveness
+// feature set.
+func SpectralCentroid(x []float64, fs float64) float64 {
+	spec := HalfSpectrum(x)
+	var num, den float64
+	n := len(x)
+	for i, v := range spec {
+		re, im := real(v), imag(v)
+		mag := hypot(re, im)
+		num += BinFreq(i, n, fs) * mag
+		den += mag
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// SpectralRolloff returns the frequency below which frac (e.g. 0.85) of
+// the total spectral magnitude of x lies.
+func SpectralRolloff(x []float64, fs, frac float64) float64 {
+	spec := HalfSpectrum(x)
+	mags := Magnitude(spec)
+	var total float64
+	for _, m := range mags {
+		total += m
+	}
+	if total == 0 {
+		return 0
+	}
+	target := frac * total
+	var acc float64
+	for i, m := range mags {
+		acc += m
+		if acc >= target {
+			return BinFreq(i, len(x), fs)
+		}
+	}
+	return fs / 2
+}
+
+// SpectralFlatness returns the ratio of geometric to arithmetic mean of
+// the power spectrum in the band [lo, hi] Hz. Values near 1 indicate
+// noise-like (flat) spectra; values near 0 indicate tonal spectra. The
+// paper's observation that replayed audio is "more uniform above 4 kHz"
+// is exactly a high-band flatness statement.
+func SpectralFlatness(x []float64, fs, lo, hi float64) float64 {
+	spec := HalfSpectrum(x)
+	pow := Power(spec)
+	n := len(x)
+	loBin := FreqBin(lo, n, fs)
+	hiBin := FreqBin(hi, n, fs)
+	if hiBin >= len(pow) {
+		hiBin = len(pow) - 1
+	}
+	if loBin >= hiBin {
+		return 0
+	}
+	var logSum, sum float64
+	count := 0
+	for i := loBin; i <= hiBin; i++ {
+		p := pow[i] + 1e-20
+		logSum += ln(p)
+		sum += p
+		count++
+	}
+	arith := sum / float64(count)
+	geo := exp(logSum / float64(count))
+	if arith == 0 {
+		return 0
+	}
+	return geo / arith
+}

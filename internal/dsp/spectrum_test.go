@@ -1,0 +1,174 @@
+package dsp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func sine(freq, fs float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(2 * math.Pi * freq * float64(i) / fs)
+	}
+	return out
+}
+
+func TestWindowsUnityAtCenterish(t *testing.T) {
+	for _, w := range []Window{Hann, Hamming, Blackman} {
+		c := w.Coefficients(64)
+		if len(c) != 64 {
+			t.Fatalf("%s: length %d", w, len(c))
+		}
+		if c[32] < 0.9 {
+			t.Errorf("%s: center coefficient %g, want ~1", w, c[32])
+		}
+		if c[0] > 0.1 {
+			t.Errorf("%s: edge coefficient %g, want ~0", w, c[0])
+		}
+	}
+}
+
+func TestWindowEdgeCases(t *testing.T) {
+	if got := Hann.Coefficients(0); len(got) != 0 {
+		t.Error("zero-length window should be empty")
+	}
+	if got := Hann.Coefficients(1); got[0] != 1 {
+		t.Error("length-1 window should be [1]")
+	}
+	rect := Rectangular.Coefficients(8)
+	for _, v := range rect {
+		if v != 1 {
+			t.Fatal("rectangular window should be all ones")
+		}
+	}
+}
+
+func TestApplyWindowPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	ApplyWindow([]float64{1, 2}, []float64{1})
+}
+
+func TestSTFTFrameCount(t *testing.T) {
+	x := make([]float64, 1000)
+	frames, err := STFT(x, 256, 128, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts at 0,128,256,...,744: floor((1000-256)/128)+1 = 6.
+	if len(frames) != 6 {
+		t.Errorf("got %d frames, want 6", len(frames))
+	}
+	if len(frames[0]) != 129 {
+		t.Errorf("frame spectrum length %d, want 129", len(frames[0]))
+	}
+}
+
+func TestSTFTInvalidParams(t *testing.T) {
+	if _, err := STFT(make([]float64, 100), 0, 10, Hann); err == nil {
+		t.Error("expected error for zero frame length")
+	}
+	if _, err := STFT(make([]float64, 100), 64, 0, Hann); err == nil {
+		t.Error("expected error for zero hop")
+	}
+}
+
+func TestSpectrogramShape(t *testing.T) {
+	spec, err := Spectrogram(make([]float64, 512), 128, 64, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) == 0 || len(spec[0]) != 65 {
+		t.Errorf("spectrogram shape %dx%d", len(spec), len(spec[0]))
+	}
+}
+
+func TestWelchPSDPeak(t *testing.T) {
+	const fs = 8000.0
+	x := sine(1000, fs, 8000)
+	psd, err := WelchPSD(x, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakBin := ArgMax(psd)
+	peakFreq := BinFreq(peakBin, 512, fs)
+	if math.Abs(peakFreq-1000) > fs/512 {
+		t.Errorf("PSD peak at %g Hz, want ~1000", peakFreq)
+	}
+}
+
+func TestWelchPSDErrors(t *testing.T) {
+	if _, err := WelchPSD(make([]float64, 10), 0); err == nil {
+		t.Error("expected error for zero frame length")
+	}
+	if _, err := WelchPSD(make([]float64, 10), 64); err == nil {
+		t.Error("expected error for too-short signal")
+	}
+}
+
+func TestBandEnergy(t *testing.T) {
+	const fs = 8000.0
+	n := 4096
+	x := sine(1000, fs, n)
+	spec := HalfSpectrum(x)
+	in := BandEnergy(spec, n, fs, 900, 1100)
+	out := BandEnergy(spec, n, fs, 2000, 3000)
+	if in <= 10*out {
+		t.Errorf("tone band energy %g not dominant over empty band %g", in, out)
+	}
+	if BandEnergy(spec, n, fs, 3000, 2000) != 0 {
+		t.Error("inverted band should give 0")
+	}
+}
+
+func TestSpectralCentroidOrdering(t *testing.T) {
+	const fs = 8000.0
+	low := SpectralCentroid(sine(500, fs, 4096), fs)
+	high := SpectralCentroid(sine(2500, fs, 4096), fs)
+	if low >= high {
+		t.Errorf("centroid ordering wrong: %g >= %g", low, high)
+	}
+	if math.Abs(low-500) > 100 {
+		t.Errorf("centroid of 500 Hz tone = %g", low)
+	}
+}
+
+func TestSpectralCentroidSilence(t *testing.T) {
+	if got := SpectralCentroid(make([]float64, 256), 8000); got != 0 {
+		t.Errorf("silent centroid = %g, want 0", got)
+	}
+}
+
+func TestSpectralRolloff(t *testing.T) {
+	const fs = 8000.0
+	x := sine(1000, fs, 4096)
+	r := SpectralRolloff(x, fs, 0.85)
+	if math.Abs(r-1000) > 100 {
+		t.Errorf("rolloff = %g, want ~1000 for a pure tone", r)
+	}
+	if got := SpectralRolloff(make([]float64, 256), fs, 0.85); got != 0 {
+		t.Errorf("silent rolloff = %g", got)
+	}
+}
+
+func TestSpectralFlatnessToneVsNoise(t *testing.T) {
+	const fs = 8000.0
+	rng := rand.New(rand.NewPCG(1, 1))
+	noise := make([]float64, 4096)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	tone := sine(1000, fs, 4096)
+	fNoise := SpectralFlatness(noise, fs, 200, 3800)
+	fTone := SpectralFlatness(tone, fs, 200, 3800)
+	if fNoise < 0.5 {
+		t.Errorf("white noise flatness = %g, want near 1", fNoise)
+	}
+	if fTone > 0.1 {
+		t.Errorf("pure tone flatness = %g, want near 0", fTone)
+	}
+}

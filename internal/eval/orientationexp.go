@@ -1,0 +1,397 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"headtalk/internal/dataset"
+	"headtalk/internal/dsp"
+	"headtalk/internal/features"
+	"headtalk/internal/ml"
+	"headtalk/internal/orientation"
+)
+
+// Table3Definitions reproduces Table III: cross-session accuracy, FRR
+// and FAR for the four facing/non-facing arc definitions.
+func (r *Runner) Table3Definitions() (*Table, error) {
+	samples, err := r.samples("tableIII", r.tableIIIConds(), false)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "table3",
+		Title:  "Table III: facing/non-facing definitions ('Computer', D2, lab, cross-session)",
+		Header: []string{"Definition", "Accuracy", "FRR", "FAR", "F1"},
+	}
+	for _, def := range orientation.Definitions() {
+		ms, err := r.crossSession(samples, def)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", def.Name, err)
+		}
+		var frr, far float64
+		for _, m := range ms {
+			frr += m.FRR()
+			far += m.FAR()
+		}
+		frr /= float64(len(ms))
+		far /= float64(len(ms))
+		t.AddRow(def.Name, pct(meanAccuracy(ms)), pct(frr), pct(far), pct(meanF1(ms)))
+	}
+	t.AddNote("paper: Definition-4 wins with 96.95%% accuracy, FRR 3.33%%, FAR 2.78%%")
+	return t, nil
+}
+
+// Fig10PerAngle reproduces Fig. 10: per-angle accuracy of the
+// Definition-4 model, including the borderline ±45/60/75° angles.
+func (r *Runner) Fig10PerAngle() (*Table, error) {
+	samples, err := r.samples("tableIII", r.tableIIIConds(), false)
+	if err != nil {
+		return nil, err
+	}
+	groups := bySession(samples)
+	sessions := sortedKeys(groups)
+	if len(sessions) < 2 {
+		return nil, fmt.Errorf("eval: need 2 sessions")
+	}
+
+	correct := make(map[float64]int)
+	total := make(map[float64]int)
+	for _, trainSess := range sessions {
+		model, err := r.trainOn(groups[trainSess], orientation.Definition4)
+		if err != nil {
+			return nil, err
+		}
+		for _, testSess := range sessions {
+			if testSess == trainSess {
+				continue
+			}
+			for _, s := range groups[testSess] {
+				want := orientation.LabelNonFacing
+				if orientation.GroundTruthFacing(s.Cond.AngleDeg) {
+					want = orientation.LabelFacing
+				}
+				if model.Predict(s.Features) == want {
+					correct[s.Cond.AngleDeg]++
+				}
+				total[s.Cond.AngleDeg]++
+			}
+		}
+	}
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Fig. 10: accuracy per angle (Definition-4 model)",
+		Header: []string{"Angle", "Zone", "Accuracy", "N"},
+	}
+	angles := append([]float64{}, dataset.AnglesWithBorderline...)
+	sort.Float64s(angles)
+	for _, a := range angles {
+		if total[a] == 0 {
+			continue
+		}
+		zone := "non-facing"
+		if orientation.GroundTruthFacing(a) {
+			zone = "facing"
+		}
+		if abs := a; abs < 0 {
+			abs = -abs
+		}
+		switch a {
+		case 45, -45, 60, -60, 75, -75:
+			zone = "borderline"
+		}
+		t.AddRow(fmt.Sprintf("%+.0f°", a), zone, pct(float64(correct[a])/float64(total[a])), fmt.Sprintf("%d", total[a]))
+	}
+	t.AddNote("paper: >90%% at most angles; borderline ±45/60/75° form a soft boundary and score lower")
+	return t, nil
+}
+
+// Fig11TrainingSize reproduces Fig. 11: F1 versus per-class training
+// set size N = 5..100 step 5, 10 random draws per N.
+func (r *Runner) Fig11TrainingSize() (*Table, error) {
+	// A dedicated collection with extra repetitions so the reduced
+	// scale still has ~100 samples per class in session 1.
+	reps := 7
+	if r.opts.Scale == dataset.ScalePaper {
+		reps = 3
+	}
+	radials, distances, _ := gridFor(r.opts.Scale)
+	var conds []dataset.Condition
+	for sess := 1; sess <= 2; sess++ {
+		for _, rad := range radials {
+			for _, dist := range distances {
+				for _, a := range dataset.Angles14 {
+					for rep := 1; rep <= reps; rep++ {
+						conds = append(conds, dataset.Condition{
+							Session: sess, RadialDeg: rad, Distance: dist, AngleDeg: a, Rep: rep,
+						})
+					}
+				}
+			}
+		}
+	}
+	samples, err := r.samples("trainsize", conds, false)
+	if err != nil {
+		return nil, err
+	}
+	groups := bySession(samples)
+	trainX, trainY := labeled(groups[1], orientation.Definition4)
+	testX, testY := labeled(groups[2], orientation.Definition4)
+
+	// Partition the training pool by class.
+	var pos, neg [][]float64
+	for i, x := range trainX {
+		if trainY[i] == orientation.LabelFacing {
+			pos = append(pos, x)
+		} else {
+			neg = append(neg, x)
+		}
+	}
+	maxN := len(pos)
+	if len(neg) < maxN {
+		maxN = len(neg)
+	}
+
+	t := &Table{
+		ID:     "fig11",
+		Title:  "Fig. 11: F1 vs per-class training set size (10 draws per N)",
+		Header: []string{"N/class", "F1 mean", "F1 std", "F1 min", "F1 max"},
+	}
+	rng := rand.New(rand.NewPCG(r.opts.Seed, 0xF16))
+	for n := 5; n <= 100 && n <= maxN; n += 5 {
+		var f1s []float64
+		for trial := 0; trial < 10; trial++ {
+			x, y := drawBalanced(pos, neg, n, rng)
+			model, err := orientation.Train(x, y, orientation.ModelConfig{Seed: r.opts.Seed + uint64(trial)})
+			if err != nil {
+				return nil, err
+			}
+			m, err := model.Evaluate(testX, testY)
+			if err != nil {
+				return nil, err
+			}
+			f1s = append(f1s, m.F1())
+		}
+		mean, std := ml.MeanStd(f1s)
+		t.AddRow(fmt.Sprintf("%d", n), pct(mean), pct(std), pct(dsp.Min(f1s)), pct(dsp.Max(f1s)))
+	}
+	t.AddNote("paper: F1 exceeds 92%% with only 20 samples per class")
+	return t, nil
+}
+
+// drawBalanced samples n feature vectors per class without
+// replacement.
+func drawBalanced(pos, neg [][]float64, n int, rng *rand.Rand) ([][]float64, []int) {
+	var x [][]float64
+	var y []int
+	for _, idx := range rng.Perm(len(pos))[:n] {
+		x = append(x, pos[idx])
+		y = append(y, orientation.LabelFacing)
+	}
+	for _, idx := range rng.Perm(len(neg))[:n] {
+		x = append(x, neg[idx])
+		y = append(y, orientation.LabelNonFacing)
+	}
+	return x, y
+}
+
+// Classifiers reproduces the §IV-A model-selection comparison: SVM vs
+// random forest vs decision tree vs kNN, cross-session F1 in lab and
+// home.
+func (r *Runner) Classifiers() (*Table, error) {
+	labSamples, err := r.samples("tableIII", r.tableIIIConds(), false)
+	if err != nil {
+		return nil, err
+	}
+	homeConds := r.cellConds("home", "D2", "Computer")
+	homeSamples, err := r.samples("homecell", homeConds, false)
+	if err != nil {
+		return nil, err
+	}
+
+	type clfSpec struct {
+		name    string
+		factory func(seed uint64) ml.Classifier
+	}
+	specs := []clfSpec{
+		{"SVM (RBF)", func(seed uint64) ml.Classifier {
+			s := ml.NewSVM(10, ml.RBFKernel{Gamma: 1.0 / 267})
+			s.Seed = seed
+			return s
+		}},
+		{"Random Forest (200 trees)", func(seed uint64) ml.Classifier {
+			f := ml.NewRandomForest()
+			f.Seed = seed
+			return f
+		}},
+		{"Decision Tree (5 splits)", func(seed uint64) ml.Classifier {
+			d := ml.NewDecisionTree()
+			d.Seed = seed
+			return d
+		}},
+		{"kNN (k=3)", func(uint64) ml.Classifier { return ml.NewKNN() }},
+	}
+
+	t := &Table{
+		ID:     "classifiers",
+		Title:  "Model selection: cross-session F1 by classifier (Definition-4)",
+		Header: []string{"Classifier", "Lab F1", "Home F1", "Mean"},
+	}
+	evalClf := func(samples []*dataset.Sample, factory func(uint64) ml.Classifier) (float64, error) {
+		groups := bySession(samples)
+		sessions := sortedKeys(groups)
+		var f1s []float64
+		for _, trainSess := range sessions {
+			x, y := labeled(groups[trainSess], orientation.Definition4)
+			model, err := orientation.TrainWith(x, y, factory(r.opts.Seed))
+			if err != nil {
+				return 0, err
+			}
+			for _, testSess := range sessions {
+				if testSess == trainSess {
+					continue
+				}
+				tx, ty := labeled(groups[testSess], orientation.Definition4)
+				m, err := model.Evaluate(tx, ty)
+				if err != nil {
+					return 0, err
+				}
+				f1s = append(f1s, m.F1())
+			}
+		}
+		mean, _ := ml.MeanStd(f1s)
+		return mean, nil
+	}
+	for _, spec := range specs {
+		lab, err := evalClf(labSamples, spec.factory)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s (lab): %w", spec.name, err)
+		}
+		home, err := evalClf(homeSamples, spec.factory)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s (home): %w", spec.name, err)
+		}
+		t.AddRow(spec.name, pct(lab), pct(home), pct((lab+home)/2))
+	}
+	t.AddNote("paper: SVM exhibits the best average F1 across both settings and is used everywhere else")
+	return t, nil
+}
+
+// cellConds builds one Dataset-1 cell with the standard 14 angles.
+func (r *Runner) cellConds(roomName, device, word string) []dataset.Condition {
+	radials, distances, _ := gridFor(r.opts.Scale)
+	reps := r.singleCellReps()
+	var out []dataset.Condition
+	for sess := 1; sess <= dataset.Sessions; sess++ {
+		for _, rad := range radials {
+			for _, dist := range distances {
+				for _, a := range dataset.Angles14 {
+					for rep := 1; rep <= reps; rep++ {
+						out = append(out, dataset.Condition{
+							Room: roomName, Device: device, Word: word,
+							Session: sess, RadialDeg: rad, Distance: dist, AngleDeg: a, Rep: rep,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AblationFeatureGroups compares the full feature vector against its
+// component groups (reverberation-only, directivity-only, GCC-only) on
+// the Table III cell. Feature-group boundaries follow the layout
+// documented in features.Extract.
+func (r *Runner) AblationFeatureGroups() (*Table, error) {
+	samples, err := r.samples("tableIII", r.tableIIIConds(), false)
+	if err != nil {
+		return nil, err
+	}
+	// D2 with maxLag 13: 6 pairs × (27+1) = 168 GCC+TDoA, +30 pair
+	// stats, +3 SRP peaks, +5 SRP stats = 206 reverb features; the
+	// remaining 61 are directivity features.
+	slices := []struct {
+		name     string
+		lo, hi   int
+		paperRef string
+	}{
+		{"full (reverb + directivity)", 0, 267, "the paper's configuration"},
+		{"reverberation only", 0, 206, "SRP/GCC features (Insight 1)"},
+		{"directivity only", 206, 267, "HLBR + low-band chunks (Insight 2)"},
+		{"GCC windows + TDoA only", 0, 168, "the DoV-style core"},
+	}
+	t := &Table{
+		ID:     "ablation-features",
+		Title:  "Ablation: feature groups (cross-session accuracy, Definition-4)",
+		Header: []string{"Features", "Dims", "Accuracy", "F1"},
+	}
+	for _, sl := range slices {
+		sliced := make([]*dataset.Sample, len(samples))
+		for i, s := range samples {
+			if sl.hi > len(s.Features) {
+				return nil, fmt.Errorf("eval: feature slice %s out of range (%d > %d)", sl.name, sl.hi, len(s.Features))
+			}
+			c := *s
+			c.Features = s.Features[sl.lo:sl.hi]
+			sliced[i] = &c
+		}
+		ms, err := r.crossSession(sliced, orientation.Definition4)
+		if err != nil {
+			return nil, fmt.Errorf("eval: ablation %s: %w", sl.name, err)
+		}
+		t.AddRow(sl.name, fmt.Sprintf("%d", sl.hi-sl.lo), pct(meanAccuracy(ms)), pct(meanF1(ms)))
+	}
+	return t, nil
+}
+
+// AblationPHAT compares PHAT-whitened GCC features against plain
+// cross-correlation features.
+func (r *Runner) AblationPHAT() (*Table, error) {
+	withPHAT, err := r.samples("tableIII", r.tableIIIConds(), false)
+	if err != nil {
+		return nil, err
+	}
+	// Regenerate the same conditions without PHAT weighting.
+	genNoPhat := dataset.NewGenerator(r.opts.Seed)
+	genNoPhat.FeatureConfigFn = func(cfg features.Config) features.Config {
+		cfg.UsePHAT = false
+		return cfg
+	}
+	r.progressf("generating tableIII (no PHAT): %d samples...", len(r.tableIIIConds()))
+	var noPHAT []*dataset.Sample
+	for _, c := range r.tableIIIConds() {
+		s, err := genNoPhat.Generate(c)
+		if err != nil {
+			return nil, err
+		}
+		noPHAT = append(noPHAT, s)
+	}
+
+	t := &Table{
+		ID:     "ablation-phat",
+		Title:  "Ablation: PHAT weighting (cross-session, Definition-4)",
+		Header: []string{"Weighting", "Accuracy", "F1"},
+	}
+	for _, v := range []struct {
+		name    string
+		samples []*dataset.Sample
+	}{{"PHAT (paper)", withPHAT}, {"plain cross-correlation", noPHAT}} {
+		ms, err := r.crossSession(v.samples, orientation.Definition4)
+		if err != nil {
+			return nil, fmt.Errorf("eval: ablation %s: %w", v.name, err)
+		}
+		t.AddRow(v.name, pct(meanAccuracy(ms)), pct(meanF1(ms)))
+	}
+	return t, nil
+}
+
+// sortedKeys returns map keys in ascending order.
+func sortedKeys(m map[int][]*dataset.Sample) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,56 @@
+package eval
+
+import "fmt"
+
+// Experiment is a named, runnable reproduction of one paper table or
+// figure.
+type Experiment struct {
+	// Name is the CLI identifier (cmd/experiments -run <name>).
+	Name string
+	// PaperRef cites the table/figure or section reproduced.
+	PaperRef string
+	// Run executes the experiment.
+	Run func(*Runner) (*Table, error)
+}
+
+// Experiments lists every reproduction in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig3", "Fig. 3 (spectra by source)", (*Runner).Fig3Spectra},
+		{"fig6", "Fig. 6 (GCC/SRP curves)", (*Runner).Fig6Curves},
+		{"liveness", "§IV-A1 (human vs mechanical, EER)", (*Runner).LivenessEER},
+		{"definitions", "Table III (facing definitions)", (*Runner).Table3Definitions},
+		{"perangle", "Fig. 10 (accuracy per angle)", (*Runner).Fig10PerAngle},
+		{"classifiers", "§IV-A (model selection)", (*Runner).Classifiers},
+		{"trainsize", "Fig. 11 (training-set size)", (*Runner).Fig11TrainingSize},
+		{"distance", "§IV-B2 (distance)", (*Runner).Distance},
+		{"wakewords", "Fig. 12 (wake words)", (*Runner).Fig12WakeWords},
+		{"devices", "Fig. 13 (devices)", (*Runner).Fig13Devices},
+		{"environments", "Fig. 14 (lab vs home)", (*Runner).Fig14Environments},
+		{"miccount", "Table IV (number of microphones)", (*Runner).Table4MicCount},
+		{"placement", "§IV-B7 (device placement)", (*Runner).Placement},
+		{"crossenv", "§IV-B8 (cross-environment)", (*Runner).CrossEnvironment},
+		{"temporal", "§IV-B9 / Fig. 15 (temporal stability)", (*Runner).Fig15Temporal},
+		{"noise", "§IV-B10 (ambient noise)", (*Runner).AmbientNoise},
+		{"sitting", "§IV-B11 (sitting vs standing)", (*Runner).Sitting},
+		{"loudness", "§IV-B12 (speech loudness)", (*Runner).Loudness},
+		{"objects", "§IV-B13 (surrounding objects)", (*Runner).SurroundingObjects},
+		{"crossuser", "§IV-B14 / Fig. 16 (cross-user)", (*Runner).Fig16CrossUser},
+		{"dov", "§II (comparison vs Ahuja et al.)", (*Runner).DoVBaseline},
+		{"userstudy", "§V (user study)", (*Runner).UserStudy},
+		{"ablation-phat", "ablation: PHAT weighting", (*Runner).AblationPHAT},
+		{"ablation-features", "ablation: feature groups", (*Runner).AblationFeatureGroups},
+		{"moving", "extension: moving speakers (§VI gap)", (*Runner).MovingSpeaker},
+		{"deviceselect", "extension: multi-VA device selection", (*Runner).DeviceSelection},
+	}
+}
+
+// Lookup returns the experiment with the given name.
+func Lookup(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("eval: unknown experiment %q", name)
+}

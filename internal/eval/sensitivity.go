@@ -1,0 +1,489 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"headtalk/internal/dataset"
+	"headtalk/internal/ml"
+	"headtalk/internal/orientation"
+)
+
+// ds1 returns the (cached) Dataset-1 corpus.
+func (r *Runner) ds1() ([]*dataset.Sample, error) {
+	return r.samples("ds1", dataset.Dataset1(r.opts.Scale), false)
+}
+
+// cellOf groups Dataset-1 samples by (room, device, word).
+func cellOf(s *dataset.Sample) string {
+	return s.Cond.Room + "|" + s.Cond.Device + "|" + s.Cond.Word
+}
+
+// perCellCrossSession trains per (room, device, word) cell and session
+// and returns one metric per (cell, test-session) pair, along with the
+// trained models keyed by "cell|trainSession" for reuse.
+func (r *Runner) perCellCrossSession(samples []*dataset.Sample) (map[string][]ml.BinaryMetrics, error) {
+	cells := make(map[string][]*dataset.Sample)
+	for _, s := range samples {
+		cells[cellOf(s)] = append(cells[cellOf(s)], s)
+	}
+	out := make(map[string][]ml.BinaryMetrics)
+	for cell, cellSamples := range cells {
+		ms, err := r.crossSession(cellSamples, orientation.Definition4)
+		if err != nil {
+			return nil, fmt.Errorf("eval: cell %s: %w", cell, err)
+		}
+		out[cell] = ms
+	}
+	return out, nil
+}
+
+// Distance reproduces §IV-B2: accuracy by speaker-device distance,
+// aggregated over sessions, devices, rooms and wake words (36 values
+// in the paper).
+func (r *Runner) Distance() (*Table, error) {
+	samples, err := r.ds1()
+	if err != nil {
+		return nil, err
+	}
+	cells := make(map[string][]*dataset.Sample)
+	for _, s := range samples {
+		cells[cellOf(s)] = append(cells[cellOf(s)], s)
+	}
+	accByDist := map[float64][]float64{}
+	for cell, cellSamples := range cells {
+		groups := bySession(cellSamples)
+		sessions := sortedKeys(groups)
+		for _, trainSess := range sessions {
+			model, err := r.trainOn(groups[trainSess], orientation.Definition4)
+			if err != nil {
+				return nil, fmt.Errorf("eval: cell %s: %w", cell, err)
+			}
+			for _, testSess := range sessions {
+				if testSess == trainSess {
+					continue
+				}
+				for _, dist := range dataset.Distances {
+					sub := filter(groups[testSess], func(s *dataset.Sample) bool { return s.Cond.Distance == dist })
+					x, y := labeled(sub, orientation.Definition4)
+					if len(x) == 0 {
+						continue
+					}
+					m, err := model.Evaluate(x, y)
+					if err != nil {
+						return nil, err
+					}
+					accByDist[dist] = append(accByDist[dist], m.Accuracy())
+				}
+			}
+		}
+	}
+	t := &Table{
+		ID:     "distance",
+		Title:  "§IV-B2: accuracy by distance (mean ± std over session/device/room/word cells)",
+		Header: []string{"Distance", "Accuracy", "Std", "Cells"},
+	}
+	for _, dist := range dataset.Distances {
+		mean, std := ml.MeanStd(accByDist[dist])
+		t.AddRow(fmt.Sprintf("%.0f m", dist), pct(mean), pct(std), fmt.Sprintf("%d", len(accByDist[dist])))
+	}
+	t.AddNote("paper: 98.38±2.41%% (1 m), 97.50±4.90%% (3 m), 92.55±7.19%% (5 m)")
+	return t, nil
+}
+
+// aggregateF1 computes the F1 distribution over cells matching a
+// predicate on the cell key.
+func aggregateF1(perCell map[string][]ml.BinaryMetrics, match func(cell string) bool) []float64 {
+	var out []float64
+	for cell, ms := range perCell {
+		if !match(cell) {
+			continue
+		}
+		for _, m := range ms {
+			out = append(out, m.F1())
+		}
+	}
+	return out
+}
+
+// boxRow formats a box-plot style summary row.
+func boxRow(t *Table, label string, values []float64) {
+	if len(values) == 0 {
+		t.AddRow(label, "-", "-", "-", "-", "0")
+		return
+	}
+	mean, std := ml.MeanStd(values)
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	t.AddRow(label, pct(mean), pct(std), pct(min), pct(max), fmt.Sprintf("%d", len(values)))
+}
+
+// Fig12WakeWords reproduces Fig. 12: the F1 distribution per wake word
+// across sessions, devices and rooms.
+func (r *Runner) Fig12WakeWords() (*Table, error) {
+	samples, err := r.ds1()
+	if err != nil {
+		return nil, err
+	}
+	perCell, err := r.perCellCrossSession(samples)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Fig. 12: F1 by wake word (sessions × devices × rooms)",
+		Header: []string{"Wake word", "F1 mean", "Std", "Min", "Max", "N"},
+	}
+	for _, word := range dataset.Words {
+		vals := aggregateF1(perCell, func(cell string) bool { return strings.HasSuffix(cell, "|"+word) })
+		boxRow(t, word, vals)
+	}
+	t.AddNote("paper: 95.92%% / 96.40%% / 96.39%% for Hey Assistant / Computer / Amazon — no significant differences")
+	return t, nil
+}
+
+// Fig13Devices reproduces Fig. 13: F1 per device.
+func (r *Runner) Fig13Devices() (*Table, error) {
+	samples, err := r.ds1()
+	if err != nil {
+		return nil, err
+	}
+	perCell, err := r.perCellCrossSession(samples)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig13",
+		Title:  "Fig. 13: F1 by device (sessions × words × rooms)",
+		Header: []string{"Device", "F1 mean", "Std", "Min", "Max", "N"},
+	}
+	for _, dev := range dataset.DeviceIDs {
+		needle := "|" + dev + "|"
+		vals := aggregateF1(perCell, func(cell string) bool { return strings.Contains(cell, needle) })
+		boxRow(t, dev, vals)
+	}
+	t.AddNote("paper: 97.47%% / 96.26%% / 94.99%% for D1 / D2 / D3 — wider arrays hear lower frequencies better")
+	return t, nil
+}
+
+// Fig14Environments reproduces Fig. 14: F1 per room.
+func (r *Runner) Fig14Environments() (*Table, error) {
+	samples, err := r.ds1()
+	if err != nil {
+		return nil, err
+	}
+	perCell, err := r.perCellCrossSession(samples)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig14",
+		Title:  "Fig. 14: F1 by environment (sessions × words × devices)",
+		Header: []string{"Room", "F1 mean", "Std", "Min", "Max", "N"},
+	}
+	for _, roomName := range dataset.RoomNames {
+		prefix := roomName + "|"
+		vals := aggregateF1(perCell, func(cell string) bool { return strings.HasPrefix(cell, prefix) })
+		boxRow(t, roomName, vals)
+	}
+	t.AddNote("paper: 98.08%% (lab) vs 94.39%% (home) — home is noisier (43 vs 33 dB) with more complex reverberation")
+	return t, nil
+}
+
+// CrossEnvironment reproduces §IV-B8: train in one room, test in the
+// other, plus the mixed-rooms cross-session recovery.
+func (r *Runner) CrossEnvironment() (*Table, error) {
+	samples, err := r.ds1()
+	if err != nil {
+		return nil, err
+	}
+	d2 := filter(samples, func(s *dataset.Sample) bool { return s.Cond.Device == "D2" })
+
+	t := &Table{
+		ID:     "crossenv",
+		Title:  "§IV-B8: cross-environment performance (D2)",
+		Header: []string{"Protocol", "Accuracy", "F1"},
+	}
+
+	// Pure cross-room: train on all of one room ("Computer"), test the
+	// other.
+	var accs, f1s []float64
+	for _, trainRoom := range dataset.RoomNames {
+		trainSet := filter(d2, func(s *dataset.Sample) bool {
+			return s.Cond.Room == trainRoom && s.Cond.Word == "Computer"
+		})
+		testSet := filter(d2, func(s *dataset.Sample) bool {
+			return s.Cond.Room != trainRoom && s.Cond.Word == "Computer"
+		})
+		model, err := r.trainOn(trainSet, orientation.Definition4)
+		if err != nil {
+			return nil, err
+		}
+		x, y := labeled(testSet, orientation.Definition4)
+		m, err := model.Evaluate(x, y)
+		if err != nil {
+			return nil, err
+		}
+		accs = append(accs, m.Accuracy())
+		f1s = append(f1s, m.F1())
+	}
+	accMean, _ := ml.MeanStd(accs)
+	f1Mean, _ := ml.MeanStd(f1s)
+	t.AddRow("train one room -> test other", pct(accMean), pct(f1Mean))
+
+	// Mixed-room training: train on session 1 of both rooms, test
+	// session 2 (and vice versa), per word.
+	for _, word := range dataset.Words {
+		wordSet := filter(d2, func(s *dataset.Sample) bool { return s.Cond.Word == word })
+		ms, err := r.crossSession(wordSet, orientation.Definition4)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("mixed rooms, cross-session ("+word+")", pct(meanAccuracy(ms)), pct(meanF1(ms)))
+	}
+	t.AddNote("paper: 77.73%% pure cross-room; 96.90/95.62/95.02%% after mixed-room training")
+	return t, nil
+}
+
+// Placement reproduces §IV-B7: train at location A, test at coffee
+// table B (45 cm) and work table C (75 cm).
+func (r *Runner) Placement() (*Table, error) {
+	trainSamples, err := r.samples("tableIII", r.tableIIIConds(), false)
+	if err != nil {
+		return nil, err
+	}
+	model, err := r.trainOn(trainSamples, orientation.Definition4)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "placement",
+		Title:  "§IV-B7: device placement (trained at location A)",
+		Header: []string{"Placement", "Height", "Accuracy"},
+	}
+	reps := r.singleCellReps()
+	for _, placement := range []struct {
+		label  string
+		id     string
+		height string
+	}{{"B (coffee table)", "B", "45 cm"}, {"C (work table)", "C", "75 cm"}} {
+		var conds []dataset.Condition
+		for sess := 1; sess <= 2; sess++ {
+			for _, a := range dataset.Angles14 {
+				for rep := 1; rep <= reps; rep++ {
+					conds = append(conds, dataset.Condition{
+						Session: sess, Distance: 3, AngleDeg: a, Rep: rep, Placement: placement.id,
+					})
+				}
+			}
+		}
+		samples, err := r.samples("placement-"+placement.id, conds, false)
+		if err != nil {
+			return nil, err
+		}
+		x, y := labeled(samples, orientation.Definition4)
+		m, err := model.Evaluate(x, y)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(placement.label, placement.height, pct(m.Accuracy()))
+	}
+	t.AddNote("paper: 97.50%% at B, 91.25%% at C (vs 96.95%% trained and tested at A)")
+	return t, nil
+}
+
+// Fig15Temporal reproduces §IV-B9 / Fig. 15: accuracy on week- and
+// month-old data, then the incremental-learning recovery curve.
+func (r *Runner) Fig15Temporal() (*Table, error) {
+	trainSamples, err := r.samples("tableIII", r.tableIIIConds(), false)
+	if err != nil {
+		return nil, err
+	}
+	temporal, err := r.samples("ds3", dataset.Dataset3(r.opts.Scale), false)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "fig15",
+		Title:  "§IV-B9 / Fig. 15: temporal stability and incremental learning",
+		Header: []string{"Test set", "Added samples", "Accuracy"},
+	}
+	for _, temporalKind := range []dataset.Temporal{dataset.TemporalWeek, dataset.TemporalMonth} {
+		aged := filter(temporal, func(s *dataset.Sample) bool { return s.Cond.Temporal == temporalKind })
+		agedX, agedY := labeled(aged, orientation.Definition4)
+		for _, added := range []int{0, 10, 20, 30, 40} {
+			// Fresh model per operating point so updates don't
+			// accumulate across rows.
+			model, err := r.trainOn(trainSamples, orientation.Definition4)
+			if err != nil {
+				return nil, err
+			}
+			if added > 0 {
+				pool := agedX
+				if added < len(pool) {
+					pool = pool[:added]
+				}
+				if _, err := model.IncrementalUpdate(pool, 0.8); err != nil {
+					return nil, err
+				}
+			}
+			evalX, evalY := agedX, agedY
+			if added > 0 && added < len(agedX) {
+				evalX, evalY = agedX[added:], agedY[added:]
+			}
+			m, err := model.Evaluate(evalX, evalY)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(temporalKind), fmt.Sprintf("%d", added), pct(m.Accuracy()))
+		}
+	}
+	t.AddNote("paper: 81.25%% (week) and 83.19%% (month) cold; ~92/90%% after 10 added samples, ~95%% after 40")
+	return t, nil
+}
+
+// AmbientNoise reproduces §IV-B10: accuracy under added white noise
+// and TV babble at 45 dB SPL.
+func (r *Runner) AmbientNoise() (*Table, error) {
+	trainSamples, err := r.samples("tableIII", r.tableIIIConds(), false)
+	if err != nil {
+		return nil, err
+	}
+	model, err := r.trainOn(trainSamples, orientation.Definition4)
+	if err != nil {
+		return nil, err
+	}
+	noisy, err := r.samples("ds4", dataset.Dataset4(r.opts.Scale), false)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ambient",
+		Title:  "§IV-B10: impact of ambient noise (added at 45 dB SPL)",
+		Header: []string{"Noise", "Accuracy"},
+	}
+	for _, kind := range []string{"white", "tv"} {
+		sub := filter(noisy, func(s *dataset.Sample) bool { return s.Cond.Ambient.String() == kind })
+		x, y := labeled(sub, orientation.Definition4)
+		m, err := model.Evaluate(x, y)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(kind, pct(m.Accuracy()))
+	}
+	t.AddNote("paper: 89%% with white noise, 83.33%% with a TV playing (vs 98.08%% quiet lab)")
+	return t, nil
+}
+
+// Sitting reproduces §IV-B11: a standing-trained model tested on a
+// seated speaker.
+func (r *Runner) Sitting() (*Table, error) {
+	trainSamples, err := r.samples("tableIII", r.tableIIIConds(), false)
+	if err != nil {
+		return nil, err
+	}
+	model, err := r.trainOn(trainSamples, orientation.Definition4)
+	if err != nil {
+		return nil, err
+	}
+	sitting, err := r.samples("ds5", dataset.Dataset5(r.opts.Scale), false)
+	if err != nil {
+		return nil, err
+	}
+	x, y := labeled(sitting, orientation.Definition4)
+	m, err := model.Evaluate(x, y)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "sitting",
+		Title:  "§IV-B11: sitting vs standing",
+		Header: []string{"Posture", "Accuracy"},
+	}
+	t.AddRow("trained standing, tested sitting", pct(m.Accuracy()))
+	t.AddNote("paper: 93.33%% — sitting does not significantly impact detection")
+	return t, nil
+}
+
+// Loudness reproduces §IV-B12: a 70 dB-trained model tested at 60 and
+// 80 dB.
+func (r *Runner) Loudness() (*Table, error) {
+	trainSamples, err := r.samples("tableIII", r.tableIIIConds(), false)
+	if err != nil {
+		return nil, err
+	}
+	model, err := r.trainOn(trainSamples, orientation.Definition4)
+	if err != nil {
+		return nil, err
+	}
+	loud, err := r.samples("ds6", dataset.Dataset6(r.opts.Scale), false)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "loudness",
+		Title:  "§IV-B12: impact of speech loudness (trained at 70 dB)",
+		Header: []string{"Loudness", "Accuracy"},
+	}
+	for _, spl := range []float64{60, 80} {
+		sub := filter(loud, func(s *dataset.Sample) bool { return s.Cond.SPL == spl })
+		x, y := labeled(sub, orientation.Definition4)
+		m, err := model.Evaluate(x, y)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.0f dB", spl), pct(m.Accuracy()))
+	}
+	t.AddNote("paper: 93.33%% at 60 dB, 95.83%% at 80 dB — louder speech sharpens the orientation signature")
+	return t, nil
+}
+
+// SurroundingObjects reproduces §IV-B13: partial block, full block and
+// the raised-device recovery.
+func (r *Runner) SurroundingObjects() (*Table, error) {
+	trainSamples, err := r.samples("tableIII", r.tableIIIConds(), false)
+	if err != nil {
+		return nil, err
+	}
+	model, err := r.trainOn(trainSamples, orientation.Definition4)
+	if err != nil {
+		return nil, err
+	}
+	objects, err := r.samples("ds7", dataset.Dataset7(r.opts.Scale), false)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "objects",
+		Title:  "§IV-B13: impact of surrounding objects",
+		Header: []string{"Setting", "Accuracy"},
+	}
+	settings := []struct {
+		label string
+		pred  func(*dataset.Sample) bool
+	}{
+		{"partially blocked", func(s *dataset.Sample) bool { return s.Cond.Obstacle == "partial" }},
+		{"fully blocked", func(s *dataset.Sample) bool { return s.Cond.Obstacle == "full" && !s.Cond.Raised }},
+		{"raised +14.8 cm", func(s *dataset.Sample) bool { return s.Cond.Raised }},
+	}
+	for _, set := range settings {
+		sub := filter(objects, set.pred)
+		x, y := labeled(sub, orientation.Definition4)
+		m, err := model.Evaluate(x, y)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(set.label, pct(m.Accuracy()))
+	}
+	t.AddNote("paper: 95.83%% partial, 70%% fully blocked, 95%% after raising the device")
+	return t, nil
+}

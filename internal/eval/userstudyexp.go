@@ -1,0 +1,41 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"headtalk/internal/userstudy"
+)
+
+// UserStudy reproduces §V: Table V's survey tallies, the takeaway
+// percentages and the SUS comparison.
+func (r *Runner) UserStudy() (*Table, error) {
+	t := &Table{
+		ID:     "userstudy",
+		Title:  "§V: user study (published responses, re-analyzed)",
+		Header: []string{"Question", "Responses", "Top-2 favorable"},
+	}
+	for _, q := range userstudy.TableV() {
+		var parts []string
+		for i, opt := range q.Options {
+			parts = append(parts, fmt.Sprintf("%s (%d)", opt, q.Counts[i]))
+		}
+		top2, err := q.TopTwoFraction()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(truncate(q.Question, 58), strings.Join(parts, ", "), pct(top2))
+	}
+	ht, existing := userstudy.PaperSUS()
+	t.AddNote("SUS HeadTalk: %s (above the 68 benchmark: %v)", ht, ht.AboveAverage())
+	t.AddNote("SUS existing mute-button control: %s", existing)
+	t.AddNote("takeaways: 95%% found HeadTalk easy, 70%% would deploy it, ~70%% rate it better than existing controls")
+	return t, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,236 @@
+// Package features assembles the classifier inputs described in the
+// paper's §III-B3: speech-reverberation features (SRP-PHAT peaks, GCC
+// windows and their statistics) and speech-directivity features (the
+// high/low band ratio and 20-chunk low-band statistics).
+package features
+
+import (
+	"fmt"
+	"math"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/dsp"
+	"headtalk/internal/srp"
+)
+
+// Config controls orientation feature extraction.
+type Config struct {
+	// MaxLag is the GCC/SRP half-window in samples (±25/27/21 at
+	// 48 kHz for D1/D2/D3).
+	MaxLag int
+	// SampleRate of the recordings.
+	SampleRate float64
+	// LowBandLo/LowBandHi bound the directivity low band (paper:
+	// 100–400 Hz); HighBandLo/HighBandHi the high band (500–4000 Hz).
+	LowBandLo, LowBandHi   float64
+	HighBandLo, HighBandHi float64
+	// LowBandChunks is the number of low-band sub-chunks (paper: 20).
+	LowBandChunks int
+	// GCCBandLo/GCCBandHi band-limit the whitened cross-spectrum used
+	// for GCC/SRP (default 100–8000 Hz: the region where speech
+	// actually carries energy).
+	GCCBandLo, GCCBandHi float64
+	// UsePHAT selects PHAT weighting (true, the paper's choice) or
+	// plain cross-correlation (the ablation baseline).
+	UsePHAT bool
+	// DisableReverbFeatures / DisableDirectivityFeatures drop one
+	// feature group for the feature-group ablation.
+	DisableReverbFeatures      bool
+	DisableDirectivityFeatures bool
+	// GCCOnly reproduces the Ahuja et al. (DoV) baseline: per-pair GCC
+	// windows + TDoA only, no SRP aggregation, no directivity features.
+	GCCOnly bool
+	// AnalysisWindow restricts feature computation to the
+	// highest-energy window of this many samples (selected on the
+	// channel mean, applied identically to every channel so
+	// inter-channel delays are preserved). Zero selects 32768 samples
+	// (~0.68 s at 48 kHz, covering a whole wake word — shorter windows
+	// land on different phoneme mixes per utterance and roughly double
+	// the cross-session error); negative disables windowing.
+	AnalysisWindow int
+}
+
+// DefaultConfig returns the paper's feature configuration for a device
+// lag window.
+func DefaultConfig(maxLag int, sampleRate float64) Config {
+	return Config{
+		MaxLag:        maxLag,
+		SampleRate:    sampleRate,
+		LowBandLo:     100,
+		LowBandHi:     400,
+		HighBandLo:    500,
+		HighBandHi:    4000,
+		LowBandChunks: 20,
+		GCCBandLo:     100,
+		GCCBandHi:     8000,
+		UsePHAT:       true,
+	}
+}
+
+// Extract computes the orientation feature vector from a multi-channel
+// recording (already preprocessed/bandpassed). The vector layout for a
+// 4-channel capture with maxLag=13 is:
+//
+//	6 pairs × 27 GCC values            = 162
+//	6 pair TDoAs                       = 6
+//	6 pairs × 5 GCC statistics         = 30
+//	SRP top-3 peak values              = 3
+//	5 SRP statistics                   = 5
+//	HLBR                               = 1
+//	20 low-band chunks × (mean,RMS,std)= 60
+//
+// for 267 features total (the paper's "6×27+6 = 168" reverberation
+// core plus statistical summaries and directivity features).
+func Extract(rec *audio.Recording, cfg Config) ([]float64, error) {
+	if len(rec.Channels) < 2 {
+		return nil, fmt.Errorf("features: need >= 2 channels, have %d", len(rec.Channels))
+	}
+	if cfg.MaxLag <= 0 {
+		return nil, fmt.Errorf("features: MaxLag must be positive, got %d", cfg.MaxLag)
+	}
+	rec = focusWindow(rec, cfg.AnalysisWindow)
+	var out []float64
+
+	if !cfg.DisableReverbFeatures {
+		pairs, err := srp.AllPairs(rec.Channels, srp.PairOptions{
+			MaxLag:     cfg.MaxLag,
+			PHAT:       cfg.UsePHAT,
+			SampleRate: cfg.SampleRate,
+			BandLo:     cfg.GCCBandLo,
+			BandHi:     cfg.GCCBandHi,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("features: computing GCCs: %w", err)
+		}
+		for _, p := range pairs {
+			out = append(out, p.R...)
+			out = append(out, float64(p.TDoA))
+		}
+		if !cfg.GCCOnly {
+			for _, p := range pairs {
+				out = append(out, statSummary(p.R)...)
+			}
+			curve := srp.SRP(pairs)
+			peaks := dsp.TopPeaks(curve, 3)
+			for i := 0; i < 3; i++ {
+				if i < len(peaks) {
+					out = append(out, peaks[i].Value)
+				} else {
+					out = append(out, 0)
+				}
+			}
+			out = append(out, statSummary(curve)...)
+		}
+	}
+
+	if !cfg.DisableDirectivityFeatures && !cfg.GCCOnly {
+		out = append(out, directivityFeatures(rec, cfg)...)
+	}
+
+	if len(out) == 0 {
+		return nil, fmt.Errorf("features: all feature groups disabled")
+	}
+	return out, nil
+}
+
+// focusWindow crops all channels to the highest-energy window of the
+// requested length, found on the channel mean with a coarse 1024-sample
+// hop. It bounds the GCC FFT sizes and anchors the features to the
+// utterance (rather than trailing silence) without touching
+// inter-channel alignment.
+func focusWindow(rec *audio.Recording, window int) *audio.Recording {
+	if window < 0 {
+		return rec
+	}
+	if window == 0 {
+		window = 32768
+	}
+	n := rec.Len()
+	if n <= window {
+		return rec
+	}
+	mono := rec.Mono()
+	const hop = 1024
+	bestStart, bestEnergy := 0, -1.0
+	for start := 0; start+window <= n; start += hop {
+		var acc float64
+		for i := start; i < start+window; i += 4 { // stride-4 estimate
+			acc += mono[i] * mono[i]
+		}
+		if acc > bestEnergy {
+			bestEnergy = acc
+			bestStart = start
+		}
+	}
+	out := &audio.Recording{SampleRate: rec.SampleRate, Channels: make([][]float64, len(rec.Channels))}
+	for i, ch := range rec.Channels {
+		out.Channels[i] = ch[bestStart : bestStart+window]
+	}
+	return out
+}
+
+// statSummary returns the paper's five statistics of a curve:
+// kurtosis, skewness, maximum, mean absolute deviation and standard
+// deviation.
+func statSummary(x []float64) []float64 {
+	return []float64{
+		dsp.Kurtosis(x),
+		dsp.Skewness(x),
+		dsp.Max(x),
+		dsp.MAD(x),
+		dsp.Std(x),
+	}
+}
+
+// directivityFeatures computes HLBR and the 20-chunk low-band
+// statistics from the mean of all channels. The window is normalized
+// to unit RMS first: orientation lives in the spectral *shape*, and
+// without normalization the chunk magnitudes scale with absolute
+// loudness, throwing a 60/80 dB utterance far outside a 70 dB-trained
+// model's feature distribution (§IV-B12).
+func directivityFeatures(rec *audio.Recording, cfg Config) []float64 {
+	mono := rec.Mono()
+	if r := dsp.RMS(mono); r > 0 {
+		scaled := make([]float64, len(mono))
+		for i, v := range mono {
+			scaled[i] = v / r
+		}
+		mono = scaled
+	}
+	n := len(mono)
+	spec := dsp.HalfSpectrum(mono)
+	fs := cfg.SampleRate
+	if fs == 0 {
+		fs = rec.SampleRate
+	}
+
+	low := dsp.BandEnergy(spec, n, fs, cfg.LowBandLo, cfg.LowBandHi)
+	high := dsp.BandEnergy(spec, n, fs, cfg.HighBandLo, cfg.HighBandHi)
+	hlbr := 0.0
+	if low > 0 {
+		hlbr = high / low
+	}
+	out := []float64{hlbr}
+
+	chunks := cfg.LowBandChunks
+	if chunks <= 0 {
+		chunks = 20
+	}
+	width := (cfg.LowBandHi - cfg.LowBandLo) / float64(chunks)
+	for c := 0; c < chunks; c++ {
+		lo := cfg.LowBandLo + float64(c)*width
+		hi := lo + width
+		loBin := dsp.FreqBin(lo, n, fs)
+		hiBin := dsp.FreqBin(hi, n, fs)
+		if hiBin >= len(spec) {
+			hiBin = len(spec) - 1
+		}
+		var mags []float64
+		for i := loBin; i <= hiBin; i++ {
+			re, im := real(spec[i]), imag(spec[i])
+			mags = append(mags, math.Sqrt(re*re+im*im))
+		}
+		out = append(out, dsp.Mean(mags), dsp.RMS(mags), dsp.Std(mags))
+	}
+	return out
+}

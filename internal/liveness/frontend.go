@@ -1,0 +1,129 @@
+// Package liveness decides whether an utterance was produced by a live
+// human or replayed through a mechanical speaker (paper §III-A). The
+// paper fine-tunes a pretrained wav2vec2 on ASVspoof 2019 and then
+// incrementally adapts it to its own replay data; this package plays
+// the same role with a from-scratch convolutional network over log
+// filterbank features of the 16 kHz downsampled utterance (see
+// DESIGN.md for the substitution rationale). The discriminative signal
+// is identical to the paper's Fig. 3: live speech shows exponential
+// high-band decay above 4 kHz, replayed speech a flatter, noisier high
+// band.
+package liveness
+
+import (
+	"fmt"
+	"math"
+
+	"headtalk/internal/dsp"
+)
+
+// Frontend parameters: 16 kHz input, 25 ms frames, 10 ms hop, 24
+// log-spaced triangular filters spanning 100 Hz – 7.6 kHz.
+const (
+	TargetRate  = 16000
+	frameLen    = 400 // 25 ms at 16 kHz
+	frameHop    = 160 // 10 ms
+	fftSize     = 512
+	NumFilters  = 24
+	filterLoHz  = 100
+	filterHiHz  = 7600
+	logFloorEps = 1e-10
+)
+
+// filterbank returns NumFilters triangular filters over fftSize/2+1
+// bins at TargetRate, log-spaced in frequency.
+func filterbank() [][]float64 {
+	centers := make([]float64, NumFilters+2)
+	logLo := math.Log(filterLoHz)
+	logHi := math.Log(filterHiHz)
+	for i := range centers {
+		centers[i] = math.Exp(logLo + (logHi-logLo)*float64(i)/float64(NumFilters+1))
+	}
+	bins := fftSize/2 + 1
+	binHz := float64(TargetRate) / fftSize
+	fb := make([][]float64, NumFilters)
+	for f := 0; f < NumFilters; f++ {
+		fb[f] = make([]float64, bins)
+		lo, mid, hi := centers[f], centers[f+1], centers[f+2]
+		for b := 0; b < bins; b++ {
+			freq := float64(b) * binHz
+			switch {
+			case freq <= lo || freq >= hi:
+				// zero
+			case freq <= mid:
+				fb[f][b] = (freq - lo) / (mid - lo)
+			default:
+				fb[f][b] = (hi - freq) / (hi - mid)
+			}
+		}
+	}
+	return fb
+}
+
+// Frames converts a waveform at sample rate fs into normalized log
+// filterbank frames (T × NumFilters), the liveness network's input.
+// The waveform is resampled to 16 kHz and standardized to zero mean /
+// unit variance first, mirroring wav2vec2's input convention.
+func Frames(x []float64, fs float64) ([][]float64, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("liveness: empty waveform")
+	}
+	wav := x
+	if fs != TargetRate {
+		resampled, err := dsp.Resample(x, fs, TargetRate)
+		if err != nil {
+			return nil, fmt.Errorf("liveness: resampling %g Hz -> 16 kHz: %w", fs, err)
+		}
+		wav = resampled
+	}
+	wav = dsp.ZScore(wav)
+	if len(wav) < frameLen {
+		return nil, fmt.Errorf("liveness: waveform too short (%d samples at 16 kHz, need %d)", len(wav), frameLen)
+	}
+
+	fb := filterbank()
+	win := dsp.Hann.Coefficients(frameLen)
+	var frames [][]float64
+	buf := make([]float64, fftSize)
+	for start := 0; start+frameLen <= len(wav); start += frameHop {
+		for i := 0; i < frameLen; i++ {
+			buf[i] = wav[start+i] * win[i]
+		}
+		for i := frameLen; i < fftSize; i++ {
+			buf[i] = 0
+		}
+		spec := dsp.HalfSpectrum(buf)
+		pow := dsp.Power(spec)
+		frame := make([]float64, NumFilters)
+		for f := 0; f < NumFilters; f++ {
+			var acc float64
+			for b, w := range fb[f] {
+				if w != 0 {
+					acc += w * pow[b]
+				}
+			}
+			frame[f] = math.Log(acc + logFloorEps)
+		}
+		frames = append(frames, frame)
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("liveness: no frames produced")
+	}
+
+	// Per-utterance feature normalization.
+	for f := 0; f < NumFilters; f++ {
+		col := make([]float64, len(frames))
+		for t := range frames {
+			col[t] = frames[t][f]
+		}
+		m := dsp.Mean(col)
+		s := dsp.Std(col)
+		if s < 1e-9 {
+			s = 1
+		}
+		for t := range frames {
+			frames[t][f] = (frames[t][f] - m) / s
+		}
+	}
+	return frames, nil
+}

@@ -1,0 +1,23 @@
+package liveness
+
+import (
+	"io"
+
+	"headtalk/internal/ml"
+)
+
+// Save writes the trained detector to w as versioned JSON so a
+// deployment can enroll once and load at boot. The network remains
+// adaptable after a reload (Adapt restarts the optimizer state).
+func (d *Detector) Save(w io.Writer) error {
+	return ml.SaveConvNet(w, d.net)
+}
+
+// Load reads a detector written by Save.
+func Load(r io.Reader) (*Detector, error) {
+	net, err := ml.LoadConvNet(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{net: net}, nil
+}

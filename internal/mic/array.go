@@ -1,0 +1,135 @@
+// Package mic models the prototype devices' microphone arrays (paper
+// Table I / Fig. 7) and the capture pipeline that turns a simulated
+// sound field into a multi-channel recording with realistic self-noise
+// and ambient noise.
+package mic
+
+import (
+	"fmt"
+	"math"
+
+	"headtalk/internal/geom"
+)
+
+// Array is a rigid microphone array. Positions are relative to the
+// array center in meters (the device is assumed horizontal, mics in
+// one plane).
+type Array struct {
+	Name      string
+	DeviceID  string // D1, D2, D3
+	Positions []geom.Vec3
+	// SelfNoiseSNRdB is the typical speech-to-self-noise ratio the
+	// device achieves (paper §IV-B4: 25.09 dB for D1, 24.25 dB for
+	// D2).
+	SelfNoiseSNRdB float64
+	// OrthogonalDist is the distance in meters between "orthogonal"
+	// (diametrically opposite) microphones, used to size the SRP/GCC
+	// analysis windows (paper §III-B3: 8.5 / 9 / 6.5 cm).
+	OrthogonalDist float64
+}
+
+// Channels returns the number of microphones.
+func (a *Array) Channels() int { return len(a.Positions) }
+
+// MaxDelaySamples returns the SRP/GCC window half-width in samples at
+// the given sample rate: ceil(d * fs / c), matching the paper's
+// ±25/27/21-sample windows at 48 kHz for D1/D2/D3.
+func (a *Array) MaxDelaySamples(sampleRate, speedOfSound float64) int {
+	// The tiny epsilon keeps exact integer delays (D1: 12.0) from
+	// rounding up through floating-point noise.
+	return int(math.Ceil(a.OrthogonalDist*sampleRate/speedOfSound - 1e-9))
+}
+
+// circle places n microphones evenly on a circle of the given radius,
+// starting at +X and proceeding counterclockwise, at height 0 relative
+// to the array center.
+func circle(n int, radius float64) []geom.Vec3 {
+	out := make([]geom.Vec3, n)
+	for i := range out {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		out[i] = geom.Vec3{X: radius * math.Cos(theta), Y: radius * math.Sin(theta)}
+	}
+	return out
+}
+
+// DeviceD1 is the miniDSP UMA-8 USB array v2.0: 7 MEMS mics, six on a
+// circle plus one center mic (XMOS XVF3000). Opposite-mic spacing is
+// 8.5 cm.
+func DeviceD1() *Array {
+	pos := append([]geom.Vec3{{}}, circle(6, 0.0425)...)
+	return &Array{
+		Name:           "miniDSP UMA-8 USB mic array v2.0",
+		DeviceID:       "D1",
+		Positions:      pos,
+		SelfNoiseSNRdB: 25.09,
+		OrthogonalDist: 0.085,
+	}
+}
+
+// DeviceD2 is the Seeed ReSpeaker Core v2.0: 6 mics on a circle,
+// similar to an Amazon Echo Dot layout. Opposite-mic spacing is 9 cm.
+func DeviceD2() *Array {
+	return &Array{
+		Name:           "Seeed ReSpeaker Core v2.0",
+		DeviceID:       "D2",
+		Positions:      circle(6, 0.045),
+		SelfNoiseSNRdB: 24.25,
+		OrthogonalDist: 0.09,
+	}
+}
+
+// DeviceD3 is the Seeed ReSpeaker USB 4-mic array: 4 mics on a circle.
+// Opposite-mic spacing is 6.5 cm.
+func DeviceD3() *Array {
+	return &Array{
+		Name:           "Seeed ReSpeaker USB Mic Array",
+		DeviceID:       "D3",
+		Positions:      circle(4, 0.0325),
+		SelfNoiseSNRdB: 23.50,
+		OrthogonalDist: 0.065,
+	}
+}
+
+// Devices returns all three prototype arrays in paper order.
+func Devices() []*Array {
+	return []*Array{DeviceD1(), DeviceD2(), DeviceD3()}
+}
+
+// DeviceByID returns the array with the given paper ID (D1/D2/D3).
+func DeviceByID(id string) (*Array, error) {
+	for _, d := range Devices() {
+		if d.DeviceID == id {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("mic: unknown device %q", id)
+}
+
+// DefaultSubset returns the 4-microphone subset the paper evaluates
+// with by default (§IV-A): {Mic2, Mic3, Mic5, Mic6} for D1, {Mic1,
+// Mic2, Mic4, Mic5} for D2, all four for D3. Paper mic numbering is
+// 1-based; returned indices are 0-based.
+func (a *Array) DefaultSubset() []int {
+	switch a.DeviceID {
+	case "D1":
+		return []int{1, 2, 4, 5}
+	case "D2":
+		return []int{0, 1, 3, 4}
+	default:
+		idx := make([]int, a.Channels())
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+}
+
+// Place returns the absolute microphone positions for an array whose
+// center sits at pos (the device's height above the floor is pos.Z).
+func (a *Array) Place(pos geom.Vec3) []geom.Vec3 {
+	out := make([]geom.Vec3, len(a.Positions))
+	for i, p := range a.Positions {
+		out[i] = pos.Add(p)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package mic
+
+import (
+	"math/rand/v2"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/dsp"
+	"headtalk/internal/geom"
+	"headtalk/internal/room"
+)
+
+// Utterance is a dry (mouth-reference) source signal pre-split into the
+// simulator's frequency bands. Band splitting is the expensive part of
+// a capture, so one Utterance is prepared per synthesized waveform and
+// reused across every angle/location/session it is captured at.
+type Utterance struct {
+	SampleRate float64
+	Length     int
+	Bands      [][]float64
+	// RMS of the full-band dry signal, used for SPL calibration.
+	RMS float64
+}
+
+// PrepareUtterance band-splits the dry buffer for use with a simulator
+// configured with the same bands.
+func PrepareUtterance(buf *audio.Buffer, bands []room.Band) *Utterance {
+	return &Utterance{
+		SampleRate: buf.SampleRate,
+		Length:     len(buf.Samples),
+		Bands:      room.SplitBands(buf.Samples, buf.SampleRate, bands),
+		RMS:        buf.RMS(),
+	}
+}
+
+// AmbientNoise is one ambient noise source at a given level.
+type AmbientNoise struct {
+	Kind audio.NoiseKind
+	SPL  float64
+}
+
+// Scene binds a room simulator, a device and its placement, and the
+// ambient noise condition — everything about a capture except the
+// source.
+type Scene struct {
+	Sim      *room.Simulator
+	Array    *Array
+	ArrayPos geom.Vec3 // device center (Z = height above floor)
+	// Ambients are the concurrent ambient noise sources (e.g. the
+	// room's default floor plus an added white-noise or TV source for
+	// the §IV-B10 experiment). Entries with SPL <= 0 are skipped.
+	Ambients []AmbientNoise
+	// DisableSelfNoise turns off microphone self-noise (for tests and
+	// idealized analyses).
+	DisableSelfNoise bool
+}
+
+// Capture renders the utterance spoken by src at sourceSPL dB SPL
+// (measured at 1 m on-axis) into a multi-channel recording from the
+// scene's array. rng drives the diffuse tails, ambient noise and mic
+// self-noise.
+func (sc *Scene) Capture(src room.Source, utter *Utterance, sourceSPL float64, rng *rand.Rand) *audio.Recording {
+	fs := utter.SampleRate
+	outLen := utter.Length + sc.Sim.MaxDelaySamples()
+	mics := sc.Array.Place(sc.ArrayPos)
+	rec := audio.NewRecording(fs, len(mics), outLen)
+
+	// Source gain: calibrate dry-signal RMS to the requested SPL at
+	// the 1 m directivity reference.
+	gain := 1.0
+	if utter.RMS > 0 {
+		gain = audio.SPLToRMS(sourceSPL) / utter.RMS
+	}
+
+	for mi, mpos := range mics {
+		taps, _ := sc.Sim.BandRIR(src, mpos, rng)
+		dst := rec.Channels[mi]
+		for bi, bandSig := range utter.Bands {
+			scaled := make([]dsp.SparseTap, len(taps[bi]))
+			for ti, t := range taps[bi] {
+				scaled[ti] = dsp.SparseTap{Delay: t.Delay, Gain: t.Gain * gain}
+			}
+			dsp.ConvolveSparse(dst, bandSig, scaled)
+		}
+	}
+
+	// Ambient noise: a diffuse field is partially coherent across the
+	// small array, so mix a shared component with per-mic independent
+	// components at equal power.
+	for _, amb := range sc.Ambients {
+		if amb.SPL <= 0 {
+			continue
+		}
+		shared := audio.GenerateNoise(amb.Kind, outLen, fs, rng)
+		audio.SetSPL(shared, amb.SPL)
+		for mi := range rec.Channels {
+			indep := audio.GenerateNoise(amb.Kind, outLen, fs, rng)
+			audio.SetSPL(indep, amb.SPL)
+			ch := rec.Channels[mi]
+			for i := range ch {
+				ch[i] += 0.7071*shared[i] + 0.7071*indep[i]
+			}
+		}
+	}
+
+	// Microphone self-noise at the device's typical SNR relative to
+	// the captured speech level.
+	if !sc.DisableSelfNoise {
+		for mi := range rec.Channels {
+			ch := rec.Channels[mi]
+			sigRMS := dsp.RMS(ch)
+			if sigRMS == 0 {
+				continue
+			}
+			noiseRMS := sigRMS / audio.DBToGain(sc.Array.SelfNoiseSNRdB)
+			for i := range ch {
+				ch[i] += noiseRMS * rng.NormFloat64()
+			}
+		}
+	}
+	return rec
+}
+
+// CaptureMoving renders an utterance from a source that moves (and
+// turns) during speech — the case the paper's §VI explicitly leaves
+// uncovered. The trajectory is linear from start to end; the capture
+// is approximated by rendering the full utterance at `segments`
+// interpolated poses and crossfading between the renders, which is
+// accurate for walking-speed motion (the pose changes little within a
+// crossfade region). segments <= 1 degenerates to a static capture at
+// the start pose.
+func (sc *Scene) CaptureMoving(start, end room.Source, utter *Utterance, sourceSPL float64, segments int, rng *rand.Rand) *audio.Recording {
+	if segments <= 1 {
+		return sc.Capture(start, utter, sourceSPL, rng)
+	}
+	renders := make([]*audio.Recording, segments)
+	for k := 0; k < segments; k++ {
+		t := float64(k) / float64(segments-1)
+		src := room.Source{
+			Pos:     start.Pos.Add(end.Pos.Sub(start.Pos).Scale(t)),
+			Azimuth: start.Azimuth + t*geom.NormalizeDeg(end.Azimuth-start.Azimuth),
+			Dir:     start.Dir,
+		}
+		renders[k] = sc.Capture(src, utter, sourceSPL, rng)
+	}
+	out := audio.NewRecording(renders[0].SampleRate, len(renders[0].Channels), renders[0].Len())
+	n := out.Len()
+	segLen := float64(n) / float64(segments-1)
+	for c := range out.Channels {
+		dst := out.Channels[c]
+		for i := range dst {
+			pos := float64(i) / segLen
+			k := int(pos)
+			if k >= segments-1 {
+				dst[i] = renders[segments-1].Channels[c][i]
+				continue
+			}
+			frac := pos - float64(k)
+			dst[i] = renders[k].Channels[c][i]*(1-frac) + renders[k+1].Channels[c][i]*frac
+		}
+	}
+	return out
+}

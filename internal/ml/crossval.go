@@ -1,0 +1,97 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// CrossValidate runs k-fold cross-validation with fresh classifiers
+// from factory and returns the mean accuracy across folds.
+func CrossValidate(factory func() Classifier, x [][]float64, y []int, folds int, seed uint64) (float64, error) {
+	if folds < 2 {
+		return 0, fmt.Errorf("ml: cross-validation needs >= 2 folds, got %d", folds)
+	}
+	if len(x) < folds {
+		return 0, fmt.Errorf("ml: %d samples cannot fill %d folds", len(x), folds)
+	}
+	n := len(x)
+	perm := rand.New(rand.NewPCG(seed, 0xC0FFEE)).Perm(n)
+
+	var totalCorrect, totalSeen int
+	for f := 0; f < folds; f++ {
+		var trainX [][]float64
+		var trainY []int
+		var testX [][]float64
+		var testY []int
+		for i, p := range perm {
+			if i%folds == f {
+				testX = append(testX, x[p])
+				testY = append(testY, y[p])
+			} else {
+				trainX = append(trainX, x[p])
+				trainY = append(trainY, y[p])
+			}
+		}
+		clf := factory()
+		if err := clf.Fit(trainX, trainY); err != nil {
+			return 0, fmt.Errorf("ml: fold %d fit: %w", f, err)
+		}
+		for i, tx := range testX {
+			if clf.Predict(tx) == testY[i] {
+				totalCorrect++
+			}
+			totalSeen++
+		}
+	}
+	if totalSeen == 0 {
+		return 0, fmt.Errorf("ml: no test samples across folds")
+	}
+	return float64(totalCorrect) / float64(totalSeen), nil
+}
+
+// GroupedCrossValidate performs leave-one-group-out evaluation (e.g.
+// leave-one-user-out, paper §IV-B14): for each distinct group label it
+// trains on all other groups and tests on the held-out one. It returns
+// per-group binary metrics keyed by group.
+func GroupedCrossValidate(factory func() Classifier, x [][]float64, y, groups []int) (map[int]BinaryMetrics, error) {
+	if len(x) != len(y) || len(x) != len(groups) {
+		return nil, fmt.Errorf("ml: length mismatch x=%d y=%d groups=%d", len(x), len(y), len(groups))
+	}
+	distinct := make(map[int]bool)
+	for _, g := range groups {
+		distinct[g] = true
+	}
+	if len(distinct) < 2 {
+		return nil, fmt.Errorf("ml: grouped CV needs >= 2 groups, have %d", len(distinct))
+	}
+	out := make(map[int]BinaryMetrics, len(distinct))
+	for g := range distinct {
+		var trainX [][]float64
+		var trainY []int
+		var testX [][]float64
+		var testY []int
+		for i := range x {
+			if groups[i] == g {
+				testX = append(testX, x[i])
+				testY = append(testY, y[i])
+			} else {
+				trainX = append(trainX, x[i])
+				trainY = append(trainY, y[i])
+			}
+		}
+		clf := factory()
+		if err := clf.Fit(trainX, trainY); err != nil {
+			return nil, fmt.Errorf("ml: group %d fit: %w", g, err)
+		}
+		pred := make([]int, len(testX))
+		for i, tx := range testX {
+			pred[i] = clf.Predict(tx)
+		}
+		m, err := EvaluateBinary(testY, pred)
+		if err != nil {
+			return nil, err
+		}
+		out[g] = m
+	}
+	return out, nil
+}

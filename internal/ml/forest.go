@@ -1,0 +1,101 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// RandomForest is a bagged ensemble of CART trees with per-split
+// feature subsampling. The paper uses the Bagging algorithm with 200
+// trees.
+type RandomForest struct {
+	NumTrees int
+	MaxDepth int
+	// FeatureSubset per split; 0 selects sqrt(d).
+	FeatureSubset int
+	Seed          uint64
+
+	trees []*DecisionTree
+}
+
+var (
+	_ Classifier = (*RandomForest)(nil)
+	_ Scorer     = (*RandomForest)(nil)
+)
+
+// NewRandomForest returns a forest with the paper's 200 trees.
+func NewRandomForest() *RandomForest {
+	return &RandomForest{NumTrees: 200, MaxDepth: 12, Seed: 1}
+}
+
+// Fit implements Classifier.
+func (f *RandomForest) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("ml: forest: invalid training set (n=%d, labels=%d)", len(x), len(y))
+	}
+	if f.NumTrees <= 0 {
+		f.NumTrees = 200
+	}
+	subset := f.FeatureSubset
+	if subset <= 0 {
+		subset = int(math.Sqrt(float64(len(x[0]))))
+		if subset < 1 {
+			subset = 1
+		}
+	}
+	rng := rand.New(rand.NewPCG(f.Seed, 0xB5297A4D))
+	f.trees = make([]*DecisionTree, 0, f.NumTrees)
+	n := len(x)
+	for t := 0; t < f.NumTrees; t++ {
+		// Bootstrap sample.
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := rng.IntN(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		tree := &DecisionTree{
+			MaxSplits:     0, // unbounded within depth cap
+			MaxDepth:      f.MaxDepth,
+			MinLeaf:       1,
+			FeatureSubset: subset,
+			Seed:          rng.Uint64(),
+		}
+		if err := tree.Fit(bx, by); err != nil {
+			return fmt.Errorf("ml: forest tree %d: %w", t, err)
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return nil
+}
+
+// Predict implements Classifier by majority vote.
+func (f *RandomForest) Predict(x []float64) int {
+	votes := make(map[int]int)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	best, bestN := 0, -1
+	for c, n := range votes {
+		if n > bestN || (n == bestN && c < best) {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// Score implements Scorer: the fraction of trees voting class 1.
+func (f *RandomForest) Score(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	var ones int
+	for _, t := range f.trees {
+		if t.Predict(x) == 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(len(f.trees))
+}

@@ -1,0 +1,93 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbors classifier with Euclidean distance. The
+// paper's kNN baseline uses k = 3.
+type KNN struct {
+	K int
+
+	x [][]float64
+	y []int
+}
+
+var (
+	_ Classifier = (*KNN)(nil)
+	_ Scorer     = (*KNN)(nil)
+)
+
+// NewKNN returns a 3-NN classifier.
+func NewKNN() *KNN { return &KNN{K: 3} }
+
+// Fit implements Classifier (lazily: it stores the training set).
+func (k *KNN) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("ml: knn: invalid training set (n=%d, labels=%d)", len(x), len(y))
+	}
+	k.x = x
+	k.y = y
+	return nil
+}
+
+// neighbors returns the labels of the k nearest training points.
+func (k *KNN) neighbors(x []float64) []int {
+	kk := k.K
+	if kk <= 0 {
+		kk = 3
+	}
+	if kk > len(k.x) {
+		kk = len(k.x)
+	}
+	type dl struct {
+		d float64
+		l int
+	}
+	ds := make([]dl, len(k.x))
+	for i, xi := range k.x {
+		var acc float64
+		for j := range xi {
+			d := xi[j] - x[j]
+			acc += d * d
+		}
+		ds[i] = dl{acc, k.y[i]}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	out := make([]int, kk)
+	for i := 0; i < kk; i++ {
+		out[i] = ds[i].l
+	}
+	return out
+}
+
+// Predict implements Classifier by majority vote among neighbors.
+func (k *KNN) Predict(x []float64) int {
+	votes := make(map[int]int)
+	for _, l := range k.neighbors(x) {
+		votes[l]++
+	}
+	best, bestN := 0, -1
+	for c, n := range votes {
+		if n > bestN || (n == bestN && c < best) {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// Score implements Scorer: the fraction of class-1 neighbors.
+func (k *KNN) Score(x []float64) float64 {
+	ns := k.neighbors(x)
+	if len(ns) == 0 {
+		return 0
+	}
+	var ones int
+	for _, l := range ns {
+		if l == 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(len(ns))
+}

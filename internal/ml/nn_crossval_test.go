@@ -1,0 +1,200 @@
+package ml
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// sequenceData builds labeled frame sequences: class 1 has a rising
+// temporal ramp in one channel, class 0 a falling one. Lengths vary.
+func sequenceData(n int, seed uint64) ([][][]float64, []int) {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	var x [][][]float64
+	var y []int
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		frames := 24 + rng.IntN(16)
+		seq := make([][]float64, frames)
+		for t := 0; t < frames; t++ {
+			f := make([]float64, 6)
+			ramp := float64(t) / float64(frames)
+			if cls == 0 {
+				ramp = 1 - ramp
+			}
+			f[0] = ramp + 0.1*rng.NormFloat64()
+			for d := 1; d < 6; d++ {
+				f[d] = 0.1 * rng.NormFloat64()
+			}
+			seq[t] = f
+		}
+		x = append(x, seq)
+		y = append(y, cls)
+	}
+	return x, y
+}
+
+func TestConvNetLearnsTemporalPattern(t *testing.T) {
+	x, y := sequenceData(60, 2)
+	cfg := ConvNetConfig{
+		InputDim:     6,
+		ConvChannels: []int{8},
+		KernelSize:   5,
+		PoolStride:   2,
+		HiddenDim:    8,
+		LearningRate: 5e-3,
+		Epochs:       40,
+		BatchSize:    8,
+		Seed:         1,
+	}
+	net := NewConvNet(cfg)
+	if err := net.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	tx, ty := sequenceData(40, 3)
+	correct := 0
+	for i := range tx {
+		p, err := net.PredictProba(tx[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := 0
+		if p >= 0.5 {
+			pred = 1
+		}
+		if pred == ty[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(tx)); acc < 0.85 {
+		t.Errorf("ConvNet accuracy %g on temporal ramps", acc)
+	}
+}
+
+func TestConvNetContinueFitImproves(t *testing.T) {
+	x, y := sequenceData(40, 4)
+	cfg := DefaultConvNetConfig(6)
+	cfg.ConvChannels = []int{8}
+	cfg.Epochs = 3 // deliberately undertrained
+	net := NewConvNet(cfg)
+	if err := net.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	evalAcc := func() float64 {
+		tx, ty := sequenceData(40, 5)
+		correct := 0
+		for i := range tx {
+			p, err := net.PredictProba(tx[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (p >= 0.5) == (ty[i] == 1) {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(tx))
+	}
+	before := evalAcc()
+	if err := net.ContinueFit(x, y, 40); err != nil {
+		t.Fatal(err)
+	}
+	after := evalAcc()
+	if after < before-0.05 {
+		t.Errorf("ContinueFit made things worse: %g -> %g", before, after)
+	}
+	if after < 0.8 {
+		t.Errorf("accuracy after ContinueFit %g", after)
+	}
+}
+
+func TestConvNetErrors(t *testing.T) {
+	net := NewConvNet(DefaultConvNetConfig(4))
+	if err := net.Fit(nil, nil); err == nil {
+		t.Error("expected error on empty training set")
+	}
+	if err := net.ContinueFit(nil, nil, 1); err == nil {
+		t.Error("expected error for ContinueFit before Fit")
+	}
+	if _, err := net.PredictProba([][]float64{{1, 2, 3, 4}}); err == nil {
+		t.Error("expected error for predict before fit")
+	}
+	// Sequence shorter than the kernel.
+	x, y := sequenceData(8, 6)
+	if err := net.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	short := [][]float64{{0, 0, 0, 0, 0, 0}}
+	if _, err := net.PredictProba(short); err == nil {
+		t.Error("expected error for too-short sequence")
+	}
+}
+
+func TestMeanPool(t *testing.T) {
+	x := [][]float64{{1}, {3}, {5}, {7}, {9}}
+	out := meanPool(x, 2)
+	if len(out) != 2 {
+		t.Fatalf("pooled length %d", len(out))
+	}
+	if out[0][0] != 2 || out[1][0] != 6 {
+		t.Errorf("pooled values %v", out)
+	}
+	if got := meanPool(x, 1); len(got) != 5 {
+		t.Error("stride 1 should be a no-op")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	x, y := blobs2D(30, 0.5, 7)
+	factory := func() Classifier { return NewKNN() }
+	acc, err := CrossValidate(factory, x, y, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("CV accuracy %g on separable blobs", acc)
+	}
+	if _, err := CrossValidate(factory, x, y, 1, 1); err == nil {
+		t.Error("expected error for 1 fold")
+	}
+	if _, err := CrossValidate(factory, x[:2], y[:2], 5, 1); err == nil {
+		t.Error("expected error for too few samples")
+	}
+}
+
+func TestGroupedCrossValidate(t *testing.T) {
+	// Three groups, data separable everywhere: every held-out group
+	// should score well.
+	var x [][]float64
+	var y, groups []int
+	rng := rand.New(rand.NewPCG(8, 8))
+	for g := 0; g < 3; g++ {
+		for i := 0; i < 20; i++ {
+			cls := i % 2
+			base := -2.0
+			if cls == 1 {
+				base = 2
+			}
+			x = append(x, []float64{base + 0.4*rng.NormFloat64(), base + 0.4*rng.NormFloat64()})
+			y = append(y, cls)
+			groups = append(groups, g)
+		}
+	}
+	factory := func() Classifier { return NewKNN() }
+	out, err := GroupedCrossValidate(factory, x, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("%d groups scored, want 3", len(out))
+	}
+	for g, m := range out {
+		if m.Accuracy() < 0.9 {
+			t.Errorf("group %d accuracy %g", g, m.Accuracy())
+		}
+	}
+	if _, err := GroupedCrossValidate(factory, x, y, make([]int, len(x))); err == nil {
+		t.Error("expected error for single group")
+	}
+	if _, err := GroupedCrossValidate(factory, x, y, groups[:3]); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+}

@@ -1,0 +1,180 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Serialization uses versioned JSON documents so enrolled models
+// survive process restarts (a real deployment enrolls once and loads
+// at boot; re-enrolling on every start would defeat the paper's
+// low-effort setup story).
+
+const (
+	svmFormatVersion     = 1
+	convNetFormatVersion = 1
+)
+
+// svmDTO is the on-disk form of a trained SVM.
+type svmDTO struct {
+	Version        int         `json:"version"`
+	C              float64     `json:"c"`
+	KernelName     string      `json:"kernel"`
+	Gamma          float64     `json:"gamma,omitempty"`
+	SupportVectors [][]float64 `json:"support_vectors"`
+	SupportLabels  []float64   `json:"support_labels"`
+	Alphas         []float64   `json:"alphas"`
+	Bias           float64     `json:"bias"`
+	PlattA         float64     `json:"platt_a"`
+	PlattB         float64     `json:"platt_b"`
+	HasPlatt       bool        `json:"has_platt"`
+}
+
+// SaveSVM writes a trained SVM to w as versioned JSON.
+func SaveSVM(w io.Writer, s *SVM) error {
+	dto := svmDTO{
+		Version:        svmFormatVersion,
+		C:              s.C,
+		SupportVectors: s.x,
+		SupportLabels:  s.y,
+		Alphas:         s.alpha,
+		Bias:           s.b,
+		PlattA:         s.plattA,
+		PlattB:         s.plattB,
+		HasPlatt:       s.hasPlatt,
+	}
+	switch k := s.Kernel.(type) {
+	case LinearKernel:
+		dto.KernelName = "linear"
+	case RBFKernel:
+		dto.KernelName = "rbf"
+		dto.Gamma = k.Gamma
+	default:
+		return fmt.Errorf("ml: cannot serialize kernel %T", s.Kernel)
+	}
+	return json.NewEncoder(w).Encode(dto)
+}
+
+// LoadSVM reads a trained SVM written by SaveSVM.
+func LoadSVM(r io.Reader) (*SVM, error) {
+	var dto svmDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("ml: decoding SVM: %w", err)
+	}
+	if dto.Version != svmFormatVersion {
+		return nil, fmt.Errorf("ml: unsupported SVM format version %d", dto.Version)
+	}
+	if len(dto.SupportVectors) != len(dto.Alphas) || len(dto.SupportVectors) != len(dto.SupportLabels) {
+		return nil, fmt.Errorf("ml: inconsistent SVM document (%d vectors, %d alphas, %d labels)",
+			len(dto.SupportVectors), len(dto.Alphas), len(dto.SupportLabels))
+	}
+	var kernel Kernel
+	switch dto.KernelName {
+	case "linear":
+		kernel = LinearKernel{}
+	case "rbf":
+		kernel = RBFKernel{Gamma: dto.Gamma}
+	default:
+		return nil, fmt.Errorf("ml: unknown kernel %q", dto.KernelName)
+	}
+	s := NewSVM(dto.C, kernel)
+	s.x = dto.SupportVectors
+	s.y = dto.SupportLabels
+	s.alpha = dto.Alphas
+	s.b = dto.Bias
+	s.plattA, s.plattB = dto.PlattA, dto.PlattB
+	s.hasPlatt = dto.HasPlatt
+	return s, nil
+}
+
+// standardizerDTO is the on-disk form of a fitted Standardizer.
+type standardizerDTO struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Standardizer) MarshalJSON() ([]byte, error) {
+	return json.Marshal(standardizerDTO{Mean: s.mean, Std: s.std})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Standardizer) UnmarshalJSON(data []byte) error {
+	var dto standardizerDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("ml: decoding standardizer: %w", err)
+	}
+	if len(dto.Mean) != len(dto.Std) {
+		return fmt.Errorf("ml: inconsistent standardizer (%d means, %d stds)", len(dto.Mean), len(dto.Std))
+	}
+	s.mean, s.std = dto.Mean, dto.Std
+	return nil
+}
+
+// convNetDTO is the on-disk form of a trained ConvNet.
+type convNetDTO struct {
+	Version int           `json:"version"`
+	Cfg     ConvNetConfig `json:"config"`
+	Convs   []layerDTO    `json:"convs"`
+	Dense1  layerDTO      `json:"dense1"`
+	Dense2  layerDTO      `json:"dense2"`
+}
+
+type layerDTO struct {
+	W []float64 `json:"w"`
+	B []float64 `json:"b"`
+}
+
+// SaveConvNet writes a trained network to w as versioned JSON.
+func SaveConvNet(w io.Writer, c *ConvNet) error {
+	if c.dense2 == nil {
+		return fmt.Errorf("ml: cannot serialize an untrained ConvNet")
+	}
+	dto := convNetDTO{
+		Version: convNetFormatVersion,
+		Cfg:     c.Cfg,
+		Dense1:  layerDTO{W: c.dense1.w, B: c.dense1.b},
+		Dense2:  layerDTO{W: c.dense2.w, B: c.dense2.b},
+	}
+	for _, l := range c.convs {
+		dto.Convs = append(dto.Convs, layerDTO{W: l.w, B: l.b})
+	}
+	return json.NewEncoder(w).Encode(dto)
+}
+
+// LoadConvNet reads a network written by SaveConvNet. The returned
+// network can Predict immediately and ContinueFit for incremental
+// adaptation (optimizer state restarts fresh).
+func LoadConvNet(r io.Reader) (*ConvNet, error) {
+	var dto convNetDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("ml: decoding ConvNet: %w", err)
+	}
+	if dto.Version != convNetFormatVersion {
+		return nil, fmt.Errorf("ml: unsupported ConvNet format version %d", dto.Version)
+	}
+	if len(dto.Convs) != len(dto.Cfg.ConvChannels) {
+		return nil, fmt.Errorf("ml: ConvNet document has %d conv layers, config wants %d",
+			len(dto.Convs), len(dto.Cfg.ConvChannels))
+	}
+	c := NewConvNet(dto.Cfg)
+	// Build layers with the right shapes, then overwrite weights.
+	rng := randForInit(dto.Cfg.Seed)
+	c.initLayers(rng)
+	for i, l := range c.convs {
+		if len(dto.Convs[i].W) != len(l.w) || len(dto.Convs[i].B) != len(l.b) {
+			return nil, fmt.Errorf("ml: conv layer %d shape mismatch", i)
+		}
+		copy(l.w, dto.Convs[i].W)
+		copy(l.b, dto.Convs[i].B)
+	}
+	if len(dto.Dense1.W) != len(c.dense1.w) || len(dto.Dense2.W) != len(c.dense2.w) {
+		return nil, fmt.Errorf("ml: dense layer shape mismatch")
+	}
+	copy(c.dense1.w, dto.Dense1.W)
+	copy(c.dense1.b, dto.Dense1.B)
+	copy(c.dense2.w, dto.Dense2.W)
+	copy(c.dense2.b, dto.Dense2.B)
+	return c, nil
+}

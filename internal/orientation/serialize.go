@@ -1,0 +1,78 @@
+package orientation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"headtalk/internal/ml"
+)
+
+const modelFormatVersion = 1
+
+// modelDTO is the on-disk form of a trained orientation model. The
+// retained training set is included so incremental retraining
+// (§IV-B9) keeps working after a reload.
+type modelDTO struct {
+	Version int             `json:"version"`
+	Config  ModelConfig     `json:"config"`
+	Scaler  json.RawMessage `json:"scaler"`
+	SVM     json.RawMessage `json:"svm"`
+	TrainX  [][]float64     `json:"train_x"`
+	TrainY  []int           `json:"train_y"`
+}
+
+// Save writes the trained model to w as versioned JSON. Only
+// SVM-backed models (the default) are serializable.
+func (m *Model) Save(w io.Writer) error {
+	if m.svm == nil {
+		return fmt.Errorf("orientation: only SVM-backed models can be saved")
+	}
+	var svmBuf bytes.Buffer
+	if err := ml.SaveSVM(&svmBuf, m.svm); err != nil {
+		return fmt.Errorf("orientation: serializing SVM: %w", err)
+	}
+	scalerJSON, err := json.Marshal(m.pipe)
+	if err != nil {
+		return fmt.Errorf("orientation: serializing scaler: %w", err)
+	}
+	dto := modelDTO{
+		Version: modelFormatVersion,
+		Config:  m.cfg,
+		Scaler:  scalerJSON,
+		SVM:     svmBuf.Bytes(),
+		TrainX:  m.trainX,
+		TrainY:  m.trainY,
+	}
+	return json.NewEncoder(w).Encode(dto)
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var dto modelDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("orientation: decoding model: %w", err)
+	}
+	if dto.Version != modelFormatVersion {
+		return nil, fmt.Errorf("orientation: unsupported model format version %d", dto.Version)
+	}
+	svm, err := ml.LoadSVM(bytes.NewReader(dto.SVM))
+	if err != nil {
+		return nil, fmt.Errorf("orientation: loading SVM: %w", err)
+	}
+	pipe, err := ml.RestorePipeline(dto.Scaler, svm)
+	if err != nil {
+		return nil, fmt.Errorf("orientation: restoring pipeline: %w", err)
+	}
+	if len(dto.TrainX) != len(dto.TrainY) {
+		return nil, fmt.Errorf("orientation: inconsistent retained training set (%d vs %d)", len(dto.TrainX), len(dto.TrainY))
+	}
+	return &Model{
+		cfg:    dto.Config,
+		pipe:   pipe,
+		svm:    svm,
+		trainX: dto.TrainX,
+		trainY: dto.TrainY,
+	}, nil
+}

@@ -1,0 +1,65 @@
+package orientation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"headtalk/internal/ml"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	x, y := blobs(60, 51)
+	m, err := Train(x, y, ModelConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := blobs(30, 52)
+	for _, xi := range tx {
+		if m.Predict(xi) != loaded.Predict(xi) {
+			t.Fatal("prediction mismatch after reload")
+		}
+		if m.Score(xi) != loaded.Score(xi) {
+			t.Fatal("score mismatch after reload")
+		}
+		if m.Confidence(xi) != loaded.Confidence(xi) {
+			t.Fatal("confidence mismatch after reload")
+		}
+	}
+	if loaded.TrainingSize() != m.TrainingSize() {
+		t.Error("retained training set lost in reload")
+	}
+	// The reloaded model must still support incremental retraining.
+	if _, err := loaded.IncrementalUpdate([][]float64{{1.9, 1.9, 0}}, 0.8); err != nil {
+		t.Fatalf("incremental update after reload: %v", err)
+	}
+}
+
+func TestModelSaveRejectsNonSVM(t *testing.T) {
+	x, y := blobs(20, 53)
+	m, err := TrainWith(x, y, ml.NewKNN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Error("expected error for non-SVM model")
+	}
+}
+
+func TestLoadRejectsBadDocuments(t *testing.T) {
+	if _, err := Load(strings.NewReader("garbage")); err == nil {
+		t.Error("expected error for garbage")
+	}
+	if _, err := Load(strings.NewReader(`{"version":42}`)); err == nil {
+		t.Error("expected error for unknown version")
+	}
+}

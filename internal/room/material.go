@@ -1,0 +1,73 @@
+package room
+
+// Material describes a wall surface by its energy absorption
+// coefficient per frequency band. Absorption values follow standard
+// architectural-acoustics tables, interpolated onto arbitrary band
+// centers.
+type Material struct {
+	Name string
+	// Freqs and Alphas are parallel: absorption coefficient at each
+	// reference frequency. Queries outside the range clamp to the
+	// nearest endpoint.
+	Freqs  []float64
+	Alphas []float64
+}
+
+// Absorption returns the energy absorption coefficient at freq Hz by
+// piecewise-linear interpolation in log-frequency.
+func (m Material) Absorption(freq float64) float64 {
+	if len(m.Freqs) == 0 {
+		return 0.1
+	}
+	if freq <= m.Freqs[0] {
+		return m.Alphas[0]
+	}
+	last := len(m.Freqs) - 1
+	if freq >= m.Freqs[last] {
+		return m.Alphas[last]
+	}
+	for i := 1; i <= last; i++ {
+		if freq <= m.Freqs[i] {
+			t := (freq - m.Freqs[i-1]) / (m.Freqs[i] - m.Freqs[i-1])
+			return m.Alphas[i-1] + t*(m.Alphas[i]-m.Alphas[i-1])
+		}
+	}
+	return m.Alphas[last]
+}
+
+// Standard octave-band reference frequencies for the material tables.
+var refFreqs = []float64{125, 250, 500, 1000, 2000, 4000, 8000}
+
+// Common room surfaces.
+var (
+	Drywall = Material{
+		Name:   "drywall",
+		Freqs:  refFreqs,
+		Alphas: []float64{0.29, 0.10, 0.05, 0.04, 0.07, 0.09, 0.10},
+	}
+	Carpet = Material{
+		Name:   "carpet",
+		Freqs:  refFreqs,
+		Alphas: []float64{0.08, 0.24, 0.57, 0.69, 0.71, 0.73, 0.75},
+	}
+	AcousticCeiling = Material{
+		Name:   "acoustic ceiling tile",
+		Freqs:  refFreqs,
+		Alphas: []float64{0.70, 0.66, 0.72, 0.92, 0.88, 0.75, 0.70},
+	}
+	HardFloor = Material{
+		Name:   "hard floor",
+		Freqs:  refFreqs,
+		Alphas: []float64{0.02, 0.03, 0.03, 0.03, 0.03, 0.02, 0.02},
+	}
+	Furnished = Material{
+		Name:   "furnished wall (mixed bookshelves, curtains, sofa)",
+		Freqs:  refFreqs,
+		Alphas: []float64{0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.55},
+	}
+	WindowGlass = Material{
+		Name:   "window glass",
+		Freqs:  refFreqs,
+		Alphas: []float64{0.35, 0.25, 0.18, 0.12, 0.07, 0.04, 0.03},
+	}
+)

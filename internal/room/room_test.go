@@ -1,0 +1,374 @@
+package room
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"headtalk/internal/dsp"
+	"headtalk/internal/geom"
+)
+
+func TestMaterialAbsorptionInterpolation(t *testing.T) {
+	m := Material{Freqs: []float64{100, 1000}, Alphas: []float64{0.1, 0.5}}
+	if got := m.Absorption(50); got != 0.1 {
+		t.Errorf("below range: %g", got)
+	}
+	if got := m.Absorption(5000); got != 0.5 {
+		t.Errorf("above range: %g", got)
+	}
+	if got := m.Absorption(550); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("midpoint: %g, want 0.3", got)
+	}
+	empty := Material{}
+	if got := empty.Absorption(1000); got != 0.1 {
+		t.Errorf("empty material default: %g", got)
+	}
+}
+
+func TestRoomGeometry(t *testing.T) {
+	r := Room{Dims: geom.Vec3{X: 2, Y: 3, Z: 4}}
+	if r.Volume() != 24 {
+		t.Errorf("volume %g", r.Volume())
+	}
+	if r.SurfaceArea() != 2*(6+8+12) {
+		t.Errorf("surface %g", r.SurfaceArea())
+	}
+	if r.C() != 340 {
+		t.Errorf("default speed of sound %g", r.C())
+	}
+	r.SpeedOfSound = 343
+	if r.C() != 343 {
+		t.Error("speed override ignored")
+	}
+}
+
+func TestEyringT60Plausible(t *testing.T) {
+	lab := LabRoom()
+	home := HomeRoom()
+	for _, f := range []float64{250, 1000, 4000} {
+		tl := lab.EyringT60(f)
+		th := home.EyringT60(f)
+		if tl < 0.05 || tl > 1.5 {
+			t.Errorf("lab T60(%g) = %g s implausible", f, tl)
+		}
+		if th < 0.05 || th > 1.5 {
+			t.Errorf("home T60(%g) = %g s implausible", f, th)
+		}
+	}
+}
+
+func TestEyringMoreAbsorptionShorterT60(t *testing.T) {
+	dead := Room{Dims: geom.Vec3{X: 5, Y: 4, Z: 3}}
+	live := dead
+	for i := range dead.Walls {
+		dead.Walls[i] = Material{Freqs: []float64{1000}, Alphas: []float64{0.6}}
+		live.Walls[i] = Material{Freqs: []float64{1000}, Alphas: []float64{0.05}}
+	}
+	if dead.EyringT60(1000) >= live.EyringT60(1000) {
+		t.Error("more absorption should shorten T60")
+	}
+}
+
+func TestAxisImagesOrderZero(t *testing.T) {
+	imgs := axisImages(1.5, 5, 0)
+	if len(imgs) != 1 || imgs[0].coord != 1.5 || imgs[0].refl != 0 {
+		t.Fatalf("order-0 axis images = %+v", imgs)
+	}
+}
+
+func TestAxisImagesOrderOne(t *testing.T) {
+	imgs := axisImages(1.5, 5, 1)
+	// Direct (1.5), mirror at wall 0 (-1.5), mirror at wall L (8.5).
+	coords := map[float64]int{}
+	for _, im := range imgs {
+		coords[im.coord] = im.refl
+	}
+	if len(imgs) != 3 {
+		t.Fatalf("order-1: %d images, want 3: %+v", len(imgs), imgs)
+	}
+	if coords[1.5] != 0 || coords[-1.5] != 1 || coords[8.5] != 1 {
+		t.Errorf("order-1 images wrong: %+v", coords)
+	}
+}
+
+func TestAxisImagesWallHitCounts(t *testing.T) {
+	for _, im := range axisImages(1.0, 4, 3) {
+		if im.hits0+im.hits1 != im.refl {
+			t.Errorf("image %+v: hits don't sum to reflections", im)
+		}
+		if im.hits0 < 0 || im.hits1 < 0 {
+			t.Errorf("image %+v: negative hit count", im)
+		}
+	}
+}
+
+func TestBandRIRDirectPath(t *testing.T) {
+	r := LabRoom()
+	sim := NewSimulator(r)
+	sim.TailTaps = -1 // isolate early reflections
+	src := Source{Pos: geom.Vec3{X: 3, Y: 2, Z: 1.5}, Azimuth: 180}
+	micPos := geom.Vec3{X: 1, Y: 2, Z: 1.5}
+	rng := rand.New(rand.NewPCG(1, 1))
+	taps, stats := sim.BandRIR(src, micPos, rng)
+	if len(taps) != len(sim.Bands) {
+		t.Fatalf("%d band tap lists, want %d", len(taps), len(sim.Bands))
+	}
+	wantDelay := 2.0 / r.C()
+	if math.Abs(stats.DirectDelay-wantDelay) > 1e-9 {
+		t.Errorf("direct delay %g, want %g", stats.DirectDelay, wantDelay)
+	}
+	// 1/d amplitude law on the direct path (on-axis): gain ~ 0.5.
+	if math.Abs(stats.DirectGain-0.5) > 0.05 {
+		t.Errorf("direct gain %g, want ~0.5 at 2 m", stats.DirectGain)
+	}
+	// Order-1 room: direct + 6 wall images.
+	if stats.EarlyCount != 7 {
+		t.Errorf("early path count %d, want 7", stats.EarlyCount)
+	}
+}
+
+func TestBandRIRDirectivityReducesOffAxisGain(t *testing.T) {
+	r := LabRoom()
+	sim := NewSimulator(r)
+	sim.TailTaps = -1
+	micPos := geom.Vec3{X: 1, Y: 2, Z: 1.5}
+	rng := rand.New(rand.NewPCG(1, 1))
+	facing := Source{Pos: geom.Vec3{X: 3, Y: 2, Z: 1.5}, Azimuth: 180} // toward mic
+	away := facing
+	away.Azimuth = 0
+	_, statsFacing := sim.BandRIR(facing, micPos, rng)
+	_, statsAway := sim.BandRIR(away, micPos, rng)
+	// Band 0 is 100-500 Hz, nearly omni — gains close.
+	if statsAway.DirectGain < statsFacing.DirectGain*0.7 {
+		t.Errorf("low band should be near-omni: %g vs %g", statsAway.DirectGain, statsFacing.DirectGain)
+	}
+}
+
+func TestBandRIRHighBandRearAttenuation(t *testing.T) {
+	// Compare total high-band early energy facing vs away.
+	r := LabRoom()
+	sim := NewSimulator(r)
+	sim.TailTaps = -1
+	micPos := geom.Vec3{X: 1, Y: 2, Z: 1.2}
+	rng := rand.New(rand.NewPCG(1, 1))
+	energy := func(azimuth float64) float64 {
+		src := Source{Pos: geom.Vec3{X: 4, Y: 2, Z: 1.5}, Azimuth: azimuth}
+		taps, _ := sim.BandRIR(src, micPos, rng)
+		hiBand := taps[len(taps)-1]
+		var acc float64
+		for _, tp := range hiBand {
+			acc += tp.Gain * tp.Gain
+		}
+		return acc
+	}
+	toMic := 180.0
+	facing := energy(toMic)
+	away := energy(toMic + 180)
+	if away >= facing/2 {
+		t.Errorf("high-band early energy should drop strongly behind the head: facing=%g away=%g", facing, away)
+	}
+}
+
+func TestBandRIRTailEnergy(t *testing.T) {
+	r := LabRoom()
+	sim := NewSimulator(r)
+	sim.ImageOrder = 0
+	sim.TailTaps = 64
+	src := Source{Pos: geom.Vec3{X: 3, Y: 2, Z: 1.5}, Azimuth: 0, Dir: OmniDirectivity{}}
+	micPos := geom.Vec3{X: 1, Y: 2, Z: 1.5}
+	rng := rand.New(rand.NewPCG(2, 2))
+	taps, stats := sim.BandRIR(src, micPos, rng)
+	// Tail tap energy should match the configured diffuse level.
+	var tail float64
+	direct := stats.DirectGain
+	for _, tp := range taps[0] {
+		tail += tp.Gain * tp.Gain
+	}
+	tail -= direct * direct // subtract the (amplitude-level) direct contribution
+	// Fractional-delay taps split amplitude-preservingly, which loses
+	// energy for incoherent content (expected factor ~2/3), so accept
+	// the configured level within a generous band while still catching
+	// order-of-magnitude errors.
+	if tail < 0.25*stats.TailEnergyOne || tail > 1.2*stats.TailEnergyOne {
+		t.Errorf("tail energy %g outside [0.25, 1.2]x of configured %g", tail, stats.TailEnergyOne)
+	}
+}
+
+func TestTailScaleAblation(t *testing.T) {
+	r := LabRoom()
+	simA := NewSimulator(r)
+	simA.ImageOrder = 0
+	simB := NewSimulator(r)
+	simB.ImageOrder = 0
+	simB.TailScale = 1.0
+	src := Source{Pos: geom.Vec3{X: 3, Y: 2, Z: 1.5}, Dir: OmniDirectivity{}}
+	micPos := geom.Vec3{X: 1, Y: 2, Z: 1.5}
+	_, a := simA.BandRIR(src, micPos, rand.New(rand.NewPCG(1, 1)))
+	_, b := simB.BandRIR(src, micPos, rand.New(rand.NewPCG(1, 1)))
+	if ratio := b.TailEnergyOne / a.TailEnergyOne; math.Abs(ratio-1/0.3) > 0.01 {
+		t.Errorf("TailScale ratio %g, want %g", ratio, 1/0.3)
+	}
+}
+
+func TestObstructionAttenuatesDirect(t *testing.T) {
+	r := LabRoom()
+	clear := NewSimulator(r)
+	clear.TailTaps = -1
+	blocked := NewSimulator(r)
+	blocked.TailTaps = -1
+	blocked.Obstruction = FullBlock
+	src := Source{Pos: geom.Vec3{X: 3, Y: 2, Z: 1.5}, Azimuth: 180}
+	micPos := geom.Vec3{X: 1, Y: 2, Z: 1.5}
+	rng := rand.New(rand.NewPCG(1, 1))
+	_, cs := clear.BandRIR(src, micPos, rng)
+	_, bs := blocked.BandRIR(src, micPos, rng)
+	lossDB := 20 * math.Log10(cs.DirectGain/bs.DirectGain)
+	want := FullBlock.LossDB(DefaultBands()[0].Center())
+	if math.Abs(lossDB-want) > 0.5 {
+		t.Errorf("direct loss %g dB, want %g", lossDB, want)
+	}
+}
+
+func TestObstructionLossInterpolation(t *testing.T) {
+	o := &Obstruction{LossDB200: 2, LossDB8k: 10}
+	if o.LossDB(100) != 2 || o.LossDB(20000) != 10 {
+		t.Error("endpoints wrong")
+	}
+	mid := o.LossDB(1265) // ~geometric midpoint of 200..8000
+	if mid < 5 || mid > 7 {
+		t.Errorf("midpoint loss %g, want ~6", mid)
+	}
+}
+
+func TestMaxDelaySamplesBoundsActualTaps(t *testing.T) {
+	r := HomeRoom()
+	sim := NewSimulator(r)
+	src := Source{Pos: geom.Vec3{X: 9, Y: 2.5, Z: 1.6}, Azimuth: 180}
+	micPos := geom.Vec3{X: 0.5, Y: 1.5, Z: 0.83}
+	rng := rand.New(rand.NewPCG(3, 3))
+	taps, _ := sim.BandRIR(src, micPos, rng)
+	limit := sim.MaxDelaySamples()
+	for bi, band := range taps {
+		for _, tp := range band {
+			if tp.Delay > limit {
+				t.Fatalf("band %d tap delay %d exceeds bound %d", bi, tp.Delay, limit)
+			}
+		}
+	}
+}
+
+func TestSplitBandsReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	n := 4096
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// Band-limit the reference to the union of the bands so perfect
+	// reconstruction is possible.
+	bands := DefaultBands()
+	split := SplitBands(x, 48000, bands)
+	if len(split) != len(bands) {
+		t.Fatalf("%d bands out, want %d", len(split), len(bands))
+	}
+	sum := make([]float64, n)
+	for _, b := range split {
+		if len(b) != n {
+			t.Fatalf("band length %d, want %d", len(b), n)
+		}
+		for i := range b {
+			sum[i] += b[i]
+		}
+	}
+	// The sum must match x within the covered band: compare energy of
+	// (x - sum) against x inside 150 Hz–15 kHz.
+	diff := make([]float64, n)
+	for i := range diff {
+		diff[i] = x[i] - sum[i]
+	}
+	xIn := dsp.BandEnergy(dsp.HalfSpectrum(x), n, 48000, 150, 15000)
+	dIn := dsp.BandEnergy(dsp.HalfSpectrum(diff), n, 48000, 150, 15000)
+	if dIn > 0.05*xIn {
+		t.Errorf("in-band reconstruction error %g vs signal %g", dIn, xIn)
+	}
+}
+
+func TestSplitBandsIsolation(t *testing.T) {
+	// A 300 Hz tone should land in band 0 only.
+	const fs = 48000.0
+	n := 8192
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 300 * float64(i) / fs)
+	}
+	split := SplitBands(x, fs, DefaultBands())
+	e0 := dsp.RMS(split[0])
+	for bi := 1; bi < len(split); bi++ {
+		if e := dsp.RMS(split[bi]); e > 0.1*e0 {
+			t.Errorf("band %d leaked energy %g (band 0 has %g)", bi, e, e0)
+		}
+	}
+}
+
+func TestDirectivityProperties(t *testing.T) {
+	h := HumanDirectivity{}
+	// On-axis gain is 1 at all frequencies.
+	for _, f := range []float64{100, 1000, 8000} {
+		if g := h.Gain(f, 0); math.Abs(g-1) > 1e-9 {
+			t.Errorf("on-axis gain at %g Hz = %g", f, g)
+		}
+	}
+	// Low frequencies are near-omni.
+	if g := h.Gain(100, 180); g < 0.95 {
+		t.Errorf("100 Hz rear gain %g, want ~1", g)
+	}
+	// High frequencies are strongly front-weighted and monotone in
+	// angle.
+	prev := 2.0
+	for _, a := range []float64{0, 45, 90, 135, 180} {
+		g := h.Gain(8000, a)
+		if g >= prev {
+			t.Errorf("8 kHz gain not monotone at %g°: %g >= %g", a, g, prev)
+		}
+		prev = g
+	}
+	if g := h.Gain(8000, 180); g > 0.25 {
+		t.Errorf("8 kHz rear gain %g, want strong shadowing", g)
+	}
+}
+
+func TestLoudspeakerMoreDirectionalThanHumanMid(t *testing.T) {
+	h := HumanDirectivity{}
+	l := LoudspeakerDirectivity{}
+	if l.Gain(2000, 180) >= h.Gain(2000, 180) {
+		t.Error("loudspeaker should shadow more at mid frequencies")
+	}
+}
+
+func TestDirectivityFactor(t *testing.T) {
+	if q := DirectivityFactor(OmniDirectivity{}, 1000); math.Abs(q-1) > 0.01 {
+		t.Errorf("omni Q = %g, want 1", q)
+	}
+	qLow := DirectivityFactor(HumanDirectivity{}, 100)
+	qHigh := DirectivityFactor(HumanDirectivity{}, 8000)
+	if qLow > 1.2 {
+		t.Errorf("low-band Q = %g, want ~1", qLow)
+	}
+	if qHigh <= qLow || qHigh < 1.5 {
+		t.Errorf("high-band Q = %g, want clearly > low-band %g", qHigh, qLow)
+	}
+}
+
+func TestBandCenters(t *testing.T) {
+	b := Band{Lo: 100, Hi: 400}
+	if got := b.Center(); math.Abs(got-200) > 1e-9 {
+		t.Errorf("geometric center %g, want 200", got)
+	}
+	bands := DefaultBands()
+	for i := 1; i < len(bands); i++ {
+		if bands[i].Lo != bands[i-1].Hi {
+			t.Errorf("bands %d and %d not contiguous", i-1, i)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package speech
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/dsp"
+)
+
+// resonator is a Klatt-style two-pole digital resonator with unity DC
+// gain. Coefficients are refreshed at the control rate rather than per
+// sample.
+type resonator struct {
+	a, b, c float64
+	y1, y2  float64
+}
+
+// set tunes the resonator to center frequency f and bandwidth bw at
+// sample rate fs.
+func (r *resonator) set(f, bw, fs float64) {
+	if f <= 0 {
+		f = 1
+	}
+	if f >= fs/2 {
+		f = fs/2 - 1
+	}
+	c := -math.Exp(-2 * math.Pi * bw / fs)
+	b := 2 * math.Exp(-math.Pi*bw/fs) * math.Cos(2*math.Pi*f/fs)
+	r.a = 1 - b - c
+	r.b = b
+	r.c = c
+}
+
+func (r *resonator) process(x float64) float64 {
+	y := r.a*x + r.b*r.y1 + r.c*r.y2
+	r.y2 = r.y1
+	r.y1 = y
+	return y
+}
+
+// onePoleLP is a leaky integrator used for glottal spectral tilt.
+type onePoleLP struct {
+	a, y float64
+}
+
+func (p *onePoleLP) set(fc, fs float64) {
+	p.a = math.Exp(-2 * math.Pi * fc / fs)
+}
+
+func (p *onePoleLP) process(x float64) float64 {
+	p.y = (1-p.a)*x + p.a*p.y
+	return p.y
+}
+
+// controlInterval is how often (in samples) formant targets and pitch
+// are re-evaluated. 1 ms at 48 kHz.
+const controlInterval = 48
+
+// Synthesize renders word with the given voice at sample rate fs. The
+// output is peak-normalized to 0.9 and includes natural pitch
+// declination, formant transitions, jitter/shimmer and breath noise.
+// The same (word, voice, rng-state) triple always yields the same
+// waveform.
+func Synthesize(word WakeWord, voice VoiceProfile, fs float64, rng *rand.Rand) *audio.Buffer {
+	segs := buildSegments(word, voice)
+	total := 0
+	for _, s := range segs {
+		total += s.samples(fs)
+	}
+	out := audio.NewBuffer(fs, total)
+
+	var (
+		f        [4]resonator // cascade vocal-tract resonators
+		fric     resonator    // frication shaping resonator
+		tilt1    onePoleLP    // glottal tilt (-6 dB/oct each)
+		tilt2    onePoleLP
+		phase    float64 // glottal cycle phase in [0,1)
+		pitchJit float64
+		ampJit   float64
+		pos      int
+		utterDur = float64(total) / fs
+	)
+	tilt1.set(800, fs)
+	tilt2.set(2500, fs)
+
+	for si, seg := range segs {
+		n := seg.samples(fs)
+		// Previous segment formants for transition interpolation.
+		prev := seg.formants
+		if si > 0 && segs[si-1].hasFormants() {
+			prev = segs[si-1].formants
+		}
+		transition := int(0.03 * fs) // 30 ms formant glide
+		if transition > n/2 {
+			transition = n / 2
+		}
+		for i := 0; i < n; i++ {
+			t := float64(pos) / fs
+			if i%controlInterval == 0 {
+				// Interpolate formants during the transition window.
+				mix := 1.0
+				if transition > 0 && i < transition {
+					mix = float64(i) / float64(transition)
+				}
+				for k := 0; k < 4; k++ {
+					fk := prev.freq[k] + mix*(seg.formants.freq[k]-prev.freq[k])
+					f[k].set(fk, seg.formants.bw[k], fs)
+				}
+				if seg.noiseHi > seg.noiseLo {
+					center := (seg.noiseLo + seg.noiseHi) / 2
+					bw := seg.noiseHi - seg.noiseLo
+					fric.set(center, bw, fs)
+				}
+				pitchJit = 1 + voice.Jitter*rng.NormFloat64()
+				ampJit = 1 + voice.Shimmer*rng.NormFloat64()
+			}
+
+			// Segment amplitude envelope: 8 ms attack, 20 ms release.
+			env := seg.amp * ampJit
+			attack := 0.008 * fs
+			release := 0.020 * fs
+			if fi := float64(i); fi < attack {
+				env *= fi / attack
+			}
+			if fi := float64(n - 1 - i); fi < release {
+				env *= fi / release
+			}
+
+			var sample float64
+			if seg.voiced {
+				// F0 contour: declination across the utterance plus a
+				// mild accentual rise early on.
+				declination := 1 - 0.25*voice.PitchRange*(t/utterDur)
+				accent := 1 + 0.08*voice.PitchRange*math.Sin(math.Pi*t/utterDur)
+				f0 := voice.BasePitch * declination * accent * pitchJit
+				phase += f0 / fs
+				var pulse float64
+				if phase >= 1 {
+					phase -= 1
+					pulse = 1
+				}
+				// Spectral tilt: two one-pole LPs give roughly
+				// -12 dB/oct, the natural glottal source slope.
+				src := tilt1.process(tilt2.process(pulse * 25))
+				// Breath noise adds genuine high-band energy to voiced
+				// frames (a key live-human cue per paper Fig. 3).
+				src += voice.Breathiness * 0.15 * rng.NormFloat64()
+				v := src
+				for k := 0; k < 4; k++ {
+					v = f[k].process(v)
+				}
+				sample = v * env
+				if seg.noiseAmp > 0 {
+					// Voiced frication (e.g. /z/): add shaped noise.
+					sample += fric.process(rng.NormFloat64()) * env * seg.noiseAmp
+				}
+			} else if seg.noiseAmp > 0 {
+				// Unvoiced segment: shaped noise only (fricative or
+				// stop burst).
+				burstEnv := 1.0
+				if seg.burst {
+					// Burst: silence during closure, then a sharp
+					// decaying transient.
+					closure := int(0.6 * float64(n))
+					if i < closure {
+						burstEnv = 0
+					} else {
+						k := float64(i-closure) / float64(n-closure)
+						burstEnv = math.Exp(-6 * k)
+					}
+				}
+				sample = fric.process(rng.NormFloat64()) * env * seg.noiseAmp * burstEnv
+			}
+			out.Samples[pos] = sample
+			pos++
+		}
+	}
+
+	// Per-voice high-band trim, then normalize.
+	if voice.HighBandGain != 0 {
+		applyHighShelf(out.Samples, fs, 4000, voice.HighBandGain)
+	}
+	out.Samples = dsp.Normalize(out.Samples)
+	for i := range out.Samples {
+		out.Samples[i] *= 0.9
+	}
+	return out
+}
+
+// segment is a resolved phoneme ready for rendering.
+type segment struct {
+	symbol   string
+	voiced   bool
+	burst    bool
+	amp      float64
+	dur      float64
+	noiseAmp float64
+	noiseLo  float64
+	noiseHi  float64
+	formants formantSet
+}
+
+type formantSet struct {
+	freq [4]float64
+	bw   [4]float64
+}
+
+func (s segment) samples(fs float64) int { return int(s.dur * fs) }
+
+func (s segment) hasFormants() bool { return s.formants.freq[0] > 0 }
+
+// neutralFormants is the schwa-like default used for transitions into
+// segments without formant targets.
+var neutralFormants = formantSet{
+	freq: [4]float64{500, 1500, 2500, 3500},
+	bw:   defaultBW,
+}
+
+func buildSegments(word WakeWord, voice VoiceProfile) []segment {
+	segs := make([]segment, 0, len(word.Phonemes))
+	for _, sym := range word.Phonemes {
+		p, ok := LookupPhoneme(sym)
+		if !ok {
+			// Unknown symbols become short pauses rather than
+			// panicking; wake-word scripts are code-reviewed data.
+			p = Phoneme{Symbol: sym, Class: Silence, Duration: 0.05}
+		}
+		seg := segment{
+			symbol: p.Symbol,
+			amp:    p.Amplitude,
+			dur:    p.Duration * voice.Rate,
+		}
+		fs := neutralFormants
+		for k := 0; k < 4; k++ {
+			if p.Formants[k] > 0 {
+				fs.freq[k] = p.Formants[k] * voice.FormantScale
+			} else {
+				fs.freq[k] = neutralFormants.freq[k] * voice.FormantScale
+			}
+			if p.Bandwidth[k] > 0 {
+				fs.bw[k] = p.Bandwidth[k]
+			}
+		}
+		seg.formants = fs
+		seg.noiseLo, seg.noiseHi = p.NoiseLo, p.NoiseHi
+
+		switch p.Class {
+		case Vowel, Glide:
+			seg.voiced = true
+		case Nasal:
+			seg.voiced = true
+		case Stop:
+			seg.burst = true
+			seg.noiseAmp = 1
+		case VoicedStop:
+			seg.voiced = true
+			seg.burst = false
+			seg.noiseAmp = 0.3
+		case Fricative:
+			seg.noiseAmp = 1
+		case VoicedFricative:
+			seg.voiced = true
+			seg.noiseAmp = 0.6
+		case Aspirate:
+			seg.noiseAmp = 1
+		case Silence:
+			// leave amp at whatever; no source
+			seg.amp = 0
+		}
+		segs = append(segs, seg)
+	}
+	return segs
+}
+
+// applyHighShelf applies a crude first-order high-shelf of the given
+// gain (dB) above fc by blending the signal with a high-passed copy.
+func applyHighShelf(x []float64, fs, fc, gainDB float64) {
+	g := math.Pow(10, gainDB/20) - 1
+	hp, err := dsp.NewButterworthHighPass(2, fc, fs)
+	if err != nil {
+		return
+	}
+	high := hp.Apply(x)
+	for i := range x {
+		x[i] += g * high[i]
+	}
+}

@@ -1,0 +1,135 @@
+package speech
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/dsp"
+)
+
+// LoudspeakerProfile models the electro-acoustic chain a replay attack
+// passes through: recording + DAC + amplifier + driver. The parameters
+// reproduce the paper's Fig. 3 observations — replayed audio loses the
+// live voice's exponential high-band decay and instead shows a lower,
+// flatter (more uniform) spectrum above ~4 kHz, caused by driver
+// roll-off plus wideband distortion products and the playback noise
+// floor.
+type LoudspeakerProfile struct {
+	Name string
+
+	// LowCutoff is the driver's low-frequency -3 dB point (small
+	// drivers can't reproduce deep bass).
+	LowCutoff float64
+	// HighCutoff is where the driver's response starts rolling off.
+	HighCutoff float64
+	// HighOrder is the roll-off steepness (Butterworth order).
+	HighOrder int
+	// Distortion is the amount of memoryless soft-clipping
+	// nonlinearity (0 = clean). Harmonic products from distortion
+	// spread energy uniformly into the high band.
+	Distortion float64
+	// NoiseFloorDB is the playback chain's noise floor relative to
+	// signal peak (e.g. -55 dB). Flat noise is the dominant >4 kHz
+	// content for band-limited drivers.
+	NoiseFloorDB float64
+	// ConeResonance adds a mild resonant peak typical of small
+	// enclosures (Hz, 0 = none).
+	ConeResonance float64
+}
+
+// Replay device profiles used in the paper's experiments (§III-A,
+// Dataset-2).
+var (
+	// SonySRSX5 is a high-end portable speaker: wide response but
+	// still band-limited above ~12 kHz with audible DSP noise floor.
+	SonySRSX5 = LoudspeakerProfile{
+		Name:          "Sony SRS-X5",
+		LowCutoff:     60,
+		HighCutoff:    9000,
+		HighOrder:     3,
+		Distortion:    0.15,
+		NoiseFloorDB:  -52,
+		ConeResonance: 180,
+	}
+	// GalaxyS21 is a phone speaker: strong low cut, early high
+	// roll-off, more distortion.
+	GalaxyS21 = LoudspeakerProfile{
+		Name:          "Samsung Galaxy S21 Ultra",
+		LowCutoff:     350,
+		HighCutoff:    7000,
+		HighOrder:     2,
+		Distortion:    0.3,
+		NoiseFloorDB:  -46,
+		ConeResonance: 900,
+	}
+	// SmartTV approximates the accidental-activation source of the
+	// threat model (a TV saying the wake word).
+	SmartTV = LoudspeakerProfile{
+		Name:          "Smart TV",
+		LowCutoff:     120,
+		HighCutoff:    8000,
+		HighOrder:     2,
+		Distortion:    0.2,
+		NoiseFloorDB:  -48,
+		ConeResonance: 300,
+	}
+)
+
+// ReplayProfiles returns the built-in loudspeaker profiles.
+func ReplayProfiles() []LoudspeakerProfile {
+	return []LoudspeakerProfile{SonySRSX5, GalaxyS21, SmartTV}
+}
+
+// RenderMechanical passes a dry (mouth-reference) utterance through the
+// loudspeaker chain and returns the replayed waveform at the same
+// sample rate. rng drives the playback noise floor.
+func RenderMechanical(dry *audio.Buffer, profile LoudspeakerProfile, rng *rand.Rand) *audio.Buffer {
+	fs := dry.SampleRate
+	x := make([]float64, len(dry.Samples))
+	copy(x, dry.Samples)
+
+	// Driver band-limiting.
+	if hp, err := dsp.NewButterworthHighPass(2, profile.LowCutoff, fs); err == nil {
+		x = hp.Apply(x)
+	}
+	if profile.HighCutoff > 0 && profile.HighCutoff < fs/2 {
+		if lp, err := dsp.NewButterworthLowPass(profile.HighOrder, profile.HighCutoff, fs); err == nil {
+			x = lp.Apply(x)
+		}
+	}
+
+	// Enclosure resonance: a gentle peaking boost.
+	if profile.ConeResonance > 0 {
+		var res resonator
+		res.set(profile.ConeResonance, profile.ConeResonance/2, fs)
+		for i, v := range x {
+			x[i] = v + 0.25*res.process(v)
+		}
+	}
+
+	// Memoryless soft clipping -> odd harmonics spread into the high
+	// band, flattening the >4 kHz spectrum.
+	if profile.Distortion > 0 {
+		drive := 1 + 6*profile.Distortion
+		norm := math.Tanh(drive)
+		for i, v := range x {
+			x[i] = math.Tanh(v*drive) / norm
+		}
+	}
+
+	// Playback noise floor relative to peak.
+	peak := dsp.MaxAbs(x)
+	if peak > 0 && profile.NoiseFloorDB < 0 {
+		level := peak * math.Pow(10, profile.NoiseFloorDB/20)
+		for i := range x {
+			x[i] += level * rng.NormFloat64()
+		}
+	}
+
+	out := &audio.Buffer{SampleRate: fs, Samples: dsp.Normalize(x)}
+	for i := range out.Samples {
+		out.Samples[i] *= 0.9
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package speech synthesizes wake-word utterances from scratch with a
+// formant (source-filter) model, and renders "replayed" versions of
+// them through simulated loudspeaker chains. It substitutes for the
+// human and mechanical speakers of the paper's data collection: the
+// synthesizer produces broadband speech whose spectral shape matches
+// the paper's Fig. 3a (energy concentrated in 200 Hz–4 kHz with an
+// exponential decay above 4 kHz, plus genuine high-band energy from
+// fricatives and stop bursts), while the mechanical chains flatten and
+// attenuate the high band the way the Sony loudspeaker and phone
+// speaker do in Fig. 3b–c.
+package speech
+
+// PhonemeClass broadly determines how a phoneme is synthesized.
+type PhonemeClass int
+
+// Phoneme classes.
+const (
+	Vowel PhonemeClass = iota
+	Nasal
+	Stop // unvoiced plosive: closure + burst
+	VoicedStop
+	Fricative // unvoiced frication
+	VoicedFricative
+	Glide
+	Aspirate // /h/: noise shaped by the following vowel
+	Silence
+)
+
+// Phoneme holds the synthesis targets for one speech sound. Formant
+// frequencies are for an average adult male vocal tract; per-speaker
+// scaling is applied by VoiceProfile.
+type Phoneme struct {
+	Symbol    string
+	Class     PhonemeClass
+	Formants  [4]float64 // F1..F4 target frequencies in Hz (0 = unused)
+	Bandwidth [4]float64 // formant bandwidths in Hz
+	Duration  float64    // nominal duration in seconds
+	Amplitude float64    // relative level 0..1
+	// Noise band for fricatives/bursts (Hz).
+	NoiseLo, NoiseHi float64
+}
+
+// standard bandwidths used when a phoneme doesn't override them.
+var defaultBW = [4]float64{80, 110, 160, 220}
+
+// phonemeTable is the inventory needed for the three wake words plus a
+// few extras for test material. Formant values follow the classic
+// Peterson–Barney / Klatt tables.
+var phonemeTable = map[string]Phoneme{
+	// Vowels.
+	"IY": {Symbol: "IY", Class: Vowel, Formants: [4]float64{270, 2290, 3010, 3500}, Duration: 0.12, Amplitude: 1.0},
+	"IH": {Symbol: "IH", Class: Vowel, Formants: [4]float64{390, 1990, 2550, 3400}, Duration: 0.09, Amplitude: 0.95},
+	"EH": {Symbol: "EH", Class: Vowel, Formants: [4]float64{530, 1840, 2480, 3380}, Duration: 0.10, Amplitude: 1.0},
+	"AE": {Symbol: "AE", Class: Vowel, Formants: [4]float64{660, 1720, 2410, 3350}, Duration: 0.13, Amplitude: 1.0},
+	"AH": {Symbol: "AH", Class: Vowel, Formants: [4]float64{640, 1190, 2390, 3300}, Duration: 0.09, Amplitude: 0.95},
+	"AA": {Symbol: "AA", Class: Vowel, Formants: [4]float64{730, 1090, 2440, 3300}, Duration: 0.12, Amplitude: 1.0},
+	"AO": {Symbol: "AO", Class: Vowel, Formants: [4]float64{570, 840, 2410, 3300}, Duration: 0.12, Amplitude: 1.0},
+	"UH": {Symbol: "UH", Class: Vowel, Formants: [4]float64{440, 1020, 2240, 3240}, Duration: 0.08, Amplitude: 0.9},
+	"UW": {Symbol: "UW", Class: Vowel, Formants: [4]float64{300, 870, 2240, 3200}, Duration: 0.11, Amplitude: 0.95},
+	"ER": {Symbol: "ER", Class: Vowel, Formants: [4]float64{490, 1350, 1690, 3300}, Duration: 0.12, Amplitude: 0.9},
+	"OW": {Symbol: "OW", Class: Vowel, Formants: [4]float64{570, 870, 2410, 3300}, Duration: 0.12, Amplitude: 1.0},
+	"EY": {Symbol: "EY", Class: Vowel, Formants: [4]float64{480, 2000, 2550, 3400}, Duration: 0.13, Amplitude: 1.0},
+
+	// Glides.
+	"Y": {Symbol: "Y", Class: Glide, Formants: [4]float64{270, 2200, 3010, 3500}, Duration: 0.06, Amplitude: 0.7},
+	"W": {Symbol: "W", Class: Glide, Formants: [4]float64{290, 610, 2150, 3200}, Duration: 0.06, Amplitude: 0.7},
+	"L": {Symbol: "L", Class: Glide, Formants: [4]float64{360, 1300, 2700, 3300}, Duration: 0.07, Amplitude: 0.75},
+	"R": {Symbol: "R", Class: Glide, Formants: [4]float64{310, 1060, 1380, 3200}, Duration: 0.07, Amplitude: 0.75},
+
+	// Nasals: low F1, damped higher formants.
+	"M": {Symbol: "M", Class: Nasal, Formants: [4]float64{250, 1000, 2200, 3200}, Bandwidth: [4]float64{100, 300, 400, 500}, Duration: 0.08, Amplitude: 0.55},
+	"N": {Symbol: "N", Class: Nasal, Formants: [4]float64{250, 1450, 2300, 3200}, Bandwidth: [4]float64{100, 300, 400, 500}, Duration: 0.07, Amplitude: 0.55},
+
+	// Unvoiced stops: closure then a broadband burst whose spectral
+	// emphasis depends on the place of articulation.
+	"P": {Symbol: "P", Class: Stop, Duration: 0.07, Amplitude: 0.8, NoiseLo: 400, NoiseHi: 2000},
+	"T": {Symbol: "T", Class: Stop, Duration: 0.07, Amplitude: 0.9, NoiseLo: 3000, NoiseHi: 8000},
+	"K": {Symbol: "K", Class: Stop, Duration: 0.08, Amplitude: 0.9, NoiseLo: 1500, NoiseHi: 4500},
+
+	// Voiced stops.
+	"B": {Symbol: "B", Class: VoicedStop, Formants: [4]float64{300, 900, 2300, 3200}, Duration: 0.06, Amplitude: 0.7, NoiseLo: 300, NoiseHi: 1500},
+	"D": {Symbol: "D", Class: VoicedStop, Formants: [4]float64{300, 1700, 2600, 3300}, Duration: 0.06, Amplitude: 0.7, NoiseLo: 2500, NoiseHi: 6000},
+	"G": {Symbol: "G", Class: VoicedStop, Formants: [4]float64{300, 1500, 2200, 3200}, Duration: 0.06, Amplitude: 0.7, NoiseLo: 1200, NoiseHi: 3500},
+
+	// Fricatives.
+	"S":  {Symbol: "S", Class: Fricative, Duration: 0.11, Amplitude: 0.65, NoiseLo: 4000, NoiseHi: 10000},
+	"SH": {Symbol: "SH", Class: Fricative, Duration: 0.11, Amplitude: 0.7, NoiseLo: 2000, NoiseHi: 6500},
+	"F":  {Symbol: "F", Class: Fricative, Duration: 0.09, Amplitude: 0.4, NoiseLo: 1500, NoiseHi: 9000},
+	"TH": {Symbol: "TH", Class: Fricative, Duration: 0.08, Amplitude: 0.35, NoiseLo: 1500, NoiseHi: 9000},
+	"Z":  {Symbol: "Z", Class: VoicedFricative, Formants: [4]float64{250, 1400, 2400, 3300}, Duration: 0.09, Amplitude: 0.6, NoiseLo: 4000, NoiseHi: 9000},
+	"V":  {Symbol: "V", Class: VoicedFricative, Formants: [4]float64{250, 1100, 2300, 3200}, Duration: 0.07, Amplitude: 0.5, NoiseLo: 1500, NoiseHi: 7000},
+
+	// Aspirate.
+	"HH": {Symbol: "HH", Class: Aspirate, Duration: 0.07, Amplitude: 0.45, NoiseLo: 400, NoiseHi: 5500},
+
+	// Inter-word pause.
+	"SIL": {Symbol: "SIL", Class: Silence, Duration: 0.08},
+}
+
+// LookupPhoneme returns the inventory entry for an ARPABET-like symbol
+// and whether it exists.
+func LookupPhoneme(symbol string) (Phoneme, bool) {
+	p, ok := phonemeTable[symbol]
+	if !ok {
+		return Phoneme{}, false
+	}
+	if p.Bandwidth == ([4]float64{}) {
+		p.Bandwidth = defaultBW
+	}
+	return p, true
+}
+
+// WakeWord is a scripted utterance: a name plus its phoneme sequence.
+type WakeWord struct {
+	Name     string
+	Phonemes []string
+}
+
+// The paper's three wake words (§IV, "Data Collection Process").
+var (
+	WordComputer     = WakeWord{Name: "Computer", Phonemes: []string{"K", "AH", "M", "P", "Y", "UW", "T", "ER"}}
+	WordAmazon       = WakeWord{Name: "Amazon", Phonemes: []string{"AE", "M", "AH", "Z", "AA", "N"}}
+	WordHeyAssistant = WakeWord{Name: "Hey Assistant", Phonemes: []string{"HH", "EY", "SIL", "AH", "S", "IH", "S", "T", "AH", "N", "T"}}
+)
+
+// WakeWords returns the paper's three wake words in evaluation order.
+func WakeWords() []WakeWord {
+	return []WakeWord{WordHeyAssistant, WordComputer, WordAmazon}
+}
+
+// WakeWordByName returns the wake word with the given name and whether
+// it exists.
+func WakeWordByName(name string) (WakeWord, bool) {
+	for _, w := range WakeWords() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return WakeWord{}, false
+}

@@ -1,0 +1,78 @@
+package speech
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// VoiceProfile captures per-speaker vocal characteristics. It stands in
+// for the anatomical variation across the paper's human participants:
+// vocal-tract length (formant scaling), pitch, speaking rate and the
+// amount of breath noise all vary from person to person, which is what
+// the cross-user experiment (§IV-B14) probes.
+type VoiceProfile struct {
+	Name string
+
+	// BasePitch is the speaker's average F0 in Hz (typ. 85–180 male,
+	// 160–255 female).
+	BasePitch float64
+	// PitchRange scales the declination and prosodic movement of F0.
+	PitchRange float64
+	// FormantScale multiplies all formant frequencies (shorter vocal
+	// tracts => higher formants; typ. 0.9–1.2).
+	FormantScale float64
+	// Rate multiplies phoneme durations (>1 = slower speech).
+	Rate float64
+	// Breathiness is the aspiration noise mixed into voiced frames
+	// (0..1).
+	Breathiness float64
+	// Jitter and Shimmer are cycle-to-cycle pitch and amplitude
+	// perturbations (fractions, typ. 0.005–0.02).
+	Jitter  float64
+	Shimmer float64
+	// HighBandGain trims the speaker's energy above 4 kHz (dB,
+	// relative). Sibilance strength varies across people.
+	HighBandGain float64
+}
+
+// DefaultVoice returns a neutral adult voice used when no speaker
+// variation is wanted.
+func DefaultVoice() VoiceProfile {
+	return VoiceProfile{
+		Name:         "default",
+		BasePitch:    120,
+		PitchRange:   1.0,
+		FormantScale: 1.0,
+		Rate:         1.0,
+		Breathiness:  0.08,
+		Jitter:       0.01,
+		Shimmer:      0.04,
+		HighBandGain: 0,
+	}
+}
+
+// RandomVoice draws a plausible voice from rng. Roughly half the draws
+// are female-range voices (higher pitch, shorter vocal tract).
+func RandomVoice(rng *rand.Rand) VoiceProfile {
+	v := DefaultVoice()
+	female := rng.Float64() < 0.5
+	if female {
+		v.BasePitch = 165 + 70*rng.Float64()
+		v.FormantScale = 1.08 + 0.12*rng.Float64()
+	} else {
+		v.BasePitch = 90 + 60*rng.Float64()
+		v.FormantScale = 0.92 + 0.12*rng.Float64()
+	}
+	v.PitchRange = 0.7 + 0.6*rng.Float64()
+	v.Rate = 0.85 + 0.3*rng.Float64()
+	v.Breathiness = 0.04 + 0.1*rng.Float64()
+	v.Jitter = 0.005 + 0.015*rng.Float64()
+	v.Shimmer = 0.02 + 0.05*rng.Float64()
+	v.HighBandGain = -3 + 6*rng.Float64()
+	if female {
+		v.Name = fmt.Sprintf("voice-f-%03d", rng.IntN(1000))
+	} else {
+		v.Name = fmt.Sprintf("voice-m-%03d", rng.IntN(1000))
+	}
+	return v
+}

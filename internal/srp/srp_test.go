@@ -1,0 +1,273 @@
+package srp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"headtalk/internal/dsp"
+	"headtalk/internal/geom"
+)
+
+// delayedPair returns two noise channels where a leads b by delay
+// samples.
+func delayedPair(n, delay int, seed uint64) (a, b []float64) {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	src := make([]float64, n+delay)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	a = src[delay : n+delay] // a[n] = src[n+delay]: a hears it first
+	b = src[:n]
+	return a, b
+}
+
+func TestGCCPHATDelayPeak(t *testing.T) {
+	for _, delay := range []int{0, 3, 9} {
+		a, b := delayedPair(4096, delay, uint64(delay+1))
+		r, err := GCCPHAT(a, b, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r) != 27 {
+			t.Fatalf("window length %d, want 27", len(r))
+		}
+		// a[n] = b[n+delay] => r[k]=Σ a[n+k] b[n] peaks at k with
+		// a[n+k]=src[n+k+delay] aligning with b[n]=src[n] at k=-delay.
+		peak := dsp.ArgMax(r) - 13
+		if peak != -delay {
+			t.Errorf("delay %d: peak at %d, want %d", delay, peak, -delay)
+		}
+	}
+}
+
+func TestGCCPHATPeakNormalized(t *testing.T) {
+	a, b := delayedPair(4096, 5, 7)
+	r, err := GCCPHAT(a, b, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := dsp.Max(r)
+	if peak < 0.7 || peak > 1.1 {
+		t.Errorf("coherent peak %g, want ~1", peak)
+	}
+}
+
+func TestGCCPHATAmplitudeInvariance(t *testing.T) {
+	// PHAT whitens magnitude: scaling a channel must not change the
+	// curve materially.
+	a, b := delayedPair(4096, 4, 9)
+	r1, err := GCCPHAT(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := make([]float64, len(a))
+	for i := range a {
+		scaled[i] = 100 * a[i]
+	}
+	r2, err := GCCPHAT(scaled, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if math.Abs(r1[i]-r2[i]) > 1e-9 {
+			t.Fatalf("PHAT not amplitude invariant at lag %d", i)
+		}
+	}
+}
+
+func TestGCCPHATBandLimitSharpensNoisyPeak(t *testing.T) {
+	// Add out-of-band noise; the band-limited GCC should recover a
+	// higher peak than the full-band one.
+	rng := rand.New(rand.NewPCG(11, 12))
+	n := 8192
+	const fs = 48000.0
+	// In-band source: low-passed noise.
+	lp, err := dsp.NewButterworthLowPass(4, 6000, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]float64, n+5)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	src = lp.Apply(src)
+	a := append([]float64{}, src[5:]...)
+	b := src[:n]
+	// Independent high-band noise on each channel.
+	hp, err := dsp.NewButterworthHighPass(4, 10000, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := make([]float64, n)
+	nb := make([]float64, n)
+	for i := range na {
+		na[i] = rng.NormFloat64() * 2
+		nb[i] = rng.NormFloat64() * 2
+	}
+	na = hp.Apply(na)
+	nb = hp.Apply(nb)
+	for i := range a {
+		a[i] += na[i]
+		b[i] += nb[i]
+	}
+	full, err := GCCPHAT(a, b, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banded, err := GCCPHATBand(a, b, 13, fs, 100, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.Max(banded) <= dsp.Max(full) {
+		t.Errorf("band-limited peak %g not sharper than full-band %g", dsp.Max(banded), dsp.Max(full))
+	}
+}
+
+func TestGCCErrors(t *testing.T) {
+	if _, err := GCCPHAT([]float64{1, 2}, []float64{1}, 3); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := GCCPHAT(nil, nil, 3); err == nil {
+		t.Error("expected empty-channel error")
+	}
+	if _, err := GCCPHAT([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Error("expected negative-lag error")
+	}
+}
+
+func TestCrossCorrPHATlessDelayPeak(t *testing.T) {
+	a, b := delayedPair(4096, 6, 13)
+	r, err := CrossCorrPHATless(a, b, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak := dsp.ArgMax(r) - 13; peak != -6 {
+		t.Errorf("peak at %d, want -6", peak)
+	}
+	if m := dsp.Max(r); m < 0.7 || m > 1.3 {
+		t.Errorf("normalized peak %g, want ~1", m)
+	}
+}
+
+func TestAllPairsCount(t *testing.T) {
+	channels := make([][]float64, 4)
+	rng := rand.New(rand.NewPCG(15, 16))
+	for i := range channels {
+		channels[i] = make([]float64, 1024)
+		for j := range channels[i] {
+			channels[i][j] = rng.NormFloat64()
+		}
+	}
+	pairs, err := AllPairs(channels, PairOptions{MaxLag: 5, PHAT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 6 {
+		t.Fatalf("%d pairs for 4 channels, want 6", len(pairs))
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		if p.I >= p.J {
+			t.Errorf("pair (%d,%d) not ordered", p.I, p.J)
+		}
+		seen[[2]int{p.I, p.J}] = true
+		if len(p.R) != 11 {
+			t.Errorf("pair window %d, want 11", len(p.R))
+		}
+		if p.TDoA < -5 || p.TDoA > 5 {
+			t.Errorf("TDoA %d outside window", p.TDoA)
+		}
+	}
+	if len(seen) != 6 {
+		t.Error("duplicate pairs")
+	}
+}
+
+func TestSRPSumsPairs(t *testing.T) {
+	pairs := []PairGCC{
+		{R: []float64{1, 2, 3}},
+		{R: []float64{10, 20, 30}},
+	}
+	got := SRP(pairs)
+	want := []float64{11, 22, 33}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SRP[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if SRP(nil) != nil {
+		t.Error("SRP of no pairs should be nil")
+	}
+}
+
+func TestSteeredPowerMapDoA(t *testing.T) {
+	// Simulate a plane wave from a known azimuth over a 4-mic circular
+	// array and verify SRP steering recovers the direction.
+	const (
+		fs = 48000.0
+		c  = 340.0
+	)
+	radius := 0.0325
+	positions := []geom.Vec3{
+		{X: radius}, {Y: radius}, {X: -radius}, {Y: -radius},
+	}
+	trueAz := 30.0
+	u := geom.HeadingVec(trueAz) // propagation: wave arrives FROM this azimuth
+	rng := rand.New(rand.NewPCG(17, 18))
+	n := 8192
+	src := make([]float64, n+64)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	lp, err := dsp.NewButterworthLowPass(4, 6000, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src = lp.Apply(src)
+	channels := make([][]float64, len(positions))
+	for mi, p := range positions {
+		// A mic further along u hears the wave earlier.
+		adv := p.Dot(u) / c * fs
+		channels[mi] = fractionalDelay(src, 32-adv)[:n]
+	}
+	maxLag := 10
+	pairs, err := AllPairs(channels, PairOptions{MaxLag: maxLag, PHAT: true, SampleRate: fs, BandLo: 100, BandHi: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, pm := EstimateDoA(positions, pairs, maxLag, fs, c)
+	if len(pm) != 360 {
+		t.Fatalf("power map length %d", len(pm))
+	}
+	if diff := math.Abs(geom.NormalizeDeg(est - trueAz)); diff > 10 {
+		t.Errorf("estimated DoA %g°, want %g±10°", est, trueAz)
+	}
+}
+
+// fractionalDelay delays x by d samples with linear interpolation.
+func fractionalDelay(x []float64, d float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		pos := float64(i) - d
+		lo := int(math.Floor(pos))
+		frac := pos - float64(lo)
+		if lo >= 0 && lo+1 < len(x) {
+			out[i] = x[lo]*(1-frac) + x[lo+1]*frac
+		}
+	}
+	return out
+}
+
+func TestInterpLagClamps(t *testing.T) {
+	r := []float64{1, 2, 3}
+	if got := interpLag(r, 1, -5); got != 1 {
+		t.Errorf("below window: %g", got)
+	}
+	if got := interpLag(r, 1, 5); got != 3 {
+		t.Errorf("above window: %g", got)
+	}
+	if got := interpLag(r, 1, -0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("interpolated: %g, want 1.5", got)
+	}
+}

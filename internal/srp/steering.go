@@ -1,0 +1,62 @@
+package srp
+
+import (
+	"headtalk/internal/geom"
+)
+
+// SteeredPowerMap evaluates the far-field SRP-PHAT power for each
+// candidate azimuth (degrees): for a plane wave from azimuth theta, the
+// expected pair delay is (p_i - p_j)·u(theta)/c, and the steered power
+// is the sum of each pair's GCC at that (fractionally interpolated)
+// lag. positions are the microphone coordinates matching the channel
+// indices used to build pairs; maxLag must be the pairs' lag window.
+func SteeredPowerMap(positions []geom.Vec3, pairs []PairGCC, maxLag int, fs, c float64, azimuthsDeg []float64) []float64 {
+	out := make([]float64, len(azimuthsDeg))
+	for ai, az := range azimuthsDeg {
+		u := geom.HeadingVec(az)
+		var power float64
+		for _, p := range pairs {
+			// With channel i receiving s(t - d_i), the GCC
+			// r[k] = sum_n ch_i[n+k]·ch_j[n] peaks at k = d_i - d_j.
+			// A wave from azimuth az gives d_i = D - p_i·u/c, so the
+			// expected peak lag is -(p_i - p_j)·u/c.
+			d := positions[p.I].Sub(positions[p.J])
+			lag := -d.Dot(u) / c * fs
+			power += interpLag(p.R, maxLag, lag)
+		}
+		out[ai] = power
+	}
+	return out
+}
+
+// EstimateDoA returns the azimuth (degrees) with maximum steered power
+// over a 1-degree grid, along with the power map.
+func EstimateDoA(positions []geom.Vec3, pairs []PairGCC, maxLag int, fs, c float64) (float64, []float64) {
+	azimuths := make([]float64, 360)
+	for i := range azimuths {
+		azimuths[i] = float64(i) - 180
+	}
+	pm := SteeredPowerMap(positions, pairs, maxLag, fs, c, azimuths)
+	best := 0
+	for i, v := range pm {
+		if v > pm[best] {
+			best = i
+		}
+	}
+	return azimuths[best], pm
+}
+
+// interpLag reads a GCC curve (lags -maxLag..maxLag) at a fractional
+// lag with linear interpolation, clamping to the window.
+func interpLag(r []float64, maxLag int, lag float64) float64 {
+	pos := lag + float64(maxLag)
+	if pos <= 0 {
+		return r[0]
+	}
+	if pos >= float64(len(r)-1) {
+		return r[len(r)-1]
+	}
+	lo := int(pos)
+	frac := pos - float64(lo)
+	return r[lo]*(1-frac) + r[lo+1]*frac
+}

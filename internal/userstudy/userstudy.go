@@ -1,0 +1,166 @@
+// Package userstudy reproduces the analysis of the paper's 20-person
+// usability study (§V): the post-study survey tallies of Table V and
+// the System Usability Scale scoring with 95% confidence intervals.
+// The study itself cannot be re-run offline, so the published response
+// counts are embedded as data and the full analysis pipeline (SUS
+// scoring, interval computation, takeaway percentages) is implemented
+// and verified against the paper's reported numbers.
+package userstudy
+
+import (
+	"fmt"
+	"math"
+)
+
+// SurveyQuestion is one Table V row: the question plus labeled
+// response counts in presentation order.
+type SurveyQuestion struct {
+	Question  string
+	Options   []string
+	Counts    []int
+	SkipLabel string // label that denotes a skipped/N-A answer, if any
+}
+
+// TableV returns the paper's post-study survey responses.
+func TableV() []SurveyQuestion {
+	return []SurveyQuestion{
+		{
+			Question: "How many home voice assistants do you have at home?",
+			Options:  []string{"0", "1", "2", "above 2"},
+			Counts:   []int{5, 12, 2, 1},
+		},
+		{
+			Question:  "How often do you face the VA when you are interacting with the VA (if you have one)?",
+			Options:   []string{"N/A", "Very less", "Less", "Often", "Very often"},
+			Counts:    []int{5, 1, 4, 6, 4},
+			SkipLabel: "N/A",
+		},
+		{
+			Question: "How easy was it to use HeadTalk compared with existing privacy controls?",
+			Options:  []string{"Extremely easy", "Somewhat easy", "Neither easy nor difficult", "Somewhat difficult", "Extremely difficult"},
+			Counts:   []int{10, 9, 0, 1, 0},
+		},
+		{
+			Question: "Would you deploy HeadTalk on your voice assistant?",
+			Options:  []string{"Definitely yes", "Probably yes", "Might or might not", "Probably not", "Definitely not"},
+			Counts:   []int{7, 7, 5, 0, 1},
+		},
+		{
+			Question: "Compare HeadTalk with the existing privacy control.",
+			Options:  []string{"Much better", "Somewhat better", "About the same", "Somewhat worse", "Much worse"},
+			Counts:   []int{9, 5, 5, 0, 1},
+		},
+	}
+}
+
+// Respondents returns the total respondent count for a question.
+func (q SurveyQuestion) Respondents() int {
+	total := 0
+	for _, c := range q.Counts {
+		total += c
+	}
+	return total
+}
+
+// TopTwoFraction returns the fraction of non-skipped respondents who
+// picked one of the first two (most favorable) options. Used for the
+// paper's takeaways (95% found it easy, 70% would deploy, ~70% found
+// it better).
+func (q SurveyQuestion) TopTwoFraction() (float64, error) {
+	if len(q.Counts) < 2 {
+		return 0, fmt.Errorf("userstudy: question %q has fewer than two options", q.Question)
+	}
+	num, denom, seen := 0, 0, 0
+	for i, c := range q.Counts {
+		if q.SkipLabel != "" && q.Options[i] == q.SkipLabel {
+			continue
+		}
+		denom += c
+		if seen < 2 {
+			num += c
+		}
+		seen++
+	}
+	if denom == 0 {
+		return 0, fmt.Errorf("userstudy: question %q has no substantive responses", q.Question)
+	}
+	return float64(num) / float64(denom), nil
+}
+
+// SUSResponse is one participant's answers to the 10 SUS items on a
+// 1–5 Likert scale (item order follows Brooke [16]: odd items
+// positive, even items negative).
+type SUSResponse [10]int
+
+// Score returns the participant's SUS score (0–100): odd items
+// contribute (answer-1), even items (5-answer), total scaled by 2.5.
+func (r SUSResponse) Score() (float64, error) {
+	var total float64
+	for i, a := range r {
+		if a < 1 || a > 5 {
+			return 0, fmt.Errorf("userstudy: SUS item %d answer %d outside 1..5", i+1, a)
+		}
+		if i%2 == 0 { // items 1,3,5,7,9
+			total += float64(a - 1)
+		} else { // items 2,4,6,8,10
+			total += float64(5 - a)
+		}
+	}
+	return total * 2.5, nil
+}
+
+// SUSSummary is a scored questionnaire set.
+type SUSSummary struct {
+	Mean float64
+	// CI95 is the half-width of the 95% confidence interval of the
+	// mean.
+	CI95 float64
+	N    int
+}
+
+// AboveAverage reports whether the mean clears the conventional SUS
+// benchmark of 68.
+func (s SUSSummary) AboveAverage() bool { return s.Mean > 68 }
+
+// String formats the summary the way the paper reports it.
+func (s SUSSummary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean, s.CI95, s.N)
+}
+
+// ScoreAll computes the SUS summary for a set of responses.
+func ScoreAll(responses []SUSResponse) (SUSSummary, error) {
+	if len(responses) == 0 {
+		return SUSSummary{}, fmt.Errorf("userstudy: no SUS responses")
+	}
+	scores := make([]float64, len(responses))
+	for i, r := range responses {
+		s, err := r.Score()
+		if err != nil {
+			return SUSSummary{}, fmt.Errorf("userstudy: response %d: %w", i, err)
+		}
+		scores[i] = s
+	}
+	var mean float64
+	for _, s := range scores {
+		mean += s
+	}
+	mean /= float64(len(scores))
+	var varsum float64
+	for _, s := range scores {
+		d := s - mean
+		varsum += d * d
+	}
+	ci := 0.0
+	if len(scores) > 1 {
+		std := math.Sqrt(varsum / float64(len(scores)-1))
+		ci = 1.96 * std / math.Sqrt(float64(len(scores)))
+	}
+	return SUSSummary{Mean: mean, CI95: ci, N: len(scores)}, nil
+}
+
+// PaperSUS returns the paper's reported SUS results for HeadTalk and
+// the existing mute-button control.
+func PaperSUS() (headTalk, existing SUSSummary) {
+	return SUSSummary{Mean: 77.38, CI95: 6.26, N: 20},
+		SUSSummary{Mean: 74.75, CI95: 8.12, N: 20}
+}

@@ -1,0 +1,154 @@
+package va
+
+import (
+	"fmt"
+
+	"headtalk/internal/audio"
+)
+
+// Listener turns a continuous multi-channel audio stream into gated
+// wake events: it buffers incoming frames, scans a sliding window with
+// the wake-word spotter, and on a hit hands the utterance segment to
+// the assistant's HeadTalk pipeline. This is the shape a real
+// deployment consumes audio in — fixed-size frames from an ALSA/I2S
+// capture loop — rather than pre-segmented utterances.
+type Listener struct {
+	assistant *Assistant
+	source    string
+
+	sampleRate float64
+	channels   int
+
+	// windowLen is the analysis window scanned for the wake word;
+	// hopLen is how often the scan runs (both in samples).
+	windowLen int
+	hopLen    int
+
+	buf          *audio.Recording
+	buffered     int
+	sinceScan    int
+	cooldownLeft int
+}
+
+// ListenerConfig sizes a Listener. Zero values select one-second
+// windows scanned every 250 ms with a one-window cooldown after each
+// detection.
+type ListenerConfig struct {
+	SampleRate float64
+	Channels   int
+	// WindowSeconds is the sliding analysis window (default 1.2 s —
+	// long enough for every wake word in the inventory).
+	WindowSeconds float64
+	// HopSeconds is the scan interval (default 0.25 s).
+	HopSeconds float64
+	// Source tags this stream's upload-log entries.
+	Source string
+}
+
+// NewListener wires a listener to an assistant.
+func NewListener(assistant *Assistant, cfg ListenerConfig) (*Listener, error) {
+	if assistant == nil {
+		return nil, fmt.Errorf("va: listener needs an assistant")
+	}
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("va: invalid sample rate %g", cfg.SampleRate)
+	}
+	if cfg.Channels <= 0 {
+		return nil, fmt.Errorf("va: invalid channel count %d", cfg.Channels)
+	}
+	if cfg.WindowSeconds == 0 {
+		cfg.WindowSeconds = 1.2
+	}
+	if cfg.HopSeconds == 0 {
+		cfg.HopSeconds = 0.25
+	}
+	windowLen := int(cfg.WindowSeconds * cfg.SampleRate)
+	hopLen := int(cfg.HopSeconds * cfg.SampleRate)
+	if windowLen <= 0 || hopLen <= 0 {
+		return nil, fmt.Errorf("va: window/hop too small (%gs / %gs)", cfg.WindowSeconds, cfg.HopSeconds)
+	}
+	return &Listener{
+		assistant:  assistant,
+		source:     cfg.Source,
+		sampleRate: cfg.SampleRate,
+		channels:   cfg.Channels,
+		windowLen:  windowLen,
+		hopLen:     hopLen,
+		buf:        audio.NewRecording(cfg.SampleRate, cfg.Channels, windowLen),
+	}, nil
+}
+
+// Feed appends one multi-channel frame (channels × samples) and runs
+// any due wake-word scans. It returns the responses for windows in
+// which the wake word fired (usually zero or one per call).
+func (l *Listener) Feed(frame [][]float64) ([]Response, error) {
+	if len(frame) != l.channels {
+		return nil, fmt.Errorf("va: frame has %d channels, want %d", len(frame), l.channels)
+	}
+	n := len(frame[0])
+	for c, ch := range frame {
+		if len(ch) != n {
+			return nil, fmt.Errorf("va: ragged frame (channel %d has %d samples, want %d)", c, len(ch), n)
+		}
+	}
+
+	var responses []Response
+	offset := 0
+	for offset < n {
+		// Copy up to the next scan boundary.
+		step := l.hopLen - l.sinceScan
+		if step > n-offset {
+			step = n - offset
+		}
+		l.append(frame, offset, step)
+		offset += step
+		l.sinceScan += step
+		if l.sinceScan < l.hopLen {
+			break
+		}
+		l.sinceScan = 0
+		if l.cooldownLeft > 0 {
+			l.cooldownLeft--
+			continue
+		}
+		if l.buffered < l.windowLen {
+			continue
+		}
+		resp, err := l.scan()
+		if err != nil {
+			return nil, err
+		}
+		if resp != nil {
+			responses = append(responses, *resp)
+			// Suppress re-triggering on the same utterance.
+			l.cooldownLeft = l.windowLen / l.hopLen
+		}
+	}
+	return responses, nil
+}
+
+// append shifts the ring buffer left and copies step samples in.
+func (l *Listener) append(frame [][]float64, offset, step int) {
+	for c := 0; c < l.channels; c++ {
+		ch := l.buf.Channels[c]
+		copy(ch, ch[step:])
+		copy(ch[l.windowLen-step:], frame[c][offset:offset+step])
+	}
+	l.buffered += step
+	if l.buffered > l.windowLen {
+		l.buffered = l.windowLen
+	}
+}
+
+// scan runs the spotter + HeadTalk pipeline on the current window.
+func (l *Listener) scan() (*Response, error) {
+	window := l.buf.Clone()
+	resp, err := l.assistant.Hear(window, l.source)
+	if err != nil {
+		return nil, fmt.Errorf("va: scanning window: %w", err)
+	}
+	if !resp.WakeDetected {
+		return nil, nil
+	}
+	return &resp, nil
+}

@@ -1,0 +1,157 @@
+// Package va simulates a smart-home voice assistant around the
+// HeadTalk core: a wake-word spotter, a cloud-upload log (the privacy
+// surface HeadTalk protects) and scenario harnesses for replay attacks
+// and accidental TV activations.
+package va
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"headtalk/internal/dsp"
+	"headtalk/internal/speech"
+)
+
+// Spotter is a lightweight template-matching wake-word detector. Real
+// VAs run a small neural keyword spotter; for this repo the spotter
+// correlates log-filterbank "fingerprints" of the incoming audio
+// against synthesized reference templates of the wake word. It is
+// deliberately speaker-independent — and therefore happy to fire on a
+// replayed or TV-spoken wake word, which is exactly the misactivation
+// HeadTalk exists to stop.
+type Spotter struct {
+	Word      speech.WakeWord
+	Threshold float64
+	templates [][]float64 // flattened fingerprint per template
+	frames    int         // fingerprint frame count
+}
+
+// Spotter fingerprint parameters: 64 ms frames hopped by 32 ms, 12
+// coarse log bands up to 6 kHz.
+const (
+	spotFrameSec = 0.064
+	spotHopSec   = 0.032
+	spotBands    = 12
+	spotMaxHz    = 6000.0
+)
+
+// NewSpotter builds a spotter for the word from numTemplates
+// synthesized speaker variants.
+func NewSpotter(word speech.WakeWord, numTemplates int, seed uint64) (*Spotter, error) {
+	if numTemplates < 1 {
+		numTemplates = 4
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5b07734))
+	s := &Spotter{Word: word, Threshold: 0.55}
+	const fs = 16000
+	for i := 0; i < numTemplates; i++ {
+		voice := speech.RandomVoice(rng)
+		buf := speech.Synthesize(word, voice, fs, rng)
+		fp, err := fingerprint(buf.Samples, fs)
+		if err != nil {
+			return nil, fmt.Errorf("va: building template %d: %w", i, err)
+		}
+		if s.frames == 0 || len(fp)/spotBands < s.frames {
+			s.frames = len(fp) / spotBands
+		}
+		s.templates = append(s.templates, fp)
+	}
+	// Truncate all templates to the shortest so offsets align.
+	for i, t := range s.templates {
+		s.templates[i] = t[:s.frames*spotBands]
+	}
+	return s, nil
+}
+
+// fingerprint computes the flattened log-band energy matrix of x.
+func fingerprint(x []float64, fs float64) ([]float64, error) {
+	frameLen := int(spotFrameSec * fs)
+	hop := int(spotHopSec * fs)
+	if len(x) < frameLen {
+		return nil, fmt.Errorf("va: audio too short for fingerprint (%d samples)", len(x))
+	}
+	win := dsp.Hann.Coefficients(frameLen)
+	var out []float64
+	for start := 0; start+frameLen <= len(x); start += hop {
+		frame := dsp.ApplyWindow(x[start:start+frameLen], win)
+		spec := dsp.HalfSpectrum(frame)
+		pow := dsp.Power(spec)
+		for b := 0; b < spotBands; b++ {
+			lo := spotMaxHz * float64(b) / spotBands
+			hi := spotMaxHz * float64(b+1) / spotBands
+			loBin := dsp.FreqBin(lo, frameLen, fs)
+			hiBin := dsp.FreqBin(hi, frameLen, fs)
+			if hiBin >= len(pow) {
+				hiBin = len(pow) - 1
+			}
+			var acc float64
+			for i := loBin; i <= hiBin; i++ {
+				acc += pow[i]
+			}
+			out = append(out, math.Log(acc+1e-12))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("va: no fingerprint frames")
+	}
+	return out, nil
+}
+
+// Detect scans mono audio for the wake word and returns whether any
+// template matches above the threshold, the best normalized
+// correlation score and the frame offset of the best match.
+func (s *Spotter) Detect(x []float64, fs float64) (bool, float64, int) {
+	wav := x
+	if fs != 16000 {
+		resampled, err := dsp.Resample(x, fs, 16000)
+		if err != nil {
+			return false, 0, 0
+		}
+		wav = resampled
+	}
+	fp, err := fingerprint(wav, 16000)
+	if err != nil {
+		return false, 0, 0
+	}
+	frames := len(fp) / spotBands
+	if frames < s.frames {
+		// Shorter than the template: compare what we have.
+		best := s.bestScoreAt(fp, 0, frames)
+		return best >= s.Threshold, best, 0
+	}
+	bestScore := -1.0
+	bestOffset := 0
+	for off := 0; off+s.frames <= frames; off++ {
+		score := s.bestScoreAt(fp, off, s.frames)
+		if score > bestScore {
+			bestScore = score
+			bestOffset = off
+		}
+	}
+	return bestScore >= s.Threshold, bestScore, bestOffset
+}
+
+// bestScoreAt returns the max normalized correlation across templates
+// for a window of the fingerprint.
+func (s *Spotter) bestScoreAt(fp []float64, offset, frames int) float64 {
+	window := fp[offset*spotBands : (offset+frames)*spotBands]
+	wz := dsp.ZScore(window)
+	best := -1.0
+	for _, t := range s.templates {
+		tt := t
+		if len(tt) > len(wz) {
+			tt = tt[:len(wz)]
+		}
+		tz := dsp.ZScore(tt)
+		var corr float64
+		for i := range tz {
+			corr += tz[i] * wz[i]
+		}
+		corr /= float64(len(tz))
+		if corr > best {
+			best = corr
+		}
+	}
+	return best
+}
