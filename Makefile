@@ -1,0 +1,30 @@
+# Tier-1 gate and developer targets. `make check` is what CI (and the
+# next PR) should run: build + tests + vet + race on the concurrent
+# packages.
+
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the packages with real concurrency: the serving engine,
+# the core controller it hammers, and the assistant/listener layer.
+race:
+	$(GO) test -race ./internal/serve ./internal/core ./internal/va ./internal/metrics
+
+vet:
+	$(GO) vet ./...
+
+# Serving-layer throughput baseline (worker sweep) plus the paper's
+# §IV-B15 pipeline-stage timings.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput|BenchmarkRuntime' -benchtime 50x .
+
+check: build vet test race

@@ -5,7 +5,11 @@
 package headtalk
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -291,5 +295,122 @@ func BenchmarkSteeredPowerMap(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		srp.SteeredPowerMap(selPos, pairs, 13, 48000, 340, azimuths)
+	}
+}
+
+// --- serving-layer benchmarks ---
+
+// engineBenchState shares the trained system and the fixed wake-word
+// batch across worker-count sweeps so each sub-benchmark measures only
+// serving throughput.
+var (
+	engineBenchOnce  sync.Once
+	engineBenchSys   *System
+	engineBenchBatch []*Recording
+	engineBenchErr   error
+)
+
+func engineBenchSetup() {
+	engineBenchOnce.Do(func() {
+		gen := dataset.NewGenerator(21)
+		var x [][]float64
+		var y []int
+		for i := 0; i < 10; i++ {
+			angle := 0.0
+			label := orientation.LabelFacing
+			if i%2 == 0 {
+				angle = 180
+				label = orientation.LabelNonFacing
+			}
+			s, err := gen.Generate(dataset.Condition{AngleDeg: angle, Rep: i + 1})
+			if err != nil {
+				engineBenchErr = err
+				return
+			}
+			x = append(x, s.Features)
+			y = append(y, label)
+		}
+		model, err := orientation.Train(x, y, orientation.ModelConfig{Seed: 1})
+		if err != nil {
+			engineBenchErr = err
+			return
+		}
+		sys, err := NewSystem(Config{Orientation: model})
+		if err != nil {
+			engineBenchErr = err
+			return
+		}
+		sys.SetMode(ModeHeadTalk)
+		engineBenchSys = sys
+		// Fixed batch of synthesized wake words, facing and not.
+		for i := 0; i < 8; i++ {
+			rec, err := dataset.CaptureRecording(gen, dataset.Condition{
+				AngleDeg: float64((i % 2) * 180),
+				Rep:      100 + i,
+			})
+			if err != nil {
+				engineBenchErr = err
+				return
+			}
+			engineBenchBatch = append(engineBenchBatch, rec)
+		}
+	})
+}
+
+// BenchmarkEngineThroughput sweeps the serving engine's worker count
+// over a fixed batch of synthesized wake words, reporting
+// decisions/sec — the serving-layer perf baseline. Decisions/sec
+// should improve monotonically from 1 to 4 workers on a multi-core
+// machine (each worker owns its DSP state, so the pipeline has no
+// shared locks on the hot path).
+func BenchmarkEngineThroughput(b *testing.B) {
+	engineBenchSetup()
+	if engineBenchErr != nil {
+		b.Fatal(engineBenchErr)
+	}
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := NewEngine(EngineConfig{
+				System:    engineBenchSys,
+				Workers:   workers,
+				QueueSize: 4 * workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Start(); err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := engineBenchBatch[i%len(engineBenchBatch)]
+				wg.Add(1)
+				for {
+					_, err := eng.Submit(context.Background(), ServeRequest{
+						Recording: rec,
+						Callback:  func(ServeResult) { wg.Done() },
+					})
+					if err == nil {
+						break
+					}
+					if errors.Is(err, ErrQueueFull) {
+						runtime.Gosched() // backpressure: retry
+						continue
+					}
+					b.Fatal(err)
+				}
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }

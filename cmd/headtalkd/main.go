@@ -1,0 +1,415 @@
+// Command headtalkd is the HeadTalk decision daemon: the first
+// end-to-end "service" shape for this repo. It reads newline-delimited
+// JSON decision requests — each naming a WAV file or a synthetic
+// condition spec — on stdin or a TCP listener, runs them through the
+// concurrent serving engine (internal/serve), and streams JSON
+// decisions plus periodic metrics summaries back.
+//
+// Usage:
+//
+//	headtalkd [-listen addr] [-workers N] [-queue N] [-mode M]
+//	          [-deadline D] [-metrics-every D] [-no-enroll] [-seed N]
+//
+// Request lines:
+//
+//	{"id":"1","wav":"/path/to/utterance.wav"}
+//	{"id":"2","condition":{"AngleDeg":180,"Distance":3}}
+//	{"id":"3","condition":{"Replay":"Smart TV"}}
+//	{"id":"4","mode":"normal"}            (control: switch privacy mode)
+//
+// Response lines (order may differ from request order under load; use
+// ids to correlate):
+//
+//	{"type":"decision","id":"1","accepted":true,"reason":"accepted",...}
+//	{"type":"error","id":"9","error":"serve: submission queue full"}
+//	{"type":"metrics","counters":{...},"latencies":{...}}
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"headtalk"
+	"headtalk/internal/audio"
+	"headtalk/internal/core"
+	"headtalk/internal/dataset"
+	"headtalk/internal/metrics"
+	"headtalk/internal/serve"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "", "TCP listen address (empty: serve stdin/stdout)")
+		workers      = flag.Int("workers", 0, "engine worker count (0: NumCPU)")
+		queueSize    = flag.Int("queue", 64, "bounded submission queue size")
+		mode         = flag.String("mode", "headtalk", "initial privacy mode: normal|mute|headtalk")
+		deadline     = flag.Duration("deadline", 0, "per-request deadline (0: none)")
+		metricsEvery = flag.Duration("metrics-every", 30*time.Second, "metrics summary interval (0: disable)")
+		noEnroll     = flag.Bool("no-enroll", false, "skip gate training (headtalk mode then rejects everything)")
+		seed         = flag.Uint64("seed", 7, "enrollment + synthesis seed")
+		orientReps   = flag.Int("orientation-reps", 2, "enrollment repetitions per angle/distance")
+		livePairs    = flag.Int("liveness-pairs", 36, "live/replay training pairs for the liveness gate")
+	)
+	flag.Parse()
+
+	d, err := newDaemon(daemonOptions{
+		Workers:      *workers,
+		QueueSize:    *queueSize,
+		Mode:         *mode,
+		Deadline:     *deadline,
+		MetricsEvery: *metricsEvery,
+		Enroll:       !*noEnroll,
+		Seed:         *seed,
+		OrientReps:   *orientReps,
+		LivePairs:    *livePairs,
+		Progress:     os.Stderr,
+	})
+	if err != nil {
+		log.Fatalf("headtalkd: %v", err)
+	}
+	defer d.Close()
+
+	if *listen == "" {
+		if err := d.ServeStream(os.Stdin, os.Stdout); err != nil {
+			log.Fatalf("headtalkd: %v", err)
+		}
+		return
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("headtalkd: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "headtalkd: listening on %s (%d workers, queue %d)\n", ln.Addr(), d.engine.Workers(), *queueSize)
+	d.ServeListener(ln)
+}
+
+// daemonOptions assembles a daemon.
+type daemonOptions struct {
+	Workers      int
+	QueueSize    int
+	Mode         string
+	Deadline     time.Duration
+	MetricsEvery time.Duration
+	Enroll       bool
+	Seed         uint64
+	OrientReps   int
+	LivePairs    int
+	Progress     io.Writer
+}
+
+// daemon owns the trained system, the serving engine and the synth
+// generator shared by every connection.
+type daemon struct {
+	sys      *core.System
+	engine   *serve.Engine
+	registry *metrics.Registry
+	opts     daemonOptions
+
+	// genMu serializes the synthetic-condition generator, which is not
+	// safe for concurrent use; WAV requests bypass it entirely.
+	genMu sync.Mutex
+	gen   *dataset.Generator
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "normal":
+		return core.ModeNormal, nil
+	case "mute":
+		return core.ModeMute, nil
+	case "headtalk":
+		return core.ModeHeadTalk, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want normal|mute|headtalk)", s)
+	}
+}
+
+func newDaemon(opts daemonOptions) (*daemon, error) {
+	m, err := parseMode(opts.Mode)
+	if err != nil {
+		return nil, err
+	}
+	cfg := headtalk.Config{}
+	if opts.Enroll {
+		enr, eerr := headtalk.Enroll(headtalk.EnrollmentOptions{
+			Seed:            opts.Seed,
+			OrientationReps: opts.OrientReps,
+			LivenessPairs:   opts.LivePairs,
+			Progress:        opts.Progress,
+		})
+		if eerr != nil {
+			return nil, fmt.Errorf("enrolling gates: %w", eerr)
+		}
+		cfg.Liveness = enr.Liveness
+		cfg.Orientation = enr.Orientation
+	}
+	registry := metrics.NewRegistry()
+	cfg.Metrics = registry
+	sys, err := headtalk.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys.SetMode(m)
+	engine, err := serve.NewEngine(serve.Config{
+		System:    sys,
+		Workers:   opts.Workers,
+		QueueSize: opts.QueueSize,
+		Metrics:   registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.Start(); err != nil {
+		return nil, err
+	}
+	return &daemon{
+		sys:      sys,
+		engine:   engine,
+		registry: registry,
+		opts:     opts,
+		gen:      dataset.NewGenerator(opts.Seed),
+	}, nil
+}
+
+// Close drains the engine, finishing in-flight decisions.
+func (d *daemon) Close() error { return d.engine.Close() }
+
+// request is one NDJSON input line.
+type request struct {
+	ID string `json:"id"`
+	// WAV names a multi-channel utterance file on disk.
+	WAV string `json:"wav,omitempty"`
+	// Condition synthesizes the utterance instead (zero values pick
+	// the paper's defaults: lab room, device D2, "Computer", facing).
+	Condition *dataset.Condition `json:"condition,omitempty"`
+	// Mode, when set, is a control request switching the privacy mode.
+	Mode string `json:"mode,omitempty"`
+}
+
+// response is one NDJSON output line.
+type response struct {
+	Type        string   `json:"type"` // decision | ok | error | metrics
+	ID          string   `json:"id,omitempty"`
+	Accepted    *bool    `json:"accepted,omitempty"`
+	Reason      string   `json:"reason,omitempty"`
+	ReasonSlug  string   `json:"reason_slug,omitempty"`
+	LiveScore   *float64 `json:"live_score,omitempty"`
+	FacingScore *float64 `json:"facing_score,omitempty"`
+	QueueWaitUS int64    `json:"queue_wait_us,omitempty"`
+	TotalUS     int64    `json:"total_us,omitempty"`
+	Mode        string   `json:"mode,omitempty"`
+	Error       string   `json:"error,omitempty"`
+
+	Counters  map[string]uint64         `json:"counters,omitempty"`
+	Gauges    map[string]int64          `json:"gauges,omitempty"`
+	Latencies map[string]latencySummary `json:"latencies,omitempty"`
+}
+
+// latencySummary renders one histogram for the metrics line.
+type latencySummary struct {
+	Count  uint64 `json:"count"`
+	MeanUS int64  `json:"mean_us"`
+	P50US  int64  `json:"p50_us"`
+	P90US  int64  `json:"p90_us"`
+	P99US  int64  `json:"p99_us"`
+	MaxUS  int64  `json:"max_us"`
+}
+
+func metricsResponse(s metrics.Snapshot) response {
+	resp := response{
+		Type:      "metrics",
+		Counters:  s.Counters,
+		Gauges:    s.Gauges,
+		Latencies: make(map[string]latencySummary, len(s.Histograms)),
+	}
+	us := func(sec float64) int64 { return int64(sec * 1e6) }
+	for name, h := range s.Histograms {
+		resp.Latencies[name] = latencySummary{
+			Count:  h.Count,
+			MeanUS: us(h.Mean()),
+			P50US:  us(h.Quantile(0.5)),
+			P90US:  us(h.Quantile(0.9)),
+			P99US:  us(h.Quantile(0.99)),
+			MaxUS:  us(h.Max),
+		}
+	}
+	return resp
+}
+
+// lineWriter serializes NDJSON writes from workers, the reader loop
+// and the metrics ticker.
+type lineWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func (lw *lineWriter) write(resp response) {
+	data, err := json.Marshal(resp)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"type":"error","error":%q}`, err.Error()))
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	lw.w.Write(data)
+	lw.w.WriteByte('\n')
+	lw.w.Flush()
+}
+
+// loadRecording resolves a request into a microphone-array recording.
+func (d *daemon) loadRecording(req request) (*audio.Recording, error) {
+	switch {
+	case req.WAV != "" && req.Condition != nil:
+		return nil, fmt.Errorf("request has both wav and condition")
+	case req.WAV != "":
+		f, err := os.Open(req.WAV)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return audio.ReadWAV(f)
+	case req.Condition != nil:
+		d.genMu.Lock()
+		defer d.genMu.Unlock()
+		return dataset.CaptureRecording(d.gen, *req.Condition)
+	default:
+		return nil, fmt.Errorf("request needs wav or condition")
+	}
+}
+
+// handle dispatches one request line; decision responses are written
+// asynchronously from engine workers.
+func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
+	if req.Mode != "" {
+		m, err := parseMode(req.Mode)
+		if err != nil {
+			lw.write(response{Type: "error", ID: req.ID, Error: err.Error()})
+			return
+		}
+		d.sys.SetMode(m)
+		lw.write(response{Type: "ok", ID: req.ID, Mode: m.String()})
+		return
+	}
+	rec, err := d.loadRecording(req)
+	if err != nil {
+		lw.write(response{Type: "error", ID: req.ID, Error: err.Error()})
+		return
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if d.opts.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d.opts.Deadline)
+	}
+	inflight.Add(1)
+	_, err = d.engine.Submit(ctx, serve.Request{
+		ID:        req.ID,
+		Recording: rec,
+		Callback: func(res serve.Result) {
+			defer inflight.Done()
+			defer cancel()
+			if res.Err != nil {
+				lw.write(response{Type: "error", ID: res.ID, Error: res.Err.Error()})
+				return
+			}
+			dec := res.Decision
+			resp := response{
+				Type:        "decision",
+				ID:          res.ID,
+				Accepted:    &dec.Accepted,
+				Reason:      string(dec.Reason),
+				ReasonSlug:  dec.Reason.Slug(),
+				QueueWaitUS: res.QueueWait.Microseconds(),
+				TotalUS:     res.Total.Microseconds(),
+			}
+			if dec.LiveRan {
+				resp.LiveScore = &dec.LiveScore
+			}
+			if dec.FacingRan {
+				resp.FacingScore = &dec.FacingScore
+			}
+			lw.write(resp)
+		},
+	})
+	if err != nil {
+		// Submission rejected (backpressure or shutdown): the callback
+		// will never fire.
+		inflight.Done()
+		cancel()
+		lw.write(response{Type: "error", ID: req.ID, Error: err.Error()})
+	}
+}
+
+// ServeStream serves NDJSON requests from r, writing responses to w,
+// until EOF. It waits for in-flight decisions before returning.
+func (d *daemon) ServeStream(r io.Reader, w io.Writer) error {
+	lw := &lineWriter{w: bufio.NewWriter(w)}
+	var inflight sync.WaitGroup
+
+	stopMetrics := make(chan struct{})
+	var tickerDone sync.WaitGroup
+	if d.opts.MetricsEvery > 0 {
+		tickerDone.Add(1)
+		go func() {
+			defer tickerDone.Done()
+			t := time.NewTicker(d.opts.MetricsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					lw.write(metricsResponse(d.registry.Snapshot()))
+				case <-stopMetrics:
+					return
+				}
+			}
+		}()
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req request
+		if err := json.Unmarshal(line, &req); err != nil {
+			lw.write(response{Type: "error", Error: fmt.Sprintf("bad request: %v", err)})
+			continue
+		}
+		d.handle(req, lw, &inflight)
+	}
+	inflight.Wait()
+	close(stopMetrics)
+	tickerDone.Wait()
+	// A final summary so batch (stdin) runs always end with the tallies.
+	if d.opts.MetricsEvery > 0 {
+		lw.write(metricsResponse(d.registry.Snapshot()))
+	}
+	return sc.Err()
+}
+
+// ServeListener accepts TCP connections forever, one NDJSON stream
+// per connection.
+func (d *daemon) ServeListener(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("headtalkd: accept: %v", err)
+			return
+		}
+		go func() {
+			defer conn.Close()
+			if err := d.ServeStream(conn, conn); err != nil {
+				log.Printf("headtalkd: %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}

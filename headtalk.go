@@ -41,9 +41,11 @@ import (
 	"headtalk/internal/dataset"
 	"headtalk/internal/features"
 	"headtalk/internal/liveness"
+	"headtalk/internal/metrics"
 	"headtalk/internal/mic"
 	"headtalk/internal/orientation"
 	"headtalk/internal/room"
+	"headtalk/internal/serve"
 	"headtalk/internal/speech"
 	"headtalk/internal/va"
 )
@@ -72,6 +74,43 @@ const (
 
 // NewSystem validates cfg and returns a controller in Normal mode.
 func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// Serving layer: the concurrent decision engine and its
+// instrumentation (see internal/serve and internal/metrics).
+type (
+	// Engine is a pool of decision workers over one System, with a
+	// bounded submission queue and explicit backpressure.
+	Engine = serve.Engine
+	// EngineConfig sizes an Engine (workers, queue, metrics).
+	EngineConfig = serve.Config
+	// ServeRequest is one decision submission.
+	ServeRequest = serve.Request
+	// ServeResult is the outcome of a served submission.
+	ServeResult = serve.Result
+	// Preprocessor is per-goroutine DSP state for the band-pass stage.
+	Preprocessor = core.Preprocessor
+	// MetricsRegistry collects counters, gauges and latency
+	// histograms; share one between Config.Metrics and
+	// EngineConfig.Metrics to scrape the whole pipeline at once.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time scrape of a registry.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// Serving-layer sentinel errors.
+var (
+	// ErrQueueFull is the engine's backpressure signal.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrEngineClosed is returned once an engine drains or closes.
+	ErrEngineClosed = serve.ErrClosed
+)
+
+// NewEngine validates cfg and returns a decision engine; call Start
+// before submitting and Close (or Drain) to finish in-flight work.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return serve.NewEngine(cfg) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // Audio types.
 type (
@@ -197,6 +236,10 @@ type (
 	Listener = va.Listener
 	// ListenerConfig sizes a Listener.
 	ListenerConfig = va.ListenerConfig
+	// Decider is the decision backend an Assistant routes wake words
+	// through — a System directly, or an Engine to share its worker
+	// pool (Assistant.UseDecider).
+	Decider = va.Decider
 )
 
 // NewSpotter builds a wake-word spotter from synthesized templates.

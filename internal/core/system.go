@@ -14,6 +14,7 @@ import (
 	"headtalk/internal/dsp"
 	"headtalk/internal/features"
 	"headtalk/internal/liveness"
+	"headtalk/internal/metrics"
 	"headtalk/internal/orientation"
 )
 
@@ -60,6 +61,33 @@ const (
 	ReasonNoLiveness     Reason = "rejected: no liveness model trained"
 	ReasonProcessingFail Reason = "rejected: processing error"
 )
+
+// Slug returns a short machine-friendly identifier for the reason,
+// used as a metrics label segment.
+func (r Reason) Slug() string {
+	switch r {
+	case ReasonAccepted:
+		return "accepted"
+	case ReasonMuted:
+		return "muted"
+	case ReasonNotLive:
+		return "not_live"
+	case ReasonNotFacing:
+		return "not_facing"
+	case ReasonSessionActive:
+		return "session_active"
+	case ReasonNormalMode:
+		return "normal_mode"
+	case ReasonNoOrientation:
+		return "no_orientation"
+	case ReasonNoLiveness:
+		return "no_liveness"
+	case ReasonProcessingFail:
+		return "processing_fail"
+	default:
+		return "unknown"
+	}
+}
 
 // Decision is the outcome of processing one wake-word utterance.
 type Decision struct {
@@ -108,6 +136,15 @@ type Config struct {
 	// orientation gate (nil = all channels). The paper uses 4-mic
 	// subsets by default.
 	ChannelSubset []int
+	// LogCapacity bounds the decision log. A long-running daemon
+	// otherwise grows the log without limit; once full, the oldest
+	// events are dropped and counted. Default 1024.
+	LogCapacity int
+	// Metrics, when non-nil, receives per-decision instrumentation:
+	// accept/reject counters by Reason, per-gate latency histograms
+	// and preprocessing latency. The registry may be shared with a
+	// serving engine.
+	Metrics *metrics.Registry
 	// Clock abstracts time for session handling (tests inject a fake);
 	// nil uses time.Now.
 	Clock func() time.Time
@@ -121,7 +158,56 @@ type System struct {
 	cfg         Config
 	sessionOpen bool
 	sessionEnd  time.Time
-	log         []Event
+
+	// Decision log as a fixed-capacity ring: log has capacity
+	// cfg.LogCapacity, logStart indexes the oldest event, logLen counts
+	// stored events, dropped counts evicted ones.
+	log      []Event
+	logStart int
+	logLen   int
+	dropped  uint64
+
+	// bp holds the Butterworth band-pass designed once at NewSystem;
+	// its coefficients are immutable and cloned into per-goroutine
+	// Preprocessors, so the hot path never redoes the design trig.
+	bp      *dsp.IIRFilter
+	prePool sync.Pool
+
+	ins *instruments
+}
+
+// instruments caches the system's metric handles so the hot path
+// never takes the registry lock.
+type instruments struct {
+	decisions  *metrics.Counter
+	accepted   *metrics.Counter
+	rejected   *metrics.Counter
+	byReason   map[Reason]*metrics.Counter
+	preprocess *metrics.Histogram
+	liveGate   *metrics.Histogram
+	orientGate *metrics.Histogram
+	logDropped *metrics.Counter
+}
+
+func newInstruments(r *metrics.Registry) *instruments {
+	ins := &instruments{
+		decisions:  r.Counter("headtalk.decisions.total"),
+		accepted:   r.Counter("headtalk.decisions.accepted"),
+		rejected:   r.Counter("headtalk.decisions.rejected"),
+		byReason:   make(map[Reason]*metrics.Counter),
+		preprocess: r.Histogram("headtalk.preprocess.latency", nil),
+		liveGate:   r.Histogram("headtalk.gate.liveness.latency", nil),
+		orientGate: r.Histogram("headtalk.gate.orientation.latency", nil),
+		logDropped: r.Counter("headtalk.log.dropped"),
+	}
+	for _, reason := range []Reason{
+		ReasonAccepted, ReasonMuted, ReasonNotLive, ReasonNotFacing,
+		ReasonSessionActive, ReasonNormalMode, ReasonNoOrientation,
+		ReasonNoLiveness, ReasonProcessingFail,
+	} {
+		ins.byReason[reason] = r.Counter("headtalk.decisions.reason." + reason.Slug())
+	}
+	return ins
 }
 
 // Event is one entry in the system's decision log (the paper's
@@ -153,6 +239,12 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.LivenessThreshold == 0 {
 		cfg.LivenessThreshold = 0.5
 	}
+	if cfg.LogCapacity == 0 {
+		cfg.LogCapacity = 1024
+	}
+	if cfg.LogCapacity < 1 {
+		cfg.LogCapacity = 1
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
@@ -162,7 +254,56 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Features.MaxLag == 0 {
 		cfg.Features = features.DefaultConfig(13, cfg.SampleRate)
 	}
-	return &System{mode: ModeNormal, cfg: cfg}, nil
+	bp, err := dsp.NewButterworthBandPass(cfg.BandpassOrder, cfg.BandpassLow, cfg.BandpassHigh, cfg.SampleRate)
+	if err != nil {
+		return nil, fmt.Errorf("core: designing bandpass: %w", err)
+	}
+	s := &System{mode: ModeNormal, cfg: cfg, bp: bp}
+	s.prePool.New = func() any { return s.NewPreprocessor() }
+	if cfg.Metrics != nil {
+		s.ins = newInstruments(cfg.Metrics)
+	}
+	return s, nil
+}
+
+// Preprocessor owns the per-goroutine DSP state (the band-pass biquad
+// cascade) for the paper's preprocessing stage. Each serving worker
+// holds its own Preprocessor so concurrent decisions never contend on
+// filter state or a lock. A Preprocessor must not be used from more
+// than one goroutine at a time.
+type Preprocessor struct {
+	bp  *dsp.IIRFilter
+	ins *instruments
+}
+
+// NewPreprocessor clones the system's designed band-pass into an
+// independent preprocessing pipeline.
+func (s *System) NewPreprocessor() *Preprocessor {
+	return &Preprocessor{bp: s.bp.Clone(), ins: s.ins}
+}
+
+// Apply runs the paper's fifth-order Butterworth band-pass
+// (100 Hz – 16 kHz) over every channel, returning a new recording.
+func (p *Preprocessor) Apply(rec *audio.Recording) *audio.Recording {
+	start := time.Now()
+	out := audio.NewRecording(rec.SampleRate, len(rec.Channels), rec.Len())
+	for i, ch := range rec.Channels {
+		copy(out.Channels[i], p.bp.Apply(ch))
+	}
+	if p.ins != nil {
+		p.ins.preprocess.ObserveDuration(time.Since(start))
+	}
+	return out
+}
+
+// Preprocess applies the band-pass preprocessing stage using a pooled
+// Preprocessor; safe for concurrent use. The error return is kept for
+// API compatibility and is always nil now that the filter design is
+// validated at NewSystem.
+func (s *System) Preprocess(rec *audio.Recording) (*audio.Recording, error) {
+	p := s.prePool.Get().(*Preprocessor)
+	defer s.prePool.Put(p)
+	return p.Apply(rec), nil
 }
 
 // orientationFeatures extracts the facing/non-facing feature vector
@@ -213,25 +354,21 @@ func (s *System) EndSession() {
 	s.sessionOpen = false
 }
 
-// Preprocess applies the paper's fifth-order Butterworth band-pass
-// (100 Hz – 16 kHz) to every channel, returning a new recording.
-func (s *System) Preprocess(rec *audio.Recording) (*audio.Recording, error) {
-	bp, err := dsp.NewButterworthBandPass(s.cfg.BandpassOrder, s.cfg.BandpassLow, s.cfg.BandpassHigh, s.cfg.SampleRate)
-	if err != nil {
-		return nil, fmt.Errorf("core: designing bandpass: %w", err)
-	}
-	out := audio.NewRecording(rec.SampleRate, len(rec.Channels), rec.Len())
-	for i, ch := range rec.Channels {
-		copy(out.Channels[i], bp.Apply(ch))
-	}
-	return out, nil
-}
-
 // ProcessWake runs the full HeadTalk decision pipeline (paper Fig. 2)
 // on a detected wake-word recording and logs the outcome. The
 // recording should contain just the wake-word utterance from the
 // device's microphone array.
 func (s *System) ProcessWake(rec *audio.Recording) (Decision, error) {
+	p := s.prePool.Get().(*Preprocessor)
+	defer s.prePool.Put(p)
+	return s.ProcessWakeWith(p, rec)
+}
+
+// ProcessWakeWith is ProcessWake with caller-supplied preprocessing
+// state. Serving workers call this with a Preprocessor they own so the
+// DSP hot path runs without any shared mutable state; p must not be
+// used concurrently from another goroutine.
+func (s *System) ProcessWakeWith(p *Preprocessor, rec *audio.Recording) (Decision, error) {
 	s.mu.Lock()
 	mode := s.mode
 	s.mu.Unlock()
@@ -244,7 +381,7 @@ func (s *System) ProcessWake(rec *audio.Recording) (Decision, error) {
 		d = Decision{Accepted: true, Reason: ReasonNormalMode}
 	case ModeHeadTalk:
 		var err error
-		d, err = s.headTalkDecision(rec)
+		d, err = s.headTalkDecision(p, rec)
 		if err != nil {
 			s.logEvent(mode, Decision{Reason: ReasonProcessingFail})
 			return Decision{Reason: ReasonProcessingFail}, err
@@ -254,7 +391,7 @@ func (s *System) ProcessWake(rec *audio.Recording) (Decision, error) {
 	return d, nil
 }
 
-func (s *System) headTalkDecision(rec *audio.Recording) (Decision, error) {
+func (s *System) headTalkDecision(p *Preprocessor, rec *audio.Recording) (Decision, error) {
 	var d Decision
 
 	// Session shortcut: a facing-validated session accepts follow-ups
@@ -262,15 +399,15 @@ func (s *System) headTalkDecision(rec *audio.Recording) (Decision, error) {
 	// so a replay can't ride an open session.
 	sessionActive := s.SessionActive()
 
-	pre, err := s.Preprocess(rec)
-	if err != nil {
-		return d, err
-	}
+	pre := p.Apply(rec)
 
 	if s.cfg.Liveness != nil {
 		start := time.Now()
 		score, lerr := s.cfg.Liveness.Score(pre.Mono(), pre.SampleRate)
 		d.LivenessLatency = time.Since(start)
+		if s.ins != nil {
+			s.ins.liveGate.ObserveDuration(d.LivenessLatency)
+		}
 		if lerr != nil {
 			return d, fmt.Errorf("core: liveness gate: %w", lerr)
 		}
@@ -301,6 +438,9 @@ func (s *System) headTalkDecision(rec *audio.Recording) (Decision, error) {
 	pred := s.cfg.Orientation.Predict(feats)
 	d.FacingScore = s.cfg.Orientation.Score(feats)
 	d.OrientationLatency = time.Since(start)
+	if s.ins != nil {
+		s.ins.orientGate.ObserveDuration(d.OrientationLatency)
+	}
 	d.FacingRan = true
 	if pred != orientation.LabelFacing {
 		d.Reason = ReasonNotFacing
@@ -328,24 +468,65 @@ func (s *System) extendSession() {
 }
 
 func (s *System) logEvent(mode Mode, d Decision) {
+	if s.ins != nil {
+		s.ins.decisions.Inc()
+		if d.Accepted {
+			s.ins.accepted.Inc()
+		} else {
+			s.ins.rejected.Inc()
+		}
+		if c, ok := s.ins.byReason[d.Reason]; ok {
+			c.Inc()
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.log = append(s.log, Event{Time: s.cfg.Clock(), Mode: mode, Decision: d})
+	if s.log == nil {
+		s.log = make([]Event, s.cfg.LogCapacity)
+	}
+	ev := Event{Time: s.cfg.Clock(), Mode: mode, Decision: d}
+	if s.logLen < len(s.log) {
+		s.log[(s.logStart+s.logLen)%len(s.log)] = ev
+		s.logLen++
+		return
+	}
+	// Ring full: overwrite the oldest event and count the eviction.
+	s.log[s.logStart] = ev
+	s.logStart = (s.logStart + 1) % len(s.log)
+	s.dropped++
+	if s.ins != nil {
+		s.ins.logDropped.Inc()
+	}
 }
 
-// History returns a copy of the decision log.
+// History returns a copy of the decision log, oldest first. At most
+// Config.LogCapacity events are retained; DroppedEvents counts the
+// rest.
 func (s *System) History() []Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Event, len(s.log))
-	copy(out, s.log)
+	out := make([]Event, s.logLen)
+	for i := 0; i < s.logLen; i++ {
+		out[i] = s.log[(s.logStart+i)%len(s.log)]
+	}
 	return out
 }
 
+// DroppedEvents reports how many log events have been evicted from
+// the bounded history since the last ClearHistory.
+func (s *System) DroppedEvents() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
 // ClearHistory deletes the decision log (the paper's delete-history
-// privacy control).
+// privacy control) and resets the dropped-event count.
 func (s *System) ClearHistory() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.log = nil
+	s.logStart = 0
+	s.logLen = 0
+	s.dropped = 0
 }

@@ -35,6 +35,17 @@ type IIRFilter struct {
 // Sections returns the number of biquad sections in the cascade.
 func (f *IIRFilter) Sections() int { return len(f.sections) }
 
+// Clone returns an independent filter with the same coefficients and
+// freshly reset state. Cloning a designed filter is much cheaper than
+// re-running the design math (no trig), and gives each goroutine its
+// own biquad state so concurrent Apply calls never race.
+func (f *IIRFilter) Clone() *IIRFilter {
+	out := &IIRFilter{sections: make([]Biquad, len(f.sections))}
+	copy(out.sections, f.sections)
+	out.Reset()
+	return out
+}
+
 // Reset clears all section states.
 func (f *IIRFilter) Reset() {
 	for i := range f.sections {

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("decisions.accepted")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("decisions.accepted") != c {
+		t.Fatal("counter lookup did not return the same instrument")
+	}
+	g := r.Gauge("queue.depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5, 10})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10) // 0.1 .. 10.0, uniform
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if math.Abs(s.Mean()-5.05) > 1e-9 {
+		t.Fatalf("mean = %g, want 5.05", s.Mean())
+	}
+	if s.Min != 0.1 || s.Max != 10.0 {
+		t.Fatalf("min/max = %g/%g, want 0.1/10", s.Min, s.Max)
+	}
+	// Uniform data: p50 should land near 5, within the containing
+	// bucket's span (2, 5].
+	p50 := s.Quantile(0.5)
+	if p50 < 2 || p50 > 5.5 {
+		t.Fatalf("p50 = %g, want within (2, 5.5]", p50)
+	}
+	// Quantiles must be monotone and clamped to the observed range.
+	prev := s.Quantile(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev-1e-12 {
+			t.Fatalf("quantiles not monotone: q=%g gives %g < %g", q, v, prev)
+		}
+		if v < s.Min || v > s.Max {
+			t.Fatalf("quantile %g = %g outside [%g, %g]", q, v, s.Min, s.Max)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	s := NewHistogram(nil).Snapshot()
+	if s.HasData || s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", s)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveDuration(42 * time.Millisecond)
+	s := h.Snapshot()
+	if math.Abs(s.Sum-0.042) > 1e-9 {
+		t.Fatalf("sum = %g, want 0.042", s.Sum)
+	}
+}
+
+func TestSnapshotText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("decisions.total").Add(3)
+	r.Gauge("queue.depth").Set(2)
+	r.Histogram("gate.liveness.latency", nil).Observe(0.042)
+	text := r.Snapshot().String()
+	for _, want := range []string{"decisions.total", "queue.depth", "gate.liveness.latency", "42.00ms"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering gauge over counter name")
+		}
+	}()
+	r.Gauge("x")
+}
+
+// TestConcurrentObserve hammers every instrument type from many
+// goroutines; run under -race this is the package's thread-safety
+// proof, and the final totals prove no observation is lost.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			h := r.Histogram("h", []float64{0.5})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%2) + 0.25) // 0.25 or 1.25
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", s.Counters["c"], workers*perWorker)
+	}
+	if s.Gauges["g"] != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", s.Gauges["g"], workers*perWorker)
+	}
+	h := s.Histograms["h"]
+	if h.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	wantSum := float64(workers) * (500*0.25 + 500*1.25)
+	if math.Abs(h.Sum-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want %g (lost observations)", h.Sum, wantSum)
+	}
+	if h.Min != 0.25 || h.Max != 1.25 {
+		t.Fatalf("min/max = %g/%g, want 0.25/1.25", h.Min, h.Max)
+	}
+}

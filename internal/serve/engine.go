@@ -1,0 +1,360 @@
+// Package serve turns the HeadTalk pipeline into a concurrent
+// decision-serving engine: a pool of workers — each owning its own
+// preprocessing state so the DSP hot path never contends on a lock —
+// fed by a bounded submission queue with explicit backpressure and
+// per-request deadlines. It is the layer a production deployment puts
+// between the network (or capture loops) and core.System, where
+// throughput, tail latency and graceful degradation are managed.
+//
+// Lifecycle: NewEngine → Start → {Submit | Decide}* → Drain/Close.
+// Once a submission is accepted into the queue it is delivered exactly
+// once — either a decision or the request's deadline error — even
+// across Close. New submissions after Drain/Close fail with ErrClosed;
+// submissions while the queue is full fail fast with ErrQueueFull so
+// callers can shed load instead of piling up.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/core"
+	"headtalk/internal/metrics"
+)
+
+// Sentinel errors returned by Submit/Decide.
+var (
+	// ErrQueueFull is the backpressure signal: the bounded submission
+	// queue is at capacity. Callers should shed or retry with backoff.
+	ErrQueueFull = errors.New("serve: submission queue full")
+	// ErrClosed is returned once Drain or Close has begun.
+	ErrClosed = errors.New("serve: engine closed")
+	// ErrNotStarted is returned when submitting before Start.
+	ErrNotStarted = errors.New("serve: engine not started")
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// System is the HeadTalk controller decisions run against
+	// (required).
+	System *core.System
+	// Workers is the worker-pool size (default runtime.NumCPU()).
+	Workers int
+	// QueueSize bounds the submission queue (default 64). When full,
+	// Submit fails with ErrQueueFull; Decide blocks for space until
+	// its context expires.
+	QueueSize int
+	// Metrics receives engine instrumentation (queue depth/wait,
+	// decision latency, accept/reject/expired counts). Nil creates a
+	// private registry; pass the same registry given to core.Config
+	// to get engine and per-gate metrics in one place.
+	Metrics *metrics.Registry
+}
+
+// Request is one decision to serve.
+type Request struct {
+	// ID is echoed back on the Result for correlation.
+	ID string
+	// Recording is the wake-word utterance from the microphone array.
+	Recording *audio.Recording
+	// Callback, when non-nil, receives the Result from the worker
+	// goroutine instead of a channel delivery. Callbacks must be
+	// quick or hand off; they run on the worker.
+	Callback func(Result)
+}
+
+// Result is the outcome of one served request.
+type Result struct {
+	ID       string
+	Decision core.Decision
+	// Err is non-nil when the pipeline failed or the request's
+	// deadline expired while it was still queued.
+	Err error
+	// QueueWait is the time spent in the submission queue.
+	QueueWait time.Duration
+	// Total is queue wait plus pipeline time.
+	Total time.Duration
+}
+
+// task is a queued request with its delivery plumbing.
+type task struct {
+	req      Request
+	ctx      context.Context
+	enqueued time.Time
+	out      chan Result // buffered(1); nil when req.Callback is set
+}
+
+// engine lifecycle states.
+const (
+	stateNew = iota
+	stateRunning
+	stateClosed // draining or drained; no new submissions
+)
+
+// Engine is a concurrent decision-serving engine. All methods are
+// safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	queue chan *task
+	wg    sync.WaitGroup
+
+	// mu guards state. Submitters hold it shared (RLock) while
+	// sending so close(queue) — taken under the exclusive lock —
+	// can never race a send.
+	mu    sync.RWMutex
+	state int
+
+	ins engineInstruments
+}
+
+// engineInstruments caches metric handles for the hot path.
+type engineInstruments struct {
+	submitted   *metrics.Counter
+	completed   *metrics.Counter
+	queueFull   *metrics.Counter
+	closed      *metrics.Counter
+	expired     *metrics.Counter
+	failed      *metrics.Counter
+	queueDepth  *metrics.Gauge
+	workers     *metrics.Gauge
+	queueWait   *metrics.Histogram
+	decisionLat *metrics.Histogram
+}
+
+// NewEngine validates cfg and returns an engine; call Start before
+// submitting.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("serve: engine needs a core.System")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	r := cfg.Metrics
+	e := &Engine{
+		cfg:   cfg,
+		state: stateNew,
+		ins: engineInstruments{
+			submitted:   r.Counter("serve.submitted.total"),
+			completed:   r.Counter("serve.completed.total"),
+			queueFull:   r.Counter("serve.rejected.queue_full"),
+			closed:      r.Counter("serve.rejected.closed"),
+			expired:     r.Counter("serve.expired.deadline"),
+			failed:      r.Counter("serve.failed.pipeline"),
+			queueDepth:  r.Gauge("serve.queue.depth"),
+			workers:     r.Gauge("serve.workers"),
+			queueWait:   r.Histogram("serve.queue.wait", nil),
+			decisionLat: r.Histogram("serve.decision.latency", nil),
+		},
+	}
+	return e, nil
+}
+
+// Metrics returns the engine's registry (its own or the shared one
+// from Config).
+func (e *Engine) Metrics() *metrics.Registry { return e.cfg.Metrics }
+
+// Snapshot scrapes the engine's metrics registry.
+func (e *Engine) Snapshot() metrics.Snapshot { return e.cfg.Metrics.Snapshot() }
+
+// Workers returns the configured pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Start launches the worker pool. It errors if the engine was already
+// started or closed.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch e.state {
+	case stateRunning:
+		return fmt.Errorf("serve: engine already started")
+	case stateClosed:
+		return ErrClosed
+	}
+	e.queue = make(chan *task, e.cfg.QueueSize)
+	e.state = stateRunning
+	e.ins.workers.Set(int64(e.cfg.Workers))
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return nil
+}
+
+// worker drains the queue with its own preprocessing state until the
+// queue is closed by Drain/Close.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	p := e.cfg.System.NewPreprocessor()
+	for t := range e.queue {
+		e.ins.queueDepth.Add(-1)
+		wait := time.Since(t.enqueued)
+		e.ins.queueWait.ObserveDuration(wait)
+		res := Result{ID: t.req.ID, QueueWait: wait}
+		if err := t.ctx.Err(); err != nil {
+			// The deadline lapsed while the request sat in the queue;
+			// don't burn pipeline time on a decision nobody waits for.
+			res.Err = err
+			e.ins.expired.Inc()
+		} else {
+			start := time.Now()
+			d, err := e.cfg.System.ProcessWakeWith(p, t.req.Recording)
+			res.Decision = d
+			res.Err = err
+			res.Total = wait + time.Since(start)
+			e.ins.decisionLat.ObserveDuration(res.Total)
+			if err != nil {
+				e.ins.failed.Inc()
+			}
+		}
+		e.ins.completed.Inc()
+		if t.req.Callback != nil {
+			t.req.Callback(res)
+		} else {
+			t.out <- res // buffered(1): never blocks, delivered once
+		}
+	}
+}
+
+// enqueue places a task on the queue. block selects Decide semantics
+// (wait for space until ctx expires) versus Submit semantics (fail
+// fast with ErrQueueFull).
+func (e *Engine) enqueue(t *task, block bool) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	switch e.state {
+	case stateNew:
+		return ErrNotStarted
+	case stateClosed:
+		e.ins.closed.Inc()
+		return ErrClosed
+	}
+	// Count the slot before sending so the depth gauge never dips
+	// negative when a worker dequeues immediately.
+	e.ins.queueDepth.Add(1)
+	if block {
+		select {
+		case e.queue <- t:
+		case <-t.ctx.Done():
+			e.ins.queueDepth.Add(-1)
+			return t.ctx.Err()
+		}
+	} else {
+		select {
+		case e.queue <- t:
+		default:
+			e.ins.queueDepth.Add(-1)
+			e.ins.queueFull.Inc()
+			return ErrQueueFull
+		}
+	}
+	e.ins.submitted.Inc()
+	return nil
+}
+
+// Submit enqueues a request asynchronously. With no Callback the
+// returned channel receives exactly one Result; with a Callback the
+// channel is nil and the callback fires instead. Submit never blocks:
+// a full queue returns ErrQueueFull immediately (backpressure), a
+// drained/closed engine returns ErrClosed. ctx bounds the request's
+// time in queue: if it expires before a worker picks the request up,
+// the Result carries ctx's error and the pipeline is skipped.
+func (e *Engine) Submit(ctx context.Context, req Request) (<-chan Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Recording == nil {
+		return nil, fmt.Errorf("serve: request %q has no recording", req.ID)
+	}
+	t := &task{req: req, ctx: ctx, enqueued: time.Now()}
+	if req.Callback == nil {
+		t.out = make(chan Result, 1)
+	}
+	if err := e.enqueue(t, false); err != nil {
+		return nil, err
+	}
+	return t.out, nil
+}
+
+// Decide is the blocking API: it enqueues (waiting for queue space if
+// necessary), then waits for the decision. ctx bounds the whole wait.
+func (e *Engine) Decide(ctx context.Context, rec *audio.Recording) (core.Decision, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if rec == nil {
+		return core.Decision{}, fmt.Errorf("serve: nil recording")
+	}
+	t := &task{
+		req:      Request{Recording: rec},
+		ctx:      ctx,
+		enqueued: time.Now(),
+		out:      make(chan Result, 1),
+	}
+	if err := e.enqueue(t, true); err != nil {
+		return core.Decision{}, err
+	}
+	select {
+	case res := <-t.out:
+		return res.Decision, res.Err
+	case <-ctx.Done():
+		// The worker will still process and deliver into the buffered
+		// channel; the caller just stopped waiting.
+		return core.Decision{}, ctx.Err()
+	}
+}
+
+// ProcessWake adapts the engine to the same shape as
+// core.System.ProcessWake (and va.Decider), serving the decision
+// through the worker pool.
+func (e *Engine) ProcessWake(rec *audio.Recording) (core.Decision, error) {
+	return e.Decide(context.Background(), rec)
+}
+
+// Drain stops accepting new submissions and waits for every queued
+// and in-flight request to finish, bounded by ctx. Already-accepted
+// requests are still delivered exactly once. Drain is idempotent;
+// concurrent calls all wait for completion.
+func (e *Engine) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	switch e.state {
+	case stateNew:
+		e.state = stateClosed
+		e.mu.Unlock()
+		return nil
+	case stateRunning:
+		e.state = stateClosed
+		close(e.queue) // safe: submitters hold mu.RLock while sending
+	}
+	e.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with work in flight: %w", ctx.Err())
+	}
+}
+
+// Close drains with no deadline: it finishes all in-flight work and
+// releases the workers. Safe to call more than once.
+func (e *Engine) Close() error { return e.Drain(context.Background()) }

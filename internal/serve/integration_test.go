@@ -1,0 +1,66 @@
+package serve
+
+// Integration: a streaming va.Assistant routed through the engine, so
+// wake-word decisions from listener-style front-ends share the serving
+// worker pool.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/core"
+	"headtalk/internal/speech"
+	"headtalk/internal/va"
+)
+
+func newRNG() *rand.Rand { return rand.New(rand.NewPCG(500, 1)) }
+
+func TestEngineBacksAssistant(t *testing.T) {
+	spotter, err := va.NewSpotter(speech.WordComputer, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.Config{SampleRate: 16000, BandpassHigh: 7500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{System: sys, Workers: 2, QueueSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	assistant, err := va.NewAssistant("served", spotter, sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assistant.UseDecider(eng)
+
+	// Synthesize a genuine wake word; the decision must flow through
+	// the engine's pool (visible in its metrics).
+	rec := synthWord(t)
+	resp, err := assistant.Hear(rec, "owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.WakeDetected || !resp.Uploaded {
+		t.Fatalf("served response %+v", resp)
+	}
+	if got := eng.Snapshot().Counters["serve.completed.total"]; got != 1 {
+		t.Fatalf("engine served %d decisions, want 1", got)
+	}
+}
+
+func synthWord(t *testing.T) *audio.Recording {
+	t.Helper()
+	rng := newRNG()
+	voice := speech.RandomVoice(rng)
+	buf := speech.Synthesize(speech.WordComputer, voice, 16000, rng)
+	rec := audio.NewRecording(16000, 1, len(buf.Samples))
+	copy(rec.Channels[0], buf.Samples)
+	return rec
+}

@@ -29,6 +29,14 @@ type Response struct {
 	Speech string
 }
 
+// Decider is the decision backend an assistant routes wake words
+// through. core.System implements it directly; serve.Engine implements
+// it by dispatching to its worker pool, letting many assistants (or
+// listener streams) share one set of serving workers.
+type Decider interface {
+	ProcessWake(rec *audio.Recording) (core.Decision, error)
+}
+
 // Assistant wires a wake-word spotter to a HeadTalk privacy
 // controller and records every would-be cloud upload. It is safe for
 // concurrent use.
@@ -36,6 +44,7 @@ type Assistant struct {
 	Name    string
 	spotter *Spotter
 	sys     *core.System
+	decider Decider
 
 	mu      sync.Mutex
 	uploads []Upload
@@ -50,11 +59,22 @@ func NewAssistant(name string, spotter *Spotter, sys *core.System, clock func() 
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Assistant{Name: name, spotter: spotter, sys: sys, clock: clock}, nil
+	return &Assistant{Name: name, spotter: spotter, sys: sys, decider: sys, clock: clock}, nil
 }
 
 // System exposes the underlying HeadTalk controller (to switch modes).
 func (a *Assistant) System() *core.System { return a.sys }
+
+// UseDecider reroutes wake-word decisions through d — typically a
+// serve.Engine sharing its worker pool across streams — instead of
+// calling the core system inline. Passing nil restores the direct
+// path. Not safe to call concurrently with Hear.
+func (a *Assistant) UseDecider(d Decider) {
+	if d == nil {
+		d = a.sys
+	}
+	a.decider = d
+}
 
 // Hear processes a microphone-array recording that may contain the
 // wake word. source tags the scenario actor for the upload log.
@@ -67,7 +87,7 @@ func (a *Assistant) Hear(rec *audio.Recording, source string) (Response, error) 
 		resp.Speech = ""
 		return resp, nil
 	}
-	decision, err := a.sys.ProcessWake(rec)
+	decision, err := a.decider.ProcessWake(rec)
 	if err != nil {
 		return resp, fmt.Errorf("va: processing wake word: %w", err)
 	}

@@ -1,0 +1,61 @@
+package va
+
+import (
+	"testing"
+	"time"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/core"
+	"headtalk/internal/speech"
+)
+
+// countingDecider wraps a core.System and counts routed decisions —
+// the shape a serve.Engine presents to an assistant.
+type countingDecider struct {
+	sys   *core.System
+	calls int
+}
+
+func (d *countingDecider) ProcessWake(rec *audio.Recording) (core.Decision, error) {
+	d.calls++
+	return d.sys.ProcessWake(rec)
+}
+
+func TestAssistantUsesDecider(t *testing.T) {
+	spotter, err := NewSpotter(speech.WordComputer, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.Config{SampleRate: 16000, BandpassHigh: 7500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(5000, 0)
+	assistant, err := NewAssistant("routed", spotter, sys, func() time.Time { return clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := &countingDecider{sys: sys}
+	assistant.UseDecider(backend)
+
+	rec := wordRecording(speech.WordComputer, 500)
+	resp, err := assistant.Hear(rec, "owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.WakeDetected || !resp.Uploaded {
+		t.Fatalf("routed response %+v", resp)
+	}
+	if backend.calls != 1 {
+		t.Fatalf("decider routed %d calls, want 1", backend.calls)
+	}
+
+	// Restoring the direct path bypasses the backend.
+	assistant.UseDecider(nil)
+	if _, err := assistant.Hear(rec, "owner"); err != nil {
+		t.Fatal(err)
+	}
+	if backend.calls != 1 {
+		t.Fatalf("decider called %d times after reset, want 1", backend.calls)
+	}
+}
