@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench chaos check
 
 all: check
 
@@ -14,13 +14,22 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the packages with real concurrency: the serving engine,
-# the core controller it hammers, and the assistant/listener layer.
+# Race-detect the packages with real concurrency: the serving engine
+# (including its chaos suite), the core controller it hammers, the
+# assistant/listener layer, and the fault-tolerance layers (channel
+# health, pair recomputation, fault injection).
 race:
-	$(GO) test -race ./internal/serve ./internal/core ./internal/va ./internal/metrics
+	$(GO) test -race ./internal/serve ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject
 
 vet:
 	$(GO) vet ./...
+
+# Fault-injection chaos suite, run twice under the race detector:
+# exactly-once delivery and fail-closed decisions while the injector
+# corrupts frames, drops channels, stalls stages and induces panics.
+chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Breaker|Panic|FaultInject' ./internal/serve
+	$(GO) test -race -count=2 ./internal/faultinject
 
 # Serving-layer throughput baseline (worker sweep) plus the paper's
 # §IV-B15 pipeline-stage timings.

@@ -16,12 +16,14 @@
 //	{"id":"2","condition":{"AngleDeg":180,"Distance":3}}
 //	{"id":"3","condition":{"Replay":"Smart TV"}}
 //	{"id":"4","mode":"normal"}            (control: switch privacy mode)
+//	{"id":"5","health":true}              (control: engine health snapshot)
 //
 // Response lines (order may differ from request order under load; use
 // ids to correlate):
 //
 //	{"type":"decision","id":"1","accepted":true,"reason":"accepted",...}
-//	{"type":"error","id":"9","error":"serve: submission queue full"}
+//	{"type":"error","id":"9","error":"serve: submission queue full","error_kind":"backpressure"}
+//	{"type":"health","id":"5","health":{"state":"running","healthy":true,...}}
 //	{"type":"metrics","counters":{...},"latencies":{...}}
 package main
 
@@ -29,6 +31,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,20 +61,24 @@ func main() {
 		seed         = flag.Uint64("seed", 7, "enrollment + synthesis seed")
 		orientReps   = flag.Int("orientation-reps", 2, "enrollment repetitions per angle/distance")
 		livePairs    = flag.Int("liveness-pairs", 36, "live/replay training pairs for the liveness gate")
+		breakerN     = flag.Int("breaker-threshold", 0, "consecutive pipeline failures that trip the circuit breaker (0: default 8, negative: disable)")
+		breakerWait  = flag.Duration("breaker-cooldown", 0, "reject-fast period before a half-open probe (0: default 5s)")
 	)
 	flag.Parse()
 
 	d, err := newDaemon(daemonOptions{
-		Workers:      *workers,
-		QueueSize:    *queueSize,
-		Mode:         *mode,
-		Deadline:     *deadline,
-		MetricsEvery: *metricsEvery,
-		Enroll:       !*noEnroll,
-		Seed:         *seed,
-		OrientReps:   *orientReps,
-		LivePairs:    *livePairs,
-		Progress:     os.Stderr,
+		Workers:          *workers,
+		QueueSize:        *queueSize,
+		Mode:             *mode,
+		Deadline:         *deadline,
+		MetricsEvery:     *metricsEvery,
+		Enroll:           !*noEnroll,
+		Seed:             *seed,
+		OrientReps:       *orientReps,
+		LivePairs:        *livePairs,
+		BreakerThreshold: *breakerN,
+		BreakerCooldown:  *breakerWait,
+		Progress:         os.Stderr,
 	})
 	if err != nil {
 		log.Fatalf("headtalkd: %v", err)
@@ -94,16 +101,18 @@ func main() {
 
 // daemonOptions assembles a daemon.
 type daemonOptions struct {
-	Workers      int
-	QueueSize    int
-	Mode         string
-	Deadline     time.Duration
-	MetricsEvery time.Duration
-	Enroll       bool
-	Seed         uint64
-	OrientReps   int
-	LivePairs    int
-	Progress     io.Writer
+	Workers          int
+	QueueSize        int
+	Mode             string
+	Deadline         time.Duration
+	MetricsEvery     time.Duration
+	Enroll           bool
+	Seed             uint64
+	OrientReps       int
+	LivePairs        int
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	Progress         io.Writer
 }
 
 // daemon owns the trained system, the serving engine and the synth
@@ -160,10 +169,12 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 	}
 	sys.SetMode(m)
 	engine, err := serve.NewEngine(serve.Config{
-		System:    sys,
-		Workers:   opts.Workers,
-		QueueSize: opts.QueueSize,
-		Metrics:   registry,
+		System:           sys,
+		Workers:          opts.Workers,
+		QueueSize:        opts.QueueSize,
+		Metrics:          registry,
+		BreakerThreshold: opts.BreakerThreshold,
+		BreakerCooldown:  opts.BreakerCooldown,
 	})
 	if err != nil {
 		return nil, err
@@ -193,11 +204,14 @@ type request struct {
 	Condition *dataset.Condition `json:"condition,omitempty"`
 	// Mode, when set, is a control request switching the privacy mode.
 	Mode string `json:"mode,omitempty"`
+	// Health, when true, is a control request for an engine health
+	// snapshot (breaker state, queue depth, panic counts).
+	Health bool `json:"health,omitempty"`
 }
 
 // response is one NDJSON output line.
 type response struct {
-	Type        string   `json:"type"` // decision | ok | error | metrics
+	Type        string   `json:"type"` // decision | ok | error | health | metrics
 	ID          string   `json:"id,omitempty"`
 	Accepted    *bool    `json:"accepted,omitempty"`
 	Reason      string   `json:"reason,omitempty"`
@@ -208,10 +222,78 @@ type response struct {
 	TotalUS     int64    `json:"total_us,omitempty"`
 	Mode        string   `json:"mode,omitempty"`
 	Error       string   `json:"error,omitempty"`
+	// ErrorKind classifies error lines so clients can branch without
+	// parsing error strings: parse | request | wav | mode | bad_input |
+	// panic | breaker_open | backpressure | closed | deadline | pipeline.
+	ErrorKind string `json:"error_kind,omitempty"`
+
+	Health *healthInfo `json:"health,omitempty"`
 
 	Counters  map[string]uint64         `json:"counters,omitempty"`
 	Gauges    map[string]int64          `json:"gauges,omitempty"`
 	Latencies map[string]latencySummary `json:"latencies,omitempty"`
+}
+
+// healthInfo is the body of a health line: the engine's serving
+// fitness plus the system's privacy mode.
+type healthInfo struct {
+	State               string `json:"state"`
+	Healthy             bool   `json:"healthy"`
+	Mode                string `json:"mode"`
+	Workers             int    `json:"workers"`
+	QueueDepth          int    `json:"queue_depth"`
+	QueueCapacity       int    `json:"queue_capacity"`
+	Breaker             string `json:"breaker"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Panics              uint64 `json:"panics"`
+	Submitted           uint64 `json:"submitted"`
+	Completed           uint64 `json:"completed"`
+	BreakerRejected     uint64 `json:"breaker_rejected"`
+}
+
+// healthResponse snapshots the engine and system into a health line.
+func (d *daemon) healthResponse(id string) response {
+	h := d.engine.HealthSnapshot()
+	return response{
+		Type: "health",
+		ID:   id,
+		Health: &healthInfo{
+			State:               h.State,
+			Healthy:             h.Healthy,
+			Mode:                d.sys.Mode().String(),
+			Workers:             h.Workers,
+			QueueDepth:          h.QueueDepth,
+			QueueCapacity:       h.QueueCapacity,
+			Breaker:             h.Breaker,
+			ConsecutiveFailures: h.ConsecutiveFailures,
+			Panics:              h.Panics,
+			Submitted:           h.Submitted,
+			Completed:           h.Completed,
+			BreakerRejected:     h.BreakerRejected,
+		},
+	}
+}
+
+// errorKind classifies a serving-path error for the error_kind field.
+func errorKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, serve.ErrQueueFull):
+		return "backpressure"
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, serve.ErrNotStarted):
+		return "closed"
+	case errors.Is(err, serve.ErrBreakerOpen):
+		return "breaker_open"
+	case serve.IsPanic(err):
+		return "panic"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "deadline"
+	}
+	if _, ok := audio.AsBadInput(err); ok {
+		return "bad_input"
+	}
+	return "pipeline"
 }
 
 // latencySummary renders one histogram for the metrics line.
@@ -265,42 +347,57 @@ func (lw *lineWriter) write(resp response) {
 }
 
 // loadRecording resolves a request into a microphone-array recording.
-func (d *daemon) loadRecording(req request) (*audio.Recording, error) {
+// kind classifies any failure for the error_kind field: "request" for
+// malformed request shapes, "wav" for unreadable or unparsable WAV
+// paths, "condition" for synthesis failures.
+func (d *daemon) loadRecording(req request) (rec *audio.Recording, kind string, err error) {
 	switch {
 	case req.WAV != "" && req.Condition != nil:
-		return nil, fmt.Errorf("request has both wav and condition")
+		return nil, "request", fmt.Errorf("request has both wav and condition")
 	case req.WAV != "":
 		f, err := os.Open(req.WAV)
 		if err != nil {
-			return nil, err
+			return nil, "wav", err
 		}
 		defer f.Close()
-		return audio.ReadWAV(f)
+		rec, err = audio.ReadWAV(f)
+		if err != nil {
+			return nil, "wav", err
+		}
+		return rec, "", nil
 	case req.Condition != nil:
 		d.genMu.Lock()
 		defer d.genMu.Unlock()
-		return dataset.CaptureRecording(d.gen, *req.Condition)
+		rec, err = dataset.CaptureRecording(d.gen, *req.Condition)
+		if err != nil {
+			return nil, "condition", err
+		}
+		return rec, "", nil
 	default:
-		return nil, fmt.Errorf("request needs wav or condition")
+		return nil, "request", fmt.Errorf("request needs wav or condition")
 	}
 }
 
 // handle dispatches one request line; decision responses are written
 // asynchronously from engine workers.
 func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
+	if req.Health {
+		lw.write(d.healthResponse(req.ID))
+		return
+	}
 	if req.Mode != "" {
 		m, err := parseMode(req.Mode)
 		if err != nil {
-			lw.write(response{Type: "error", ID: req.ID, Error: err.Error()})
+			lw.write(response{Type: "error", ID: req.ID, Error: err.Error(), ErrorKind: "mode"})
 			return
 		}
 		d.sys.SetMode(m)
 		lw.write(response{Type: "ok", ID: req.ID, Mode: m.String()})
 		return
 	}
-	rec, err := d.loadRecording(req)
+	rec, kind, err := d.loadRecording(req)
 	if err != nil {
-		lw.write(response{Type: "error", ID: req.ID, Error: err.Error()})
+		lw.write(response{Type: "error", ID: req.ID, Error: err.Error(), ErrorKind: kind})
 		return
 	}
 	ctx := context.Background()
@@ -316,7 +413,14 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 			defer inflight.Done()
 			defer cancel()
 			if res.Err != nil {
-				lw.write(response{Type: "error", ID: res.ID, Error: res.Err.Error()})
+				resp := response{Type: "error", ID: res.ID, Error: res.Err.Error(), ErrorKind: errorKind(res.Err)}
+				// Fail-closed paths still carry a typed reject reason
+				// (bad_input, panic, unhealthy) — surface it so clients
+				// see the decision the error produced.
+				if res.Decision.Reason != "" {
+					resp.ReasonSlug = res.Decision.Reason.Slug()
+				}
+				lw.write(resp)
 				return
 			}
 			dec := res.Decision
@@ -343,7 +447,7 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 		// will never fire.
 		inflight.Done()
 		cancel()
-		lw.write(response{Type: "error", ID: req.ID, Error: err.Error()})
+		lw.write(response{Type: "error", ID: req.ID, Error: err.Error(), ErrorKind: errorKind(err)})
 	}
 }
 
@@ -381,7 +485,7 @@ func (d *daemon) ServeStream(r io.Reader, w io.Writer) error {
 		}
 		var req request
 		if err := json.Unmarshal(line, &req); err != nil {
-			lw.write(response{Type: "error", Error: fmt.Sprintf("bad request: %v", err)})
+			lw.write(response{Type: "error", Error: fmt.Sprintf("bad request: %v", err), ErrorKind: "parse"})
 			continue
 		}
 		d.handle(req, lw, &inflight)

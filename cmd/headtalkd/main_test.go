@@ -154,6 +154,94 @@ func TestBadRequestLines(t *testing.T) {
 	}
 }
 
+// TestErrorKindsOnBadLines pins the error_kind classification for the
+// two satellite bug classes — malformed NDJSON and unreadable WAV
+// paths — plus the other structured request failures.
+func TestErrorKindsOnBadLines(t *testing.T) {
+	d := testDaemon(t, "normal")
+	resps := runStream(t, d,
+		"{not json}\n"+
+			`{"id":"x"}`+"\n"+
+			`{"id":"y","mode":"sideways"}`+"\n"+
+			`{"id":"z","wav":"/nonexistent.wav"}`+"\n")
+	kinds := map[string]string{}
+	for _, r := range resps {
+		if r.Type == "error" {
+			kinds[r.ID] = r.ErrorKind
+			if r.Error == "" {
+				t.Fatalf("error line without message: %+v", r)
+			}
+		}
+	}
+	want := map[string]string{
+		"":  "parse",   // malformed NDJSON has no id to echo
+		"x": "request", // neither wav nor condition
+		"y": "mode",
+		"z": "wav",
+	}
+	for id, kind := range want {
+		if kinds[id] != kind {
+			t.Fatalf("error_kind[%q] = %q, want %q (all: %v)", id, kinds[id], kind, kinds)
+		}
+	}
+}
+
+// TestBadInputWAVFailsClosed runs a readable but malformed capture
+// (2 ms — far below the input-hardening minimum) through the full
+// daemon path: the decision must surface as a typed bad_input error
+// line, never an accept.
+func TestBadInputWAVFailsClosed(t *testing.T) {
+	d := testDaemon(t, "normal")
+	rng := rand.New(rand.NewPCG(5, 9))
+	rec := audio.NewRecording(48000, 2, 100)
+	for c := range rec.Channels {
+		for i := range rec.Channels[c] {
+			rec.Channels[c][i] = 0.2 * rng.NormFloat64()
+		}
+	}
+	path := filepath.Join(t.TempDir(), "truncated.wav")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audio.WriteWAV(f, rec); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m := byID(runStream(t, d, `{"id":"s","wav":"`+path+`"}`+"\n"))
+	r := m["s"]
+	if r.Type != "error" || r.ErrorKind != "bad_input" {
+		t.Fatalf("truncated-wav response %+v, want bad_input error", r)
+	}
+	if r.ReasonSlug != "bad_input" {
+		t.Fatalf("reason_slug = %q, want bad_input (fail-closed reject)", r.ReasonSlug)
+	}
+	if r.Accepted != nil && *r.Accepted {
+		t.Fatal("malformed capture was accepted")
+	}
+}
+
+// TestHealthLine exercises the {"health":true} control request.
+func TestHealthLine(t *testing.T) {
+	d := testDaemon(t, "headtalk")
+	resps := runStream(t, d,
+		`{"id":"d1","condition":{}}`+"\n"+
+			`{"id":"h","health":true}`+"\n")
+	m := byID(resps)
+	r := m["h"]
+	if r.Type != "health" || r.Health == nil {
+		t.Fatalf("health response %+v", r)
+	}
+	h := r.Health
+	if h.State != "running" || !h.Healthy || h.Breaker != "closed" {
+		t.Fatalf("health body %+v, want running/healthy/closed", h)
+	}
+	if h.Mode != "headtalk" || h.Workers != 2 || h.QueueCapacity != 16 {
+		t.Fatalf("health body %+v", h)
+	}
+}
+
 func TestHeadTalkModeWithoutModelsRejects(t *testing.T) {
 	d := testDaemon(t, "headtalk")
 	m := byID(runStream(t, d, `{"id":"h","condition":{}}`+"\n"))

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"headtalk/internal/features"
 	"headtalk/internal/liveness"
 	"headtalk/internal/metrics"
+	"headtalk/internal/mic"
 	"headtalk/internal/orientation"
 )
 
@@ -60,6 +62,20 @@ const (
 	ReasonNoOrientation  Reason = "rejected: no orientation model enrolled"
 	ReasonNoLiveness     Reason = "rejected: no liveness model trained"
 	ReasonProcessingFail Reason = "rejected: processing error"
+	// ReasonBadInput: the recording failed input validation (NaN/Inf
+	// samples, clipping, truncation, sample-rate mismatch). Applied in
+	// every mode — a privacy control fails closed on garbage input.
+	ReasonBadInput Reason = "rejected: malformed input"
+	// ReasonDegraded: too few healthy microphone channels survived the
+	// per-channel health check to make a trustworthy decision.
+	ReasonDegraded Reason = "rejected: microphone array degraded below minimum channels"
+	// ReasonPanic: the pipeline panicked mid-decision; the serving
+	// layer converts the recovered panic into this fail-closed reject.
+	ReasonPanic Reason = "rejected: pipeline panic"
+	// ReasonUnhealthy: the serving engine's circuit breaker is open
+	// after repeated pipeline failures; decisions fail closed without
+	// running the pipeline.
+	ReasonUnhealthy Reason = "rejected: serving engine unhealthy"
 )
 
 // Slug returns a short machine-friendly identifier for the reason,
@@ -84,6 +100,14 @@ func (r Reason) Slug() string {
 		return "no_liveness"
 	case ReasonProcessingFail:
 		return "processing_fail"
+	case ReasonBadInput:
+		return "bad_input"
+	case ReasonDegraded:
+		return "degraded"
+	case ReasonPanic:
+		return "panic"
+	case ReasonUnhealthy:
+		return "unhealthy"
 	default:
 		return "unknown"
 	}
@@ -105,6 +129,12 @@ type Decision struct {
 	// 136 ms on a PC).
 	LivenessLatency    time.Duration
 	OrientationLatency time.Duration
+	// DegradedChannels counts microphone channels the health check
+	// scored as dead/stuck/low-SNR (HeadTalk mode only).
+	DegradedChannels int
+	// RepairedSamples counts non-finite samples zeroed by input repair
+	// before the decision ran (Config.RepairNonFinite).
+	RepairedSamples int
 }
 
 // Config assembles a System.
@@ -136,6 +166,35 @@ type Config struct {
 	// orientation gate (nil = all channels). The paper uses 4-mic
 	// subsets by default.
 	ChannelSubset []int
+	// InputValidation tunes the pre-DSP input hardening stage (its
+	// SampleRate defaults to this config's SampleRate). Recordings that
+	// fail validation are rejected with ReasonBadInput in every mode.
+	// DisableInputValidation turns the stage off (the system then fails
+	// open on malformed input — test/bench use only).
+	InputValidation        audio.ValidateOptions
+	DisableInputValidation bool
+	// RepairNonFinite, when true, zeroes isolated NaN/Inf samples (on a
+	// copy) instead of rejecting the recording, provided they are the
+	// only validation failure.
+	RepairNonFinite bool
+	// ChannelHealth tunes the per-channel dead/stuck/low-SNR scoring
+	// that gates HeadTalk-mode decisions; DisableChannelHealth turns
+	// degraded-array handling off.
+	ChannelHealth        mic.HealthConfig
+	DisableChannelHealth bool
+	// MinChannels is the smallest healthy-channel count the orientation
+	// gate will decide with (default 2); below it the decision fails
+	// closed with ReasonDegraded.
+	MinChannels int
+	// OrientationByChannels maps a channel count to a fallback
+	// orientation model trained for that count. When the array degrades
+	// below the primary subset size but at least MinChannels survive,
+	// the gate recomputes the GCC/SRP pair set over the surviving
+	// channels and scores with the matching fallback model; with no
+	// matching entry the decision fails closed with ReasonDegraded
+	// (a model trained on k channels cannot score a k'-channel feature
+	// vector).
+	OrientationByChannels map[int]*orientation.Model
 	// LogCapacity bounds the decision log. A long-running daemon
 	// otherwise grows the log without limit; once full, the oldest
 	// events are dropped and counted. Default 1024.
@@ -187,25 +246,41 @@ type instruments struct {
 	liveGate   *metrics.Histogram
 	orientGate *metrics.Histogram
 	logDropped *metrics.Counter
+
+	// Fault-health instrumentation: input rejections by validation
+	// reason, repaired samples, and the degraded-channel count of the
+	// most recent health check.
+	inputRejected     map[audio.BadInputReason]*metrics.Counter
+	inputRepaired     *metrics.Counter
+	channelsDegraded  *metrics.Gauge
+	degradedDecisions *metrics.Counter
 }
 
 func newInstruments(r *metrics.Registry) *instruments {
 	ins := &instruments{
-		decisions:  r.Counter("headtalk.decisions.total"),
-		accepted:   r.Counter("headtalk.decisions.accepted"),
-		rejected:   r.Counter("headtalk.decisions.rejected"),
-		byReason:   make(map[Reason]*metrics.Counter),
-		preprocess: r.Histogram("headtalk.preprocess.latency", nil),
-		liveGate:   r.Histogram("headtalk.gate.liveness.latency", nil),
-		orientGate: r.Histogram("headtalk.gate.orientation.latency", nil),
-		logDropped: r.Counter("headtalk.log.dropped"),
+		decisions:         r.Counter("headtalk.decisions.total"),
+		accepted:          r.Counter("headtalk.decisions.accepted"),
+		rejected:          r.Counter("headtalk.decisions.rejected"),
+		byReason:          make(map[Reason]*metrics.Counter),
+		preprocess:        r.Histogram("headtalk.preprocess.latency", nil),
+		liveGate:          r.Histogram("headtalk.gate.liveness.latency", nil),
+		orientGate:        r.Histogram("headtalk.gate.orientation.latency", nil),
+		logDropped:        r.Counter("headtalk.log.dropped"),
+		inputRejected:     make(map[audio.BadInputReason]*metrics.Counter),
+		inputRepaired:     r.Counter("headtalk.input.repaired.samples"),
+		channelsDegraded:  r.Gauge("headtalk.channels.degraded"),
+		degradedDecisions: r.Counter("headtalk.degraded.decisions"),
 	}
 	for _, reason := range []Reason{
 		ReasonAccepted, ReasonMuted, ReasonNotLive, ReasonNotFacing,
 		ReasonSessionActive, ReasonNormalMode, ReasonNoOrientation,
 		ReasonNoLiveness, ReasonProcessingFail,
+		ReasonBadInput, ReasonDegraded, ReasonPanic, ReasonUnhealthy,
 	} {
 		ins.byReason[reason] = r.Counter("headtalk.decisions.reason." + reason.Slug())
+	}
+	for _, reason := range audio.BadInputReasons() {
+		ins.inputRejected[reason] = r.Counter("headtalk.input.rejected." + string(reason))
 	}
 	return ins
 }
@@ -247,6 +322,12 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
+	}
+	if cfg.MinChannels == 0 {
+		cfg.MinChannels = 2
+	}
+	if cfg.InputValidation.SampleRate == 0 {
+		cfg.InputValidation.SampleRate = cfg.SampleRate
 	}
 	if cfg.BandpassHigh >= cfg.SampleRate/2 {
 		return nil, fmt.Errorf("core: bandpass high %g Hz >= Nyquist %g", cfg.BandpassHigh, cfg.SampleRate/2)
@@ -307,18 +388,131 @@ func (s *System) Preprocess(rec *audio.Recording) (*audio.Recording, error) {
 }
 
 // orientationFeatures extracts the facing/non-facing feature vector
-// from a preprocessed recording, honoring the configured channel
-// subset.
-func (s *System) orientationFeatures(pre *audio.Recording) ([]float64, error) {
+// from a preprocessed recording over the given channel subset (nil =
+// all channels).
+func (s *System) orientationFeatures(pre *audio.Recording, subset []int) ([]float64, error) {
 	rec := pre
-	if len(s.cfg.ChannelSubset) > 0 {
-		sel, err := pre.Select(s.cfg.ChannelSubset)
+	if len(subset) > 0 {
+		sel, err := pre.Select(subset)
 		if err != nil {
 			return nil, err
 		}
 		rec = sel
 	}
 	return features.Extract(rec, s.cfg.Features)
+}
+
+// validateInput runs the input-hardening stage: validate, optionally
+// repair isolated non-finite samples on a copy, and re-validate. It
+// returns the (possibly repaired) recording, the repaired-sample count,
+// and a typed *audio.ErrBadInput (wrapped) on rejection.
+func (s *System) validateInput(rec *audio.Recording) (*audio.Recording, int, error) {
+	err := audio.Validate(rec, s.cfg.InputValidation)
+	if err == nil {
+		return rec, 0, nil
+	}
+	bad, isBad := audio.AsBadInput(err)
+	if isBad && bad.Reason == audio.BadNonFinite && s.cfg.RepairNonFinite {
+		clean, n := audio.Repair(rec)
+		if rerr := audio.Validate(clean, s.cfg.InputValidation); rerr == nil {
+			if s.ins != nil {
+				s.ins.inputRepaired.Add(uint64(n))
+			}
+			return clean, n, nil
+		} else {
+			err = rerr
+			bad, isBad = audio.AsBadInput(rerr)
+		}
+	}
+	if s.ins != nil && isBad {
+		if c, ok := s.ins.inputRejected[bad.Reason]; ok {
+			c.Inc()
+		}
+	}
+	return nil, 0, fmt.Errorf("core: input validation: %w", err)
+}
+
+// channelPlan is the outcome of the degraded-array policy for one
+// decision: which channels feed the gates, how degraded the array is,
+// and which orientation model matches the surviving pair set.
+type channelPlan struct {
+	// active feeds the orientation gate (GCC/SRP pair set); nil means
+	// all channels.
+	active []int
+	// healthy feeds the liveness mono mix; nil means all channels.
+	healthy []int
+	// degraded counts non-OK channels.
+	degraded int
+	// ok is false when the decision must fail closed (ReasonDegraded).
+	ok bool
+	// model scores the orientation features (primary or per-count
+	// fallback); nil keeps the ReasonNoOrientation semantics.
+	model *orientation.Model
+}
+
+// planChannels scores channel health on the raw capture (band-passing
+// would hide DC-stuck channels) and assembles the orientation channel
+// set from healthy channels only. When a channel of the configured
+// subset has died, a healthy spare is substituted so the pair-set
+// cardinality — and with it the feature dimensionality the model was
+// trained on — is preserved. Only when too few healthy channels remain
+// does the plan fall back to a smaller per-count model, or fail closed.
+func (s *System) planChannels(rec *audio.Recording) channelPlan {
+	if s.cfg.DisableChannelHealth {
+		return channelPlan{active: s.cfg.ChannelSubset, ok: true, model: s.cfg.Orientation}
+	}
+	h := mic.AssessHealth(rec, s.cfg.ChannelHealth)
+	plan := channelPlan{healthy: h.Healthy, degraded: h.Degraded()}
+
+	// Target count = the feature dimensionality the primary model
+	// expects: the configured subset size, or the full array.
+	preferred := s.cfg.ChannelSubset
+	target := len(rec.Channels)
+	if len(preferred) > 0 {
+		target = len(preferred)
+	}
+	healthySet := make(map[int]bool, len(h.Healthy))
+	for _, i := range h.Healthy {
+		healthySet[i] = true
+	}
+	var active []int
+	used := make(map[int]bool, target)
+	if len(preferred) > 0 {
+		for _, i := range preferred {
+			if healthySet[i] && !used[i] {
+				active = append(active, i)
+				used[i] = true
+			}
+		}
+	}
+	for _, i := range h.Healthy {
+		if len(active) >= target {
+			break
+		}
+		if !used[i] {
+			active = append(active, i)
+			used[i] = true
+		}
+	}
+	sort.Ints(active)
+	plan.active = active
+
+	switch {
+	case len(active) < s.cfg.MinChannels:
+		// Fewer healthy channels than the floor: fail closed.
+	case len(active) == target:
+		plan.ok = true
+		plan.model = s.cfg.Orientation
+	default:
+		// Surviving pair set is smaller than the primary model's; only
+		// a fallback trained for exactly this channel count can score
+		// it.
+		if m := s.cfg.OrientationByChannels[len(active)]; m != nil {
+			plan.ok = true
+			plan.model = m
+		}
+	}
+	return plan
 }
 
 // Mode returns the current privacy mode.
@@ -373,6 +567,21 @@ func (s *System) ProcessWakeWith(p *Preprocessor, rec *audio.Recording) (Decisio
 	mode := s.mode
 	s.mu.Unlock()
 
+	// Input hardening runs in every mode, before any DSP: a privacy
+	// control fails closed on malformed input rather than letting
+	// garbage reach the feature path (or, in Normal mode, the cloud).
+	repaired := 0
+	if !s.cfg.DisableInputValidation {
+		clean, n, err := s.validateInput(rec)
+		if err != nil {
+			d := Decision{Reason: ReasonBadInput}
+			s.logEvent(mode, d)
+			return d, err
+		}
+		rec = clean
+		repaired = n
+	}
+
 	var d Decision
 	switch mode {
 	case ModeMute:
@@ -387,12 +596,29 @@ func (s *System) ProcessWakeWith(p *Preprocessor, rec *audio.Recording) (Decisio
 			return Decision{Reason: ReasonProcessingFail}, err
 		}
 	}
+	d.RepairedSamples = repaired
 	s.logEvent(mode, d)
 	return d, nil
 }
 
 func (s *System) headTalkDecision(p *Preprocessor, rec *audio.Recording) (Decision, error) {
 	var d Decision
+
+	// Degraded-array policy first: channels the health check distrusts
+	// must not feed either gate, and with too few survivors the
+	// decision fails closed before any feature is computed.
+	plan := s.planChannels(rec)
+	d.DegradedChannels = plan.degraded
+	if s.ins != nil && !s.cfg.DisableChannelHealth {
+		s.ins.channelsDegraded.Set(int64(plan.degraded))
+	}
+	if !plan.ok {
+		d.Reason = ReasonDegraded
+		if s.ins != nil {
+			s.ins.degradedDecisions.Inc()
+		}
+		return d, nil
+	}
 
 	// Session shortcut: a facing-validated session accepts follow-ups
 	// without re-checking orientation, but liveness is still enforced
@@ -402,8 +628,18 @@ func (s *System) headTalkDecision(p *Preprocessor, rec *audio.Recording) (Decisi
 	pre := p.Apply(rec)
 
 	if s.cfg.Liveness != nil {
+		// Liveness mixes down every *healthy* channel — a dead channel
+		// would dilute the mono mix by its share.
+		monoSrc := pre
+		if len(plan.healthy) > 0 && len(plan.healthy) < len(pre.Channels) {
+			sel, serr := pre.Select(plan.healthy)
+			if serr != nil {
+				return d, fmt.Errorf("core: selecting healthy channels: %w", serr)
+			}
+			monoSrc = sel
+		}
 		start := time.Now()
-		score, lerr := s.cfg.Liveness.Score(pre.Mono(), pre.SampleRate)
+		score, lerr := s.cfg.Liveness.Score(monoSrc.Mono(), pre.SampleRate)
 		d.LivenessLatency = time.Since(start)
 		if s.ins != nil {
 			s.ins.liveGate.ObserveDuration(d.LivenessLatency)
@@ -426,17 +662,22 @@ func (s *System) headTalkDecision(p *Preprocessor, rec *audio.Recording) (Decisi
 		return d, nil
 	}
 
-	if s.cfg.Orientation == nil {
+	if plan.model == nil {
 		d.Reason = ReasonNoOrientation
 		return d, nil
 	}
 	start := time.Now()
-	feats, ferr := s.orientationFeatures(pre)
+	feats, ferr := s.orientationFeatures(pre, plan.active)
 	if ferr != nil {
 		return d, fmt.Errorf("core: orientation features: %w", ferr)
 	}
-	pred := s.cfg.Orientation.Predict(feats)
-	d.FacingScore = s.cfg.Orientation.Score(feats)
+	// A vector the model cannot score (dim mismatch after degradation,
+	// non-finite feature from a DSP fault) must reject, not gamble.
+	if cerr := plan.model.CheckFeatures(feats); cerr != nil {
+		return d, fmt.Errorf("core: orientation features: %w", cerr)
+	}
+	pred := plan.model.Predict(feats)
+	d.FacingScore = plan.model.Score(feats)
 	d.OrientationLatency = time.Since(start)
 	if s.ins != nil {
 		s.ins.orientGate.ObserveDuration(d.OrientationLatency)

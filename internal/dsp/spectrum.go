@@ -38,7 +38,10 @@ func STFT(x []float64, frameLen, hop int, win Window) ([][]complex128, error) {
 	coeffs := win.Coefficients(frameLen)
 	var frames [][]complex128
 	for start := 0; start+frameLen <= len(x); start += hop {
-		frame := ApplyWindow(x[start:start+frameLen], coeffs)
+		frame, err := ApplyWindow(x[start:start+frameLen], coeffs)
+		if err != nil {
+			return nil, fmt.Errorf("dsp: STFT frame at %d: %w", start, err)
+		}
 		frames = append(frames, HalfSpectrum(frame))
 	}
 	return frames, nil
@@ -81,7 +84,10 @@ func WelchPSD(x []float64, frameLen int) ([]float64, error) {
 	psd := make([]float64, frameLen/2+1)
 	var count int
 	for start := 0; start+frameLen <= len(x); start += hop {
-		frame := ApplyWindow(x[start:start+frameLen], win)
+		frame, err := ApplyWindow(x[start:start+frameLen], win)
+		if err != nil {
+			return nil, fmt.Errorf("dsp: Welch frame at %d: %w", start, err)
+		}
 		spec := HalfSpectrum(frame)
 		for i, v := range spec {
 			re, im := real(v), imag(v)

@@ -44,13 +44,17 @@ func TestWindowEdgeCases(t *testing.T) {
 	}
 }
 
-func TestApplyWindowPanicsOnMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on length mismatch")
-		}
-	}()
-	ApplyWindow([]float64{1, 2}, []float64{1})
+func TestApplyWindowErrorsOnMismatch(t *testing.T) {
+	if _, err := ApplyWindow([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error on length mismatch")
+	}
+	out, err := ApplyWindow([]float64{2, 3}, []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 6 {
+		t.Errorf("windowed samples = %v, want [1 6]", out)
+	}
 }
 
 func TestSTFTFrameCount(t *testing.T) {

@@ -1,6 +1,9 @@
 package dsp
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Window identifies a window function.
 type Window int
@@ -59,15 +62,17 @@ func (w Window) Coefficients(n int) []float64 {
 	return out
 }
 
-// Apply multiplies x element-wise by the window coefficients and
-// returns a new slice. It panics if lengths differ.
-func ApplyWindow(x, window []float64) []float64 {
+// ApplyWindow multiplies x element-wise by the window coefficients and
+// returns a new slice. A length mismatch is reported as an error, not a
+// panic: windowing sits on the serving hot path, where a panic would
+// defeat the worker-isolation guarantees of internal/serve.
+func ApplyWindow(x, window []float64) ([]float64, error) {
 	if len(x) != len(window) {
-		panic("dsp: window length mismatch")
+		return nil, fmt.Errorf("dsp: window length %d != frame length %d", len(window), len(x))
 	}
 	out := make([]float64, len(x))
 	for i := range x {
 		out[i] = x[i] * window[i]
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,142 @@
+package faultinject
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"headtalk/internal/audio"
+)
+
+func noiseRec(seed uint64) *audio.Recording {
+	rng := rand.New(rand.NewPCG(seed, 11))
+	rec := audio.NewRecording(48000, 4, 1024)
+	for c := range rec.Channels {
+		for i := range rec.Channels[c] {
+			rec.Channels[c][i] = rng.NormFloat64()
+		}
+	}
+	return rec
+}
+
+func hasNaN(ch []float64) bool {
+	for _, v := range ch {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func allZero(ch []float64) bool {
+	for _, v := range ch {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCorruptionClonesInput(t *testing.T) {
+	in := New(Config{CorruptEvery: 1})
+	hook := in.Hook()
+	orig := noiseRec(1)
+	out := hook(orig)
+	if out == orig {
+		t.Fatal("corrupting hook must return a clone")
+	}
+	if hasNaN(orig.Channels[0]) {
+		t.Fatal("hook mutated the caller's recording")
+	}
+	for c, ch := range out.Channels {
+		if !hasNaN(ch) {
+			t.Fatalf("channel %d not corrupted", c)
+		}
+	}
+	if s := in.Stats(); s.Calls != 1 || s.Corrupted != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDropChannelsSilences(t *testing.T) {
+	in := New(Config{DropChannelsEvery: 2, DropChannels: []int{1, 3, 99}})
+	hook := in.Hook()
+	first := hook(noiseRec(2)) // call 1: 1%2 != 0, untouched
+	if allZero(first.Channels[1]) {
+		t.Fatal("fault fired on a non-multiple call")
+	}
+	second := hook(noiseRec(3)) // call 2: fires
+	if !allZero(second.Channels[1]) || !allZero(second.Channels[3]) {
+		t.Fatal("listed channels not silenced")
+	}
+	if allZero(second.Channels[0]) || allZero(second.Channels[2]) {
+		t.Fatal("unlisted channels were touched")
+	}
+	if s := in.Stats(); s.Calls != 2 || s.Dropped != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	in := New(Config{PanicEvery: 1})
+	hook := in.Hook()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("hook should have panicked")
+		}
+		if !strings.Contains(r.(string), "faultinject: induced panic") {
+			t.Fatalf("panic value %v", r)
+		}
+		if s := in.Stats(); s.Panics != 1 {
+			t.Fatalf("stats = %+v", s)
+		}
+	}()
+	hook(noiseRec(4))
+}
+
+func TestSlowFault(t *testing.T) {
+	in := New(Config{SlowEvery: 1, Delay: 20 * time.Millisecond})
+	hook := in.Hook()
+	start := time.Now()
+	hook(noiseRec(5))
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("slow fault stalled only %v", el)
+	}
+	if s := in.Stats(); s.Slowed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDisabledPassesThrough(t *testing.T) {
+	in := New(Config{CorruptEvery: 1})
+	in.SetEnabled(false)
+	hook := in.Hook()
+	rec := noiseRec(6)
+	if out := hook(rec); out != rec {
+		t.Fatal("disabled injector must pass recordings through")
+	}
+	if s := in.Stats(); s.Calls != 0 {
+		t.Fatalf("disabled injector counted calls: %+v", s)
+	}
+	in.SetEnabled(true)
+	if out := hook(noiseRec(7)); out == nil || !hasNaN(out.Channels[0]) {
+		t.Fatal("re-enabled injector should corrupt again")
+	}
+}
+
+func TestCombinedFaultsOnSameCall(t *testing.T) {
+	in := New(Config{CorruptEvery: 1, DropChannelsEvery: 1, DropChannels: []int{0}})
+	out := in.Hook()(noiseRec(8))
+	if !allZero(out.Channels[0]) {
+		t.Fatal("drop fault missing")
+	}
+	if !hasNaN(out.Channels[1]) {
+		t.Fatal("corrupt fault missing")
+	}
+	if s := in.Stats(); s.Corrupted != 1 || s.Dropped != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

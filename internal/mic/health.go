@@ -1,0 +1,208 @@
+package mic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"headtalk/internal/audio"
+)
+
+// Channel health scoring for degraded-array operation. Deployed arrays
+// lose microphones: MEMS elements die (flatline at zero), ADC channels
+// stick (flatline at a DC offset), and individual capsules drift to a
+// fraction of their siblings' sensitivity (low SNR). The paper's
+// orientation features are computed across microphone *pairs*, so one
+// bad channel poisons every pair it joins — the serving path must know
+// which channels to trust before SRP-PHAT runs. AssessHealth is that
+// check: cheap (one pass per channel), dependency-free, and suitable
+// for running on every wake-word decision.
+
+// ChannelState classifies one microphone channel.
+type ChannelState int
+
+// Channel states.
+const (
+	// ChannelOK carries plausible signal.
+	ChannelOK ChannelState = iota
+	// ChannelDead is silent (RMS at the noise floor of a disconnected
+	// element).
+	ChannelDead
+	// ChannelStuck is pinned at a constant non-zero value (stuck ADC
+	// code / railed DC offset).
+	ChannelStuck
+	// ChannelLowSNR carries signal far weaker than its siblings —
+	// usable level lost, pair correlations unreliable.
+	ChannelLowSNR
+)
+
+// String returns the state name.
+func (s ChannelState) String() string {
+	switch s {
+	case ChannelOK:
+		return "ok"
+	case ChannelDead:
+		return "dead"
+	case ChannelStuck:
+		return "stuck"
+	case ChannelLowSNR:
+		return "low_snr"
+	default:
+		return "unknown"
+	}
+}
+
+// HealthConfig tunes AssessHealth. The zero value applies the defaults
+// noted on each field.
+type HealthConfig struct {
+	// DeadRMS is the AC-coupled RMS below which a channel counts as
+	// dead (default 1e-5 of full scale — far below any real room's
+	// noise floor through a live microphone).
+	DeadRMS float64
+	// StuckRange is the peak-to-peak range below which a channel counts
+	// as flatlined (default 1e-6).
+	StuckRange float64
+	// LowSNRRatio flags a channel whose AC RMS falls below this
+	// fraction of the median live channel's RMS (default 0.05, i.e.
+	// ~26 dB below the array median). Negative disables the check.
+	LowSNRRatio float64
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.DeadRMS == 0 {
+		c.DeadRMS = 1e-5
+	}
+	if c.StuckRange == 0 {
+		c.StuckRange = 1e-6
+	}
+	if c.LowSNRRatio == 0 {
+		c.LowSNRRatio = 0.05
+	}
+	return c
+}
+
+// ChannelHealth is the per-channel assessment.
+type ChannelHealth struct {
+	Index int
+	State ChannelState
+	// RMS is the AC-coupled (mean-removed) RMS level.
+	RMS float64
+	// Range is the peak-to-peak sample range.
+	Range float64
+}
+
+// ArrayHealth is the whole-array assessment.
+type ArrayHealth struct {
+	Channels []ChannelHealth
+	// Healthy lists the indices of ChannelOK channels, ascending.
+	Healthy []int
+}
+
+// Degraded returns the number of non-OK channels.
+func (h ArrayHealth) Degraded() int { return len(h.Channels) - len(h.Healthy) }
+
+// String summarizes the assessment ("6 channels, 2 degraded: 1=dead 4=low_snr").
+func (h ArrayHealth) String() string {
+	if h.Degraded() == 0 {
+		return fmt.Sprintf("%d channels, all healthy", len(h.Channels))
+	}
+	s := fmt.Sprintf("%d channels, %d degraded:", len(h.Channels), h.Degraded())
+	for _, ch := range h.Channels {
+		if ch.State != ChannelOK {
+			s += fmt.Sprintf(" %d=%s", ch.Index, ch.State)
+		}
+	}
+	return s
+}
+
+// AssessHealth scores every channel of a recording. Channels that are
+// non-finite are treated as dead (the input-validation stage rejects
+// those recordings anyway; health scoring must not propagate NaN into
+// its own statistics).
+func AssessHealth(rec *audio.Recording, cfg HealthConfig) ArrayHealth {
+	cfg = cfg.withDefaults()
+	h := ArrayHealth{Channels: make([]ChannelHealth, len(rec.Channels))}
+	for i, ch := range rec.Channels {
+		h.Channels[i] = assessChannel(i, ch, cfg)
+	}
+	// Low-SNR detection is relative: compare each surviving channel to
+	// the median RMS of all channels still alive after the dead/stuck
+	// pass, so one loud channel cannot mask a quiet one and one dead
+	// channel cannot drag the reference down.
+	if cfg.LowSNRRatio > 0 {
+		var live []float64
+		for _, c := range h.Channels {
+			if c.State == ChannelOK {
+				live = append(live, c.RMS)
+			}
+		}
+		if len(live) >= 2 {
+			sort.Float64s(live)
+			median := live[len(live)/2]
+			for i := range h.Channels {
+				c := &h.Channels[i]
+				if c.State == ChannelOK && c.RMS < cfg.LowSNRRatio*median {
+					c.State = ChannelLowSNR
+				}
+			}
+		}
+	}
+	for _, c := range h.Channels {
+		if c.State == ChannelOK {
+			h.Healthy = append(h.Healthy, c.Index)
+		}
+	}
+	return h
+}
+
+// assessChannel computes one channel's mean, range and AC RMS in a
+// single pass and applies the dead/stuck thresholds.
+func assessChannel(idx int, ch []float64, cfg HealthConfig) ChannelHealth {
+	out := ChannelHealth{Index: idx}
+	if len(ch) == 0 {
+		out.State = ChannelDead
+		return out
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var sum float64
+	finite := 0
+	for _, v := range ch {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		finite++
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if finite == 0 {
+		out.State = ChannelDead
+		return out
+	}
+	mean := sum / float64(finite)
+	var acc float64
+	for _, v := range ch {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		d := v - mean
+		acc += d * d
+	}
+	out.RMS = math.Sqrt(acc / float64(finite))
+	out.Range = hi - lo
+	switch {
+	case out.Range < cfg.StuckRange && math.Abs(mean) <= cfg.DeadRMS:
+		out.State = ChannelDead // flat at zero: disconnected
+	case out.Range < cfg.StuckRange:
+		out.State = ChannelStuck // flat at an offset: stuck code
+	case out.RMS < cfg.DeadRMS:
+		out.State = ChannelDead
+	default:
+		out.State = ChannelOK
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package mic
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"headtalk/internal/audio"
+)
+
+// healthRecording builds a 6-channel recording with unit-RMS noise.
+func healthRecording(n int, seed uint64) *audio.Recording {
+	rng := rand.New(rand.NewPCG(seed, 5))
+	rec := audio.NewRecording(48000, 6, n)
+	for c := range rec.Channels {
+		for i := range rec.Channels[c] {
+			rec.Channels[c][i] = 0.3 * rng.NormFloat64()
+		}
+	}
+	return rec
+}
+
+func statesOf(h ArrayHealth) []ChannelState {
+	out := make([]ChannelState, len(h.Channels))
+	for i, c := range h.Channels {
+		out[i] = c.State
+	}
+	return out
+}
+
+func TestAssessHealthAllHealthy(t *testing.T) {
+	h := AssessHealth(healthRecording(4800, 1), HealthConfig{})
+	if h.Degraded() != 0 || len(h.Healthy) != 6 {
+		t.Fatalf("healthy array assessed as %s", h)
+	}
+}
+
+func TestAssessHealthDetectsDeadStuckLowSNR(t *testing.T) {
+	rec := healthRecording(4800, 2)
+	// Channel 1: dead (all zeros).
+	for i := range rec.Channels[1] {
+		rec.Channels[1][i] = 0
+	}
+	// Channel 3: stuck at a DC offset.
+	for i := range rec.Channels[3] {
+		rec.Channels[3][i] = 0.42
+	}
+	// Channel 4: alive but 40 dB down from its siblings.
+	for i := range rec.Channels[4] {
+		rec.Channels[4][i] *= 0.003
+	}
+	h := AssessHealth(rec, HealthConfig{})
+	states := statesOf(h)
+	want := []ChannelState{ChannelOK, ChannelDead, ChannelOK, ChannelStuck, ChannelLowSNR, ChannelOK}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("channel %d state = %s, want %s (%s)", i, states[i], want[i], h)
+		}
+	}
+	if got := h.Healthy; len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 5 {
+		t.Fatalf("healthy = %v, want [0 2 5]", got)
+	}
+	if h.Degraded() != 3 {
+		t.Fatalf("degraded = %d, want 3", h.Degraded())
+	}
+}
+
+func TestAssessHealthNonFiniteChannelIsDead(t *testing.T) {
+	rec := healthRecording(512, 3)
+	for i := range rec.Channels[2] {
+		rec.Channels[2][i] = math.NaN()
+	}
+	h := AssessHealth(rec, HealthConfig{})
+	if h.Channels[2].State != ChannelDead {
+		t.Fatalf("all-NaN channel state = %s, want dead", h.Channels[2].State)
+	}
+	// The NaN channel must not poison its siblings' scores.
+	for _, i := range []int{0, 1, 3, 4, 5} {
+		if h.Channels[i].State != ChannelOK {
+			t.Fatalf("channel %d state = %s, want ok", i, h.Channels[i].State)
+		}
+	}
+}
+
+func TestAssessHealthLowSNRDisabled(t *testing.T) {
+	rec := healthRecording(4800, 4)
+	for i := range rec.Channels[0] {
+		rec.Channels[0][i] *= 0.001
+	}
+	h := AssessHealth(rec, HealthConfig{LowSNRRatio: -1})
+	if h.Channels[0].State != ChannelOK {
+		t.Fatal("LowSNRRatio<0 should disable the relative check")
+	}
+	h = AssessHealth(rec, HealthConfig{})
+	if h.Channels[0].State != ChannelLowSNR {
+		t.Fatal("default config should flag the -60 dB channel")
+	}
+}
+
+func TestChannelStateStrings(t *testing.T) {
+	cases := map[ChannelState]string{
+		ChannelOK: "ok", ChannelDead: "dead", ChannelStuck: "stuck",
+		ChannelLowSNR: "low_snr", ChannelState(9): "unknown",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -155,6 +155,33 @@ func TrainWith(x [][]float64, y []int, clf ml.Classifier) (*Model, error) {
 	return m, nil
 }
 
+// FeatureDim returns the feature-vector length the model was trained
+// on, or 0 when unknown (a model loaded without its retained training
+// set).
+func (m *Model) FeatureDim() int {
+	if len(m.trainX) == 0 {
+		return 0
+	}
+	return len(m.trainX[0])
+}
+
+// CheckFeatures rejects a feature vector the model cannot meaningfully
+// score: wrong dimensionality (a degraded array's pair set no longer
+// matches the trained one) or non-finite values (an upstream DSP
+// fault). Scoring such a vector would yield an arbitrary label, so a
+// fail-closed caller must treat the returned error as a reject.
+func (m *Model) CheckFeatures(x []float64) error {
+	if d := m.FeatureDim(); d != 0 && len(x) != d {
+		return fmt.Errorf("orientation: feature vector has %d dims, model trained on %d", len(x), d)
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("orientation: non-finite feature at index %d", i)
+		}
+	}
+	return nil
+}
+
 // Predict returns LabelFacing or LabelNonFacing for one feature
 // vector.
 func (m *Model) Predict(x []float64) int { return m.pipe.Predict(x) }

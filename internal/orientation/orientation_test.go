@@ -1,6 +1,7 @@
 package orientation
 
 import (
+	"math"
 	"math/rand/v2"
 	"testing"
 
@@ -106,6 +107,31 @@ func TestTrainEvaluate(t *testing.T) {
 	}
 	if m.TrainingSize() != 80 {
 		t.Errorf("training size %d", m.TrainingSize())
+	}
+}
+
+func TestCheckFeaturesFailsClosed(t *testing.T) {
+	x, y := blobs(40, 5)
+	m, err := Train(x, y, ModelConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FeatureDim() != 3 {
+		t.Fatalf("FeatureDim = %d, want 3", m.FeatureDim())
+	}
+	if err := m.CheckFeatures([]float64{0.1, -0.2, 0.3}); err != nil {
+		t.Fatalf("well-formed vector rejected: %v", err)
+	}
+	// Wrong dimensionality: a degraded array's pair set.
+	if err := m.CheckFeatures([]float64{0.1, -0.2}); err == nil {
+		t.Fatal("2-dim vector accepted by 3-dim model")
+	}
+	// Non-finite features: upstream DSP fault.
+	if err := m.CheckFeatures([]float64{0.1, math.NaN(), 0.3}); err == nil {
+		t.Fatal("NaN feature accepted")
+	}
+	if err := m.CheckFeatures([]float64{0.1, math.Inf(1), 0.3}); err == nil {
+		t.Fatal("Inf feature accepted")
 	}
 }
 

@@ -1,0 +1,342 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/core"
+	"headtalk/internal/metrics"
+)
+
+// fakeClock is a mutable time source for breaker cooldown tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, time.Second, clk.Now, nil)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("breaker closed prematurely after %d failures", i)
+		}
+		b.record(false, false)
+	}
+	if s, n := b.snapshot(); s != BreakerClosed || n != 2 {
+		t.Fatalf("state = %s/%d, want closed/2", s, n)
+	}
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("third request should still be allowed")
+	}
+	b.record(false, false)
+	if s, _ := b.snapshot(); s != BreakerOpen {
+		t.Fatalf("state after threshold = %s, want open", s)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker must reject")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(2, time.Second, newFakeClock().Now, nil)
+	b.record(false, false)
+	b.record(true, false) // success resets the streak
+	b.record(false, false)
+	if s, n := b.snapshot(); s != BreakerClosed || n != 1 {
+		t.Fatalf("state = %s/%d after non-consecutive failures, want closed/1", s, n)
+	}
+	b.record(false, false)
+	if s, _ := b.snapshot(); s != BreakerOpen {
+		t.Fatal("two consecutive failures should trip threshold-2 breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Second, clk.Now, nil)
+	b.record(false, false)
+	if s, _ := b.snapshot(); s != BreakerOpen {
+		t.Fatal("threshold-1 breaker should open on first failure")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker must reject before cooldown")
+	}
+	clk.Advance(time.Second)
+	ok, probe := b.allow()
+	if !ok || !probe {
+		t.Fatalf("after cooldown allow = (%v, %v), want probe", ok, probe)
+	}
+	// While the probe is in flight everything else is rejected.
+	if ok, _ := b.allow(); ok {
+		t.Fatal("half-open breaker must admit only the probe")
+	}
+	// Probe failure re-opens for another cooldown.
+	b.record(false, true)
+	if s, _ := b.snapshot(); s != BreakerOpen {
+		t.Fatal("failed probe should re-open the breaker")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("re-opened breaker must reject until the next cooldown")
+	}
+	clk.Advance(time.Second)
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatal("second cooldown should admit a new probe")
+	}
+	b.record(true, true)
+	if s, n := b.snapshot(); s != BreakerClosed || n != 0 {
+		t.Fatalf("after successful probe state = %s/%d, want closed/0", s, n)
+	}
+}
+
+func TestBreakerLateResultWhileOpenIgnored(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Minute, clk.Now, nil)
+	okA, probeA := b.allow() // in-flight non-probe task
+	if !okA || probeA {
+		t.Fatal("first allow should be a plain admit")
+	}
+	b.record(false, false) // trips the breaker
+	// The earlier task finishes successfully while the breaker is open;
+	// only a probe may close it.
+	b.record(true, false)
+	if s, _ := b.snapshot(); s != BreakerOpen {
+		t.Fatal("late non-probe success must not close an open breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, time.Second, newFakeClock().Now, nil)
+	for i := 0; i < 100; i++ {
+		b.record(false, false)
+	}
+	if ok, probe := b.allow(); !ok || probe {
+		t.Fatal("disabled breaker must always admit")
+	}
+	if s, n := b.snapshot(); s != BreakerClosed || n != 0 {
+		t.Fatalf("disabled breaker snapshot = %s/%d", s, n)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open",
+		BreakerHalfOpen: "half_open", BreakerState(7): "unknown",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+// TestWorkerPanicIsolation: an induced pipeline panic costs exactly one
+// submission — delivered as a fail-closed reject carrying
+// *ErrPipelinePanic — and the worker keeps serving.
+func TestWorkerPanicIsolation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sys, err := core.NewSystem(core.Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var panicNext atomic.Bool
+	eng, err := NewEngine(Config{
+		System: sys, Workers: 1, QueueSize: 8, Metrics: reg,
+		BreakerThreshold: -1, // isolate panic handling from the breaker
+		FaultHook: func(rec *audio.Recording) *audio.Recording {
+			if panicNext.Load() {
+				panic("injected: simulated DSP crash")
+			}
+			return rec
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+
+	panicNext.Store(true)
+	d, err := eng.Decide(context.Background(), testRecording(40))
+	if !IsPanic(err) {
+		t.Fatalf("err = %v, want *ErrPipelinePanic", err)
+	}
+	var pe *ErrPipelinePanic
+	errors.As(err, &pe)
+	if pe.Value != "injected: simulated DSP crash" || !strings.Contains(pe.Stack, "runPipeline") {
+		t.Fatalf("panic detail = %+v", pe.Value)
+	}
+	if d.Accepted || d.Reason != core.ReasonPanic {
+		t.Fatalf("panic decision %+v must fail closed with ReasonPanic", d)
+	}
+
+	// The same worker must survive and serve the next request.
+	panicNext.Store(false)
+	d, err = eng.Decide(context.Background(), testRecording(41))
+	if err != nil || !d.Accepted {
+		t.Fatalf("post-panic decision %+v, err %v", d, err)
+	}
+	h := eng.HealthSnapshot()
+	if h.Panics != 1 || !h.Healthy {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+}
+
+// TestEngineBreakerTripAndRecover drives the breaker end to end through
+// the engine: repeated induced panics trip it, open rejects are
+// fail-closed ReasonUnhealthy without running the pipeline, and after
+// cooldown a successful probe restores service.
+func TestEngineBreakerTripAndRecover(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sys, err := core.NewSystem(core.Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	var failing atomic.Bool
+	eng, err := NewEngine(Config{
+		System: sys, Workers: 1, QueueSize: 8, Metrics: reg,
+		BreakerThreshold: 3, BreakerCooldown: 10 * time.Second, Clock: clk.Now,
+		FaultHook: func(rec *audio.Recording) *audio.Recording {
+			if failing.Load() {
+				panic("injected: persistent fault")
+			}
+			return rec
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+
+	failing.Store(true)
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Decide(context.Background(), testRecording(50+uint64(i))); !IsPanic(err) {
+			t.Fatalf("decision %d err = %v, want panic", i, err)
+		}
+	}
+	h := eng.HealthSnapshot()
+	if h.Breaker != "open" || h.Healthy {
+		t.Fatalf("health after trip = %+v, want open breaker", h)
+	}
+
+	// Open: reject fast, fail closed, pipeline untouched.
+	d, err := eng.Decide(context.Background(), testRecording(60))
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker err = %v, want ErrBreakerOpen", err)
+	}
+	if d.Accepted || d.Reason != core.ReasonUnhealthy {
+		t.Fatalf("open-breaker decision %+v must fail closed", d)
+	}
+
+	// Cooldown elapses and the fault clears: the half-open probe
+	// succeeds and service resumes.
+	failing.Store(false)
+	clk.Advance(10 * time.Second)
+	d, err = eng.Decide(context.Background(), testRecording(61))
+	if err != nil || !d.Accepted {
+		t.Fatalf("probe decision %+v, err %v", d, err)
+	}
+	h = eng.HealthSnapshot()
+	if h.Breaker != "closed" || !h.Healthy || h.BreakerRejected == 0 {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+	d, err = eng.Decide(context.Background(), testRecording(62))
+	if err != nil || !d.Accepted {
+		t.Fatalf("post-recovery decision %+v, err %v", d, err)
+	}
+}
+
+// TestBadInputDoesNotTripBreaker: a flood of malformed requests is a
+// client problem, not engine ill-health — the breaker must stay closed
+// so well-formed requests keep being served.
+func TestBadInputDoesNotTripBreaker(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sys, err := core.NewSystem(core.Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{
+		System: sys, Workers: 1, QueueSize: 8, Metrics: reg,
+		BreakerThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+
+	for i := 0; i < 6; i++ {
+		bad := audio.NewRecording(48000, 2, 0) // empty channels: BadEmpty
+		d, err := eng.Decide(context.Background(), bad)
+		if err == nil || d.Accepted {
+			t.Fatalf("malformed request %d: decision %+v, err %v", i, d, err)
+		}
+		if _, ok := audio.AsBadInput(err); !ok {
+			t.Fatalf("err %v should chain to ErrBadInput", err)
+		}
+	}
+	h := eng.HealthSnapshot()
+	if h.Breaker != "closed" || !h.Healthy {
+		t.Fatalf("health after bad-input flood = %+v, want closed breaker", h)
+	}
+	if d, err := eng.Decide(context.Background(), testRecording(70)); err != nil || !d.Accepted {
+		t.Fatalf("well-formed decision %+v, err %v", d, err)
+	}
+}
+
+func TestHealthSnapshotLifecycle(t *testing.T) {
+	sys, err := core.NewSystem(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{System: sys, Workers: 2, QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := eng.HealthSnapshot(); h.State != "new" || h.Healthy {
+		t.Fatalf("pre-start health = %+v", h)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h := eng.HealthSnapshot()
+	if h.State != "running" || !h.Healthy || h.Workers != 2 || h.QueueCapacity != 4 {
+		t.Fatalf("running health = %+v", h)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if h := eng.HealthSnapshot(); h.State != "closed" || h.Healthy {
+		t.Fatalf("post-close health = %+v", h)
+	}
+}

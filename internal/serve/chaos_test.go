@@ -1,0 +1,249 @@
+package serve
+
+// Chaos tests: hammer the engine while internal/faultinject corrupts
+// recordings, silences channels, stalls stages and induces panics, and
+// assert the two invariants the serving layer promises under faults:
+//
+//  1. Exactly-once delivery — every accepted submission produces one
+//     result, even when its pipeline run panicked.
+//  2. Fail closed — no fault path ever yields an accepted decision.
+//
+// The system runs in HeadTalk mode with no trained gates, so even
+// clean requests reject (ReasonNoOrientation); any accept at all is an
+// invariant violation. Run with -race (make chaos does).
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/core"
+	"headtalk/internal/faultinject"
+	"headtalk/internal/metrics"
+)
+
+// newChaosEngine builds a started HeadTalk-mode engine wired to inj.
+func newChaosEngine(t *testing.T, inj *faultinject.Injector, workers int) *Engine {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	sys, err := core.NewSystem(core.Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetMode(core.ModeHeadTalk)
+	eng, err := NewEngine(Config{
+		System: sys, Workers: workers, QueueSize: 64, Metrics: reg,
+		BreakerThreshold: -1, // keep every fault flowing to the pipeline
+		FaultHook:        inj.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	return eng
+}
+
+func TestChaosExactlyOnceAndFailClosed(t *testing.T) {
+	inj := faultinject.New(faultinject.Config{
+		PanicEvery:        7,
+		CorruptEvery:      5,
+		DropChannelsEvery: 3,
+		DropChannels:      []int{1, 2, 3}, // leaves 1 healthy < MinChannels
+		SlowEvery:         11,
+		Delay:             time.Millisecond,
+	})
+	eng := newChaosEngine(t, inj, 4)
+
+	const (
+		producers = 4
+		perProd   = 50
+	)
+	var (
+		mu        sync.Mutex
+		delivered = map[string]Result{}
+		accepted  int
+	)
+	var wg sync.WaitGroup
+	done := make(chan struct{}, producers*perProd)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				id := string(rune('A'+p)) + "-" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+				req := Request{
+					ID:        id,
+					Recording: testRecording(uint64(p*1000 + i)),
+					Callback: func(res Result) {
+						mu.Lock()
+						if _, dup := delivered[res.ID]; dup {
+							t.Errorf("result for %s delivered twice", res.ID)
+						}
+						delivered[res.ID] = res
+						mu.Unlock()
+						done <- struct{}{}
+					},
+				}
+				// Retry on backpressure: the slow fault can briefly fill
+				// the queue; accepted-once is the invariant under test.
+				for {
+					if _, err := eng.Submit(context.Background(), req); err == nil {
+						mu.Lock()
+						accepted++
+						mu.Unlock()
+						break
+					} else if !errors.Is(err, ErrQueueFull) {
+						t.Errorf("submit %s: %v", id, err)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for i := 0; i < accepted; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("delivery stalled: %d of %d results", i, accepted)
+		}
+	}
+	if len(delivered) != producers*perProd {
+		t.Fatalf("delivered %d results, want %d", len(delivered), producers*perProd)
+	}
+
+	// Fail-closed invariant: not one accept, and every result's reason
+	// is from the known reject set.
+	var panicked, badInput, degraded, clean int
+	for id, res := range delivered {
+		if res.Decision.Accepted {
+			t.Fatalf("FAIL-CLOSED VIOLATION: %s accepted under faults: %+v", id, res.Decision)
+		}
+		switch {
+		case IsPanic(res.Err):
+			panicked++
+			if res.Decision.Reason != core.ReasonPanic {
+				t.Fatalf("%s: panic result carries reason %q", id, res.Decision.Reason)
+			}
+		case res.Err != nil:
+			be, ok := audio.AsBadInput(res.Err)
+			if !ok {
+				t.Fatalf("%s: unexpected error class %v", id, res.Err)
+			}
+			if be.Reason != audio.BadNonFinite {
+				t.Fatalf("%s: bad-input reason %s, want non_finite", id, be.Reason)
+			}
+			badInput++
+		case res.Decision.Reason == core.ReasonDegraded:
+			degraded++
+		case res.Decision.Reason == core.ReasonNoOrientation:
+			clean++
+		default:
+			t.Fatalf("%s: unexpected clean-path reason %q", id, res.Decision.Reason)
+		}
+	}
+
+	stats := inj.Stats()
+	if uint64(panicked) != stats.Panics {
+		t.Fatalf("panic results %d != induced panics %d", panicked, stats.Panics)
+	}
+	if badInput == 0 || degraded == 0 || clean == 0 {
+		t.Fatalf("fault mix too narrow: badInput=%d degraded=%d clean=%d (stats %+v)",
+			badInput, degraded, clean, stats)
+	}
+
+	// The engine must still serve after the storm.
+	inj.SetEnabled(false)
+	d, err := eng.Decide(context.Background(), testRecording(99999))
+	if err != nil || d.Reason != core.ReasonNoOrientation {
+		t.Fatalf("post-chaos decision %+v, err %v", d, err)
+	}
+	h := eng.HealthSnapshot()
+	if !h.Healthy || h.Panics != stats.Panics {
+		t.Fatalf("post-chaos health %+v (stats %+v)", h, stats)
+	}
+}
+
+// TestChaosDegradedFailClosed pins the degraded-array path end to end:
+// silencing 3 of 4 channels must reject with ReasonDegraded and report
+// the degraded count, with no error (the decision is valid — it is the
+// array that is not).
+func TestChaosDegradedFailClosed(t *testing.T) {
+	inj := faultinject.New(faultinject.Config{
+		DropChannelsEvery: 1,
+		DropChannels:      []int{0, 2, 3},
+	})
+	eng := newChaosEngine(t, inj, 1)
+	d, err := eng.Decide(context.Background(), testRecording(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepted || d.Reason != core.ReasonDegraded {
+		t.Fatalf("decision %+v, want ReasonDegraded reject", d)
+	}
+	if d.DegradedChannels != 3 {
+		t.Fatalf("DegradedChannels = %d, want 3", d.DegradedChannels)
+	}
+}
+
+// TestChaosPanicStormWithBreaker: with the breaker enabled, a sustained
+// panic storm trips it; every result is still delivered exactly once,
+// every decision still rejects, and once the storm passes the breaker's
+// half-open probe restores service.
+func TestChaosPanicStormWithBreaker(t *testing.T) {
+	inj := faultinject.New(faultinject.Config{PanicEvery: 1})
+	reg := metrics.NewRegistry()
+	sys, err := core.NewSystem(core.Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetMode(core.ModeHeadTalk)
+	clk := newFakeClock()
+	eng, err := NewEngine(Config{
+		System: sys, Workers: 2, QueueSize: 32, Metrics: reg,
+		BreakerThreshold: 4, BreakerCooldown: time.Second, Clock: clk.Now,
+		FaultHook: inj.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+
+	sawBreakerReject := false
+	for i := 0; i < 40; i++ {
+		d, err := eng.Decide(context.Background(), testRecording(uint64(200+i)))
+		if d.Accepted {
+			t.Fatalf("request %d accepted during panic storm", i)
+		}
+		switch {
+		case IsPanic(err):
+		case errors.Is(err, ErrBreakerOpen):
+			sawBreakerReject = true
+		default:
+			t.Fatalf("request %d: unexpected outcome err=%v d=%+v", i, err, d)
+		}
+	}
+	if !sawBreakerReject {
+		t.Fatal("breaker never opened under a sustained panic storm")
+	}
+
+	inj.SetEnabled(false)
+	clk.Advance(time.Second)
+	d, err := eng.Decide(context.Background(), testRecording(999))
+	if err != nil || d.Reason != core.ReasonNoOrientation {
+		t.Fatalf("post-storm decision %+v, err %v", d, err)
+	}
+	if h := eng.HealthSnapshot(); !h.Healthy {
+		t.Fatalf("post-storm health %+v", h)
+	}
+}

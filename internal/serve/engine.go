@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -36,7 +37,33 @@ var (
 	ErrClosed = errors.New("serve: engine closed")
 	// ErrNotStarted is returned when submitting before Start.
 	ErrNotStarted = errors.New("serve: engine not started")
+	// ErrBreakerOpen is carried by Results while the circuit breaker
+	// rejects fast: the pipeline has failed repeatedly and is assumed
+	// unhealthy, so decisions fail closed without running it.
+	ErrBreakerOpen = errors.New("serve: circuit breaker open, rejecting fast")
 )
+
+// ErrPipelinePanic is the typed error a Result carries when the
+// decision pipeline panicked. The worker recovers the panic, rebuilds
+// its preprocessing state and keeps serving — a panic costs one
+// submission (delivered as a fail-closed reject), never a worker.
+type ErrPipelinePanic struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+// Error implements error.
+func (e *ErrPipelinePanic) Error() string {
+	return fmt.Sprintf("serve: pipeline panic: %v", e.Value)
+}
+
+// IsPanic reports whether err chains to an *ErrPipelinePanic.
+func IsPanic(err error) bool {
+	var pe *ErrPipelinePanic
+	return errors.As(err, &pe)
+}
 
 // Config assembles an Engine.
 type Config struct {
@@ -54,6 +81,24 @@ type Config struct {
 	// private registry; pass the same registry given to core.Config
 	// to get engine and per-gate metrics in one place.
 	Metrics *metrics.Registry
+	// BreakerThreshold is the consecutive pipeline-failure count
+	// (errors and panics; not bad input, deadline expiries or
+	// backpressure) that trips the circuit breaker into reject-fast
+	// (default 8; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long the tripped breaker rejects fast
+	// before letting one half-open probe through (default 5 s).
+	BreakerCooldown time.Duration
+	// Clock abstracts time for the breaker's cooldown (tests inject a
+	// fake); nil uses time.Now.
+	Clock func() time.Time
+	// FaultHook, when non-nil, intercepts every recording just before
+	// the pipeline runs and may return a replacement. It exists for
+	// fault injection (internal/faultinject): chaos tests use it to
+	// model corrupted frames, dropped channels, slow stages and induced
+	// panics. A panic inside the hook is recovered exactly like a
+	// pipeline panic. Leave nil in production.
+	FaultHook func(*audio.Recording) *audio.Recording
 }
 
 // Request is one decision to serve.
@@ -99,9 +144,10 @@ const (
 // Engine is a concurrent decision-serving engine. All methods are
 // safe for concurrent use.
 type Engine struct {
-	cfg   Config
-	queue chan *task
-	wg    sync.WaitGroup
+	cfg     Config
+	queue   chan *task
+	wg      sync.WaitGroup
+	breaker *breaker
 
 	// mu guards state. Submitters hold it shared (RLock) while
 	// sending so close(queue) — taken under the exclusive lock —
@@ -114,16 +160,19 @@ type Engine struct {
 
 // engineInstruments caches metric handles for the hot path.
 type engineInstruments struct {
-	submitted   *metrics.Counter
-	completed   *metrics.Counter
-	queueFull   *metrics.Counter
-	closed      *metrics.Counter
-	expired     *metrics.Counter
-	failed      *metrics.Counter
-	queueDepth  *metrics.Gauge
-	workers     *metrics.Gauge
-	queueWait   *metrics.Histogram
-	decisionLat *metrics.Histogram
+	submitted    *metrics.Counter
+	completed    *metrics.Counter
+	queueFull    *metrics.Counter
+	closed       *metrics.Counter
+	expired      *metrics.Counter
+	failed       *metrics.Counter
+	panics       *metrics.Counter
+	breakerFast  *metrics.Counter
+	queueDepth   *metrics.Gauge
+	workers      *metrics.Gauge
+	breakerState *metrics.Gauge
+	queueWait    *metrics.Histogram
+	decisionLat  *metrics.Histogram
 }
 
 // NewEngine validates cfg and returns an engine; call Start before
@@ -141,23 +190,33 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 8
+	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
 	r := cfg.Metrics
 	e := &Engine{
 		cfg:   cfg,
 		state: stateNew,
 		ins: engineInstruments{
-			submitted:   r.Counter("serve.submitted.total"),
-			completed:   r.Counter("serve.completed.total"),
-			queueFull:   r.Counter("serve.rejected.queue_full"),
-			closed:      r.Counter("serve.rejected.closed"),
-			expired:     r.Counter("serve.expired.deadline"),
-			failed:      r.Counter("serve.failed.pipeline"),
-			queueDepth:  r.Gauge("serve.queue.depth"),
-			workers:     r.Gauge("serve.workers"),
-			queueWait:   r.Histogram("serve.queue.wait", nil),
-			decisionLat: r.Histogram("serve.decision.latency", nil),
+			submitted:    r.Counter("serve.submitted.total"),
+			completed:    r.Counter("serve.completed.total"),
+			queueFull:    r.Counter("serve.rejected.queue_full"),
+			closed:       r.Counter("serve.rejected.closed"),
+			expired:      r.Counter("serve.expired.deadline"),
+			failed:       r.Counter("serve.failed.pipeline"),
+			panics:       r.Counter("serve.worker.panics.total"),
+			breakerFast:  r.Counter("serve.breaker.rejected"),
+			queueDepth:   r.Gauge("serve.queue.depth"),
+			workers:      r.Gauge("serve.workers"),
+			breakerState: r.Gauge("serve.breaker.state"),
+			queueWait:    r.Histogram("serve.queue.wait", nil),
+			decisionLat:  r.Histogram("serve.decision.latency", nil),
 		},
 	}
+	e.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock, e.ins.breakerState)
 	return e, nil
 }
 
@@ -193,7 +252,10 @@ func (e *Engine) Start() error {
 }
 
 // worker drains the queue with its own preprocessing state until the
-// queue is closed by Drain/Close.
+// queue is closed by Drain/Close. Panics anywhere in the pipeline are
+// recovered per task: the submission is delivered as a fail-closed
+// reject carrying *ErrPipelinePanic, the preprocessor is rebuilt (its
+// biquad state may be mid-update), and the worker keeps serving.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	p := e.cfg.System.NewPreprocessor()
@@ -202,14 +264,24 @@ func (e *Engine) worker() {
 		wait := time.Since(t.enqueued)
 		e.ins.queueWait.ObserveDuration(wait)
 		res := Result{ID: t.req.ID, QueueWait: wait}
-		if err := t.ctx.Err(); err != nil {
+		switch {
+		case t.ctx.Err() != nil:
 			// The deadline lapsed while the request sat in the queue;
 			// don't burn pipeline time on a decision nobody waits for.
-			res.Err = err
+			res.Err = t.ctx.Err()
 			e.ins.expired.Inc()
-		} else {
+		default:
+			allowed, probe := e.breaker.allow()
+			if !allowed {
+				// Breaker open: fail closed without touching the
+				// pipeline.
+				res.Decision = core.Decision{Accepted: false, Reason: core.ReasonUnhealthy}
+				res.Err = ErrBreakerOpen
+				e.ins.breakerFast.Inc()
+				break
+			}
 			start := time.Now()
-			d, err := e.cfg.System.ProcessWakeWith(p, t.req.Recording)
+			d, err, panicked := e.runPipeline(p, t.req.Recording)
 			res.Decision = d
 			res.Err = err
 			res.Total = wait + time.Since(start)
@@ -217,6 +289,12 @@ func (e *Engine) worker() {
 			if err != nil {
 				e.ins.failed.Inc()
 			}
+			if panicked {
+				// The panic may have interrupted the biquad cascade
+				// mid-update; a fresh clone is cheap insurance.
+				p = e.cfg.System.NewPreprocessor()
+			}
+			e.breaker.record(!breakerFailure(err), probe)
 		}
 		e.ins.completed.Inc()
 		if t.req.Callback != nil {
@@ -225,6 +303,96 @@ func (e *Engine) worker() {
 			t.out <- res // buffered(1): never blocks, delivered once
 		}
 	}
+}
+
+// runPipeline executes one decision with panic isolation. A recovered
+// panic returns a fail-closed reject (ReasonPanic) and a typed
+// *ErrPipelinePanic carrying the panic value and stack.
+func (e *Engine) runPipeline(p *core.Preprocessor, rec *audio.Recording) (d core.Decision, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			d = core.Decision{Accepted: false, Reason: core.ReasonPanic}
+			err = &ErrPipelinePanic{Value: r, Stack: string(debug.Stack())}
+			panicked = true
+			e.ins.panics.Inc()
+		}
+	}()
+	if e.cfg.FaultHook != nil {
+		rec = e.cfg.FaultHook(rec)
+	}
+	d, err = e.cfg.System.ProcessWakeWith(p, rec)
+	return d, err, false
+}
+
+// breakerFailure reports whether a pipeline error indicates engine
+// ill-health. Per-request input problems (typed bad-input rejections)
+// don't count: a flood of malformed requests must not take the engine
+// away from well-formed ones.
+func breakerFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	if _, ok := audio.AsBadInput(err); ok {
+		return false
+	}
+	return true
+}
+
+// Health is a point-in-time snapshot of the engine's serving fitness,
+// suitable for a daemon's health endpoint or log line.
+type Health struct {
+	// State is the lifecycle state: "new", "running" or "closed".
+	State string
+	// Workers is the configured pool size.
+	Workers int
+	// QueueDepth and QueueCapacity describe the submission queue.
+	QueueDepth    int
+	QueueCapacity int
+	// Breaker is the circuit-breaker position ("closed", "open",
+	// "half_open") and ConsecutiveFailures its current failure streak.
+	Breaker             string
+	ConsecutiveFailures int
+	// Counters since Start.
+	Panics          uint64
+	Submitted       uint64
+	Completed       uint64
+	BreakerRejected uint64
+	// Healthy is true when the engine is running and the breaker is
+	// closed — i.e. new submissions are being served normally.
+	Healthy bool
+}
+
+// HealthSnapshot reports the engine's current serving fitness.
+func (e *Engine) HealthSnapshot() Health {
+	e.mu.RLock()
+	state := e.state
+	var depth int
+	if e.queue != nil {
+		depth = len(e.queue)
+	}
+	e.mu.RUnlock()
+	bs, streak := e.breaker.snapshot()
+	h := Health{
+		Workers:             e.cfg.Workers,
+		QueueDepth:          depth,
+		QueueCapacity:       e.cfg.QueueSize,
+		Breaker:             bs.String(),
+		ConsecutiveFailures: streak,
+		Panics:              e.ins.panics.Value(),
+		Submitted:           e.ins.submitted.Value(),
+		Completed:           e.ins.completed.Value(),
+		BreakerRejected:     e.ins.breakerFast.Value(),
+	}
+	switch state {
+	case stateNew:
+		h.State = "new"
+	case stateRunning:
+		h.State = "running"
+	default:
+		h.State = "closed"
+	}
+	h.Healthy = state == stateRunning && bs == BreakerClosed
+	return h
 }
 
 // enqueue places a task on the queue. block selects Decide semantics

@@ -154,27 +154,71 @@ func AllPairs(channels [][]float64, opt PairOptions) ([]PairGCC, error) {
 	var out []PairGCC
 	for i := 0; i < len(channels); i++ {
 		for j := i + 1; j < len(channels); j++ {
-			var (
-				r   []float64
-				err error
-			)
-			if opt.PHAT {
-				r, err = GCCPHATBand(channels[i], channels[j], opt.MaxLag, opt.SampleRate, opt.BandLo, opt.BandHi)
-			} else {
-				r, err = CrossCorrPHATless(channels[i], channels[j], opt.MaxLag)
-			}
+			p, err := pairGCC(channels, i, j, opt)
 			if err != nil {
-				return nil, fmt.Errorf("srp: pair (%d,%d): %w", i, j, err)
+				return nil, err
 			}
-			out = append(out, PairGCC{
-				I:    i,
-				J:    j,
-				R:    r,
-				TDoA: dsp.ArgMax(r) - opt.MaxLag,
-			})
+			out = append(out, p)
 		}
 	}
 	return out, nil
+}
+
+// SelectedPairs recomputes the GCC pair set over a subset of surviving
+// channels — the degraded-array path: when per-channel health marks
+// elements dead or stuck, only pairs between trusted channels are
+// worth correlating (one bad channel poisons every pair it joins).
+// PairGCC.I/J keep the ORIGINAL channel indices so TDoAs stay
+// attributable to physical microphones. The subset must list at least
+// two distinct in-range indices; anything else is a typed error so
+// the caller can fail closed rather than steer on a garbage pair set.
+func SelectedPairs(channels [][]float64, subset []int, opt PairOptions) ([]PairGCC, error) {
+	if len(subset) < 2 {
+		return nil, fmt.Errorf("srp: need at least 2 surviving channels, have %d", len(subset))
+	}
+	seen := make(map[int]bool, len(subset))
+	for _, c := range subset {
+		if c < 0 || c >= len(channels) {
+			return nil, fmt.Errorf("srp: subset channel %d out of range [0,%d)", c, len(channels))
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("srp: duplicate subset channel %d", c)
+		}
+		seen[c] = true
+	}
+	var out []PairGCC
+	for a := 0; a < len(subset); a++ {
+		for b := a + 1; b < len(subset); b++ {
+			p, err := pairGCC(channels, subset[a], subset[b], opt)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// pairGCC correlates one channel pair per opt.
+func pairGCC(channels [][]float64, i, j int, opt PairOptions) (PairGCC, error) {
+	var (
+		r   []float64
+		err error
+	)
+	if opt.PHAT {
+		r, err = GCCPHATBand(channels[i], channels[j], opt.MaxLag, opt.SampleRate, opt.BandLo, opt.BandHi)
+	} else {
+		r, err = CrossCorrPHATless(channels[i], channels[j], opt.MaxLag)
+	}
+	if err != nil {
+		return PairGCC{}, fmt.Errorf("srp: pair (%d,%d): %w", i, j, err)
+	}
+	return PairGCC{
+		I:    i,
+		J:    j,
+		R:    r,
+		TDoA: dsp.ArgMax(r) - opt.MaxLag,
+	}, nil
 }
 
 // SRP sums the pair GCCs lag-wise: the paper's "weighted SRP" curve

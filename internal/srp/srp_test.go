@@ -184,6 +184,67 @@ func TestAllPairsCount(t *testing.T) {
 	}
 }
 
+// TestSelectedPairsDegradedSubset covers the degraded-array path: the
+// pair set recomputed over surviving channels, original indices kept.
+func TestSelectedPairsDegradedSubset(t *testing.T) {
+	channels := make([][]float64, 4)
+	rng := rand.New(rand.NewPCG(17, 18))
+	for i := range channels {
+		channels[i] = make([]float64, 1024)
+		for j := range channels[i] {
+			channels[i][j] = rng.NormFloat64()
+		}
+	}
+	opt := PairOptions{MaxLag: 5, PHAT: true}
+	// Channel 1 died: correlate only the survivors.
+	pairs, err := SelectedPairs(channels, []int{0, 2, 3}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("%d pairs for 3 survivors, want 3", len(pairs))
+	}
+	want := [][2]int{{0, 2}, {0, 3}, {2, 3}}
+	for k, p := range pairs {
+		if p.I != want[k][0] || p.J != want[k][1] {
+			t.Fatalf("pair %d = (%d,%d), want (%d,%d) — original indices must survive", k, p.I, p.J, want[k][0], want[k][1])
+		}
+		if len(p.R) != 11 {
+			t.Errorf("pair window %d, want 11", len(p.R))
+		}
+	}
+	// The subset pair must match the same pair from the full set.
+	all, err := AllPairs(channels, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range all {
+		if a.I == 0 && a.J == 2 {
+			for i, v := range pairs[0].R {
+				if math.Abs(v-a.R[i]) > 1e-12 {
+					t.Fatal("SelectedPairs(0,2) differs from AllPairs(0,2)")
+				}
+			}
+		}
+	}
+}
+
+func TestSelectedPairsRejectsBadSubsets(t *testing.T) {
+	channels := [][]float64{make([]float64, 256), make([]float64, 256)}
+	opt := PairOptions{MaxLag: 3}
+	cases := map[string][]int{
+		"too few":      {0},
+		"out of range": {0, 5},
+		"negative":     {-1, 0},
+		"duplicate":    {0, 0},
+	}
+	for name, subset := range cases {
+		if _, err := SelectedPairs(channels, subset, opt); err == nil {
+			t.Errorf("%s subset %v: expected error", name, subset)
+		}
+	}
+}
+
 func TestSRPSumsPairs(t *testing.T) {
 	pairs := []PairGCC{
 		{R: []float64{1, 2, 3}},

@@ -74,7 +74,10 @@ func fingerprint(x []float64, fs float64) ([]float64, error) {
 	win := dsp.Hann.Coefficients(frameLen)
 	var out []float64
 	for start := 0; start+frameLen <= len(x); start += hop {
-		frame := dsp.ApplyWindow(x[start:start+frameLen], win)
+		frame, err := dsp.ApplyWindow(x[start:start+frameLen], win)
+		if err != nil {
+			return nil, fmt.Errorf("va: windowing fingerprint frame: %w", err)
+		}
 		spec := dsp.HalfSpectrum(frame)
 		pow := dsp.Power(spec)
 		for b := 0; b < spotBands; b++ {
