@@ -16,10 +16,11 @@ test:
 
 # Race-detect the packages with real concurrency: the serving engine
 # (including its chaos suite), the core controller it hammers, the
-# assistant/listener layer, and the fault-tolerance layers (channel
-# health, pair recomputation, fault injection).
+# assistant/listener layer, the fault-tolerance layers (channel
+# health, pair recomputation, fault injection), and the DSP layer now
+# that it holds the shared FFT plan cache and scratch pools.
 race:
-	$(GO) test -race ./internal/serve ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject
+	$(GO) test -race ./internal/serve ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp
 
 vet:
 	$(GO) vet ./...
@@ -31,9 +32,20 @@ chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Breaker|Panic|FaultInject' ./internal/serve
 	$(GO) test -race -count=2 ./internal/faultinject
 
-# Serving-layer throughput baseline (worker sweep) plus the paper's
-# §IV-B15 pipeline-stage timings.
+# Benchmarks, machine-readable: serving-layer throughput (worker
+# sweep), the paper's §IV-B15 pipeline-stage timings, and the DSP
+# engine micro-benchmarks. Output is echoed to the terminal and teed
+# through cmd/benchjson, which APPENDS one JSON record per result to
+# $(BENCH_JSON) — successive runs accumulate, so the file holds the
+# perf trajectory (grep by "tag"). Override the tag per run:
+#   make bench BENCH_TAG=pr4
+BENCH_JSON ?= BENCH_pr3.json
+BENCH_TAG  ?= pr3
+
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput|BenchmarkRuntime' -benchtime 50x .
+	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput|BenchmarkRuntime|BenchmarkPipelineStages' -benchmem -benchtime 50x . \
+		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)
+	$(GO) test -run xxx -bench 'BenchmarkRFFT|BenchmarkFFTPlan|BenchmarkBluestein|BenchmarkSTFT|BenchmarkWelchPSD|BenchmarkGCCAllPairs|BenchmarkGCCPHATBand' -benchmem ./internal/dsp ./internal/srp \
+		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)
 
 check: build vet test race

@@ -25,6 +25,7 @@ import (
 	"headtalk/internal/room"
 	"headtalk/internal/speech"
 	"headtalk/internal/srp"
+	"headtalk/internal/va"
 )
 
 // benchRunner is shared across experiment benchmarks so corpus
@@ -296,6 +297,54 @@ func BenchmarkSteeredPowerMap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		srp.SteeredPowerMap(selPos, pairs, 13, 48000, 340, azimuths)
 	}
+}
+
+// BenchmarkPipelineStages times each DSP-bound serving-pipeline stage
+// in isolation on one synthesized capture — the per-stage breakdown of
+// the paper's §IV-B15 runtime table, and the trajectory benchmark for
+// the planned-FFT engine (every stage below funnels into dsp plans).
+func BenchmarkPipelineStages(b *testing.B) {
+	rec := benchCapture(b)
+	mono := rec.Mono()
+	spotter, err := va.NewSpotter(speech.WordComputer, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("spotter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spotter.Detect(mono, rec.SampleRate)
+		}
+	})
+	b.Run("liveness-frontend", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := liveness.Frames(mono, rec.SampleRate); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gcc-allpairs", func(b *testing.B) {
+		opt := srp.PairOptions{MaxLag: 13, PHAT: true, SampleRate: 48000, BandLo: 100, BandHi: 8000}
+		for i := 0; i < b.N; i++ {
+			if _, err := srp.AllPairs(rec.Channels, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("welch-psd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dsp.WelchPSD(mono, 1024); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("features", func(b *testing.B) {
+		cfg := features.DefaultConfig(13, 48000)
+		for i := 0; i < b.N; i++ {
+			if _, err := features.Extract(rec, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- serving-layer benchmarks ---

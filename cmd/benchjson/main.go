@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` output into
+// machine-readable JSON Lines so benchmark runs can be committed and
+// diffed across PRs (see BENCH_pr3.json and the README's benchmarking
+// section).
+//
+// It reads benchmark output on stdin, echoes it unchanged to stdout
+// (so it tees transparently into a pipeline), and appends one JSON
+// record per benchmark result line to the -out file:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson -tag pr4 -out BENCH_pr4.json
+//
+// Records carry the benchmark name (CPU-count suffix stripped), the
+// enclosing package, iterations, ns/op, -benchmem's B/op and allocs/op
+// when present, and any custom b.ReportMetric units.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Tag         string             `json:"tag,omitempty"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "JSON Lines output file (required)")
+	tag := flag.String("tag", "", "tag stored on every record (e.g. pr3, pr3-baseline)")
+	appendOut := flag.Bool("append", false, "append to -out instead of truncating")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+
+	mode := os.O_CREATE | os.O_WRONLY
+	if *appendOut {
+		mode |= os.O_APPEND
+	} else {
+		mode |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(*out, mode, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		rec, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		rec.Tag = *tag
+		rec.Pkg = pkg
+		if err := enc.Encode(rec); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `BenchmarkName-8  N  12.3 ns/op  ...` line.
+func parseBenchLine(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec := record{Name: stripCPUSuffix(fields[0]), Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			rec.NsPerOp = val
+			sawNs = true
+		case "B/op":
+			v := val
+			rec.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			rec.AllocsPerOp = &v
+		default:
+			if rec.Metrics == nil {
+				rec.Metrics = map[string]float64{}
+			}
+			rec.Metrics[unit] = val
+		}
+	}
+	return rec, sawNs
+}
+
+// stripCPUSuffix removes the trailing -GOMAXPROCS from a benchmark
+// name (Benchmark names themselves never end in -<digits>).
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -30,25 +30,20 @@ func convolveDirect(x, h []float64) []float64 {
 func convolveFFT(x, h []float64) []float64 {
 	n := len(x) + len(h) - 1
 	m := NextPow2(n)
-	xf := make([]complex128, m)
-	hf := make([]complex128, m)
-	for i, v := range x {
-		xf[i] = complex(v, 0)
+	p := Plan(m)
+	padded := make([]float64, m)
+	copy(padded, x)
+	xf := p.RFFT(nil, padded)
+	for i := range padded {
+		padded[i] = 0
 	}
-	for i, v := range h {
-		hf[i] = complex(v, 0)
-	}
-	fftInPlace(xf, false)
-	fftInPlace(hf, false)
+	copy(padded, h)
+	hf := p.RFFT(nil, padded)
 	for i := range xf {
 		xf[i] *= hf[i]
 	}
-	fftInPlace(xf, true)
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = real(xf[i])
-	}
-	return out
+	r := p.IRFFT(padded, xf)
+	return r[:n]
 }
 
 // SparseTap is a single impulse-response tap at an integer sample

@@ -45,105 +45,50 @@ func IFFT(x []complex128) []complex128 {
 	return out
 }
 
-// fftInPlace transforms x in place. When inverse is true the conjugate
-// transform is applied and the result is scaled by 1/len(x).
+// fftInPlace transforms x in place through the cached plan for its
+// length. When inverse is true the conjugate transform is applied and
+// the result is scaled by 1/len(x).
 func fftInPlace(x []complex128, inverse bool) {
 	n := len(x)
 	if n <= 1 {
 		return
 	}
-	if IsPow2(n) {
-		radix2(x, inverse)
+	p := Plan(n)
+	if inverse {
+		p.Inverse(x)
 	} else {
-		bluestein(x, inverse)
-	}
-	if inverse {
-		scale := 1 / float64(n)
-		for i := range x {
-			x[i] *= complex(scale, 0)
-		}
-	}
-}
-
-// radix2 is an iterative decimation-in-time Cooley-Tukey FFT for
-// power-of-two lengths. When inverse is true the sign of the twiddle
-// exponent is flipped; normalization is the caller's responsibility.
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				even := x[start+k]
-				odd := x[start+k+half] * w
-				x[start+k] = even + odd
-				x[start+k+half] = even - odd
-				w *= wStep
-			}
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT as a convolution via
-// power-of-two FFTs (the chirp-z transform).
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	m := NextPow2(2*n - 1)
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	chirp := make([]complex128, n)
-	for i := 0; i < n; i++ {
-		// Chirp phase: pi * i^2 / n, computed modulo 2n to avoid
-		// precision loss for large i.
-		idx := (int64(i) * int64(i)) % int64(2*n)
-		phase := sign * math.Pi * float64(idx) / float64(n)
-		chirp[i] = cmplx.Exp(complex(0, phase))
-		a[i] = x[i] * chirp[i]
-		b[i] = cmplx.Conj(chirp[i])
-		if i > 0 {
-			b[m-i] = b[i]
-		}
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	scale := 1 / float64(m)
-	for i := 0; i < n; i++ {
-		x[i] = a[i] * complex(scale, 0) * chirp[i]
+		p.Forward(x)
 	}
 }
 
 // FFTReal computes the DFT of a real-valued signal and returns the
-// full complex spectrum of the same length as x.
+// full complex spectrum of the same length as x. Even lengths run
+// through the packed real transform and mirror the upper half; odd
+// lengths take the complex path.
 func FFTReal(x []float64) []complex128 {
-	c := make([]complex128, len(x))
-	for i, v := range x {
-		c[i] = complex(v, 0)
+	n := len(x)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
 	}
-	fftInPlace(c, false)
-	return c
+	if n == 1 {
+		out[0] = complex(x[0], 0)
+		return out
+	}
+	if n%2 == 0 {
+		p := Plan(n)
+		p.RFFT(out[:n/2+1], x)
+		for i := 1; i < n/2; i++ {
+			v := out[i]
+			out[n-i] = complex(real(v), -imag(v))
+		}
+		return out
+	}
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	fftInPlace(out, false)
+	return out
 }
 
 // IFFTReal computes the inverse DFT of a spectrum that is assumed to be
@@ -159,10 +104,11 @@ func IFFTReal(spec []complex128) []float64 {
 }
 
 // HalfSpectrum returns the non-redundant half of a real signal's
-// spectrum: bins 0..n/2 inclusive (n/2+1 bins for even n).
+// spectrum: bins 0..n/2 inclusive (n/2+1 bins for even n). It runs the
+// packed real transform (see FFTPlan.RFFT); use HalfSpectrumInto to
+// reuse an output buffer across calls.
 func HalfSpectrum(x []float64) []complex128 {
-	full := FFTReal(x)
-	return full[:len(full)/2+1]
+	return RFFT(nil, x)
 }
 
 // Magnitude returns |spec[i]| for every bin.

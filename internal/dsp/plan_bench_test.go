@@ -1,0 +1,109 @@
+package dsp
+
+// FFT-engine benchmarks. BENCH_pr3.json records the pre-plan baseline
+// for the equivalent operations (tag "pr3-baseline"); `make bench`
+// appends current numbers so the trajectory stays diffable.
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchReal(n int) []float64 {
+	rng := rand.New(rand.NewPCG(42, 43))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func benchComplex(n int) []complex128 {
+	rng := rand.New(rand.NewPCG(7, 9))
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+// BenchmarkRFFT compares the real-transform paths at n=1024 (the
+// spotter's frame size): the packed planned transform with a reused
+// destination, the same transform allocating its output, and the
+// full-complex-spectrum path RFFT replaces (FFTReal+HalfSpectrum —
+// itself already plan-accelerated; the pre-plan number lives in
+// BENCH_pr3.json).
+func BenchmarkRFFT(b *testing.B) {
+	x := benchReal(1024)
+	b.Run("viaFFTReal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			full := FFTReal(x)
+			_ = full[:len(full)/2+1]
+		}
+	})
+	b.Run("alloc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RFFT(nil, x)
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		p := Plan(1024)
+		dst := make([]complex128, 513)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.RFFT(dst, x)
+		}
+	})
+}
+
+// BenchmarkFFTPlan measures the planned complex transform (twiddle
+// tables + cached bit-reversal) at a GCC-scale size.
+func BenchmarkFFTPlan(b *testing.B) {
+	x := benchComplex(4096)
+	b.Run("forward4096", func(b *testing.B) {
+		p := Plan(4096)
+		buf := make([]complex128, 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(buf, x)
+			p.Forward(buf)
+		}
+	})
+	b.Run("alloc4096", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			FFT(x)
+		}
+	})
+}
+
+// BenchmarkBluestein measures the cached-chirp non-power-of-two path.
+func BenchmarkBluestein(b *testing.B) {
+	x := benchComplex(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+// BenchmarkSTFT frames one second of 48 kHz audio (92 hops of 1024).
+func BenchmarkSTFT(b *testing.B) {
+	x := benchReal(48000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := STFT(x, 1024, 512, Hann); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWelchPSD averages periodograms over a paper-scale analysis
+// window.
+func BenchmarkWelchPSD(b *testing.B) {
+	x := benchReal(32768)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WelchPSD(x, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -28,21 +28,41 @@ func hypot(a, b float64) float64 {
 	return sqrt(a*a + b*b)
 }
 
+// frameCount returns how many full frames of frameLen hopped by hop fit
+// in n samples.
+func frameCount(n, frameLen, hop int) int {
+	if n < frameLen {
+		return 0
+	}
+	return (n-frameLen)/hop + 1
+}
+
 // STFT computes a short-time Fourier transform of x with the given
 // frame length, hop size and window, returning one half-spectrum per
-// frame. Frames that would run past the end of x are dropped.
+// frame. Frames that would run past the end of x are dropped. Frame
+// storage is allocated up front in one flat backing array (the frame
+// count is known), and a single scratch buffer carries each windowed
+// frame into the planned real transform.
 func STFT(x []float64, frameLen, hop int, win Window) ([][]complex128, error) {
 	if frameLen <= 0 || hop <= 0 {
 		return nil, fmt.Errorf("dsp: invalid STFT parameters frameLen=%d hop=%d", frameLen, hop)
 	}
 	coeffs := win.Coefficients(frameLen)
-	var frames [][]complex128
-	for start := 0; start+frameLen <= len(x); start += hop {
-		frame, err := ApplyWindow(x[start:start+frameLen], coeffs)
-		if err != nil {
-			return nil, fmt.Errorf("dsp: STFT frame at %d: %w", start, err)
+	count := frameCount(len(x), frameLen, hop)
+	if count == 0 {
+		return nil, nil
+	}
+	bins := frameLen/2 + 1
+	frames := make([][]complex128, count)
+	backing := make([]complex128, count*bins)
+	scratch := make([]float64, frameLen)
+	p := Plan(frameLen)
+	for fi := 0; fi < count; fi++ {
+		start := fi * hop
+		for i := range scratch {
+			scratch[i] = x[start+i] * coeffs[i]
 		}
-		frames = append(frames, HalfSpectrum(frame))
+		frames[fi] = p.RFFT(backing[fi*bins:fi*bins:(fi+1)*bins], scratch)
 	}
 	return frames, nil
 }
@@ -55,8 +75,13 @@ func Spectrogram(x []float64, frameLen, hop int, win Window) ([][]float64, error
 		return nil, err
 	}
 	out := make([][]float64, len(frames))
+	if len(frames) == 0 {
+		return out, nil
+	}
+	bins := len(frames[0])
+	backing := make([]float64, len(frames)*bins)
 	for i, f := range frames {
-		out[i] = Magnitude(f)
+		out[i] = MagnitudeInto(backing[i*bins:i*bins:(i+1)*bins], f)
 	}
 	return out, nil
 }
@@ -81,14 +106,17 @@ func WelchPSD(x []float64, frameLen int) ([]float64, error) {
 	for _, w := range win {
 		winPower += w * w
 	}
-	psd := make([]float64, frameLen/2+1)
+	bins := frameLen/2 + 1
+	psd := make([]float64, bins)
+	scratch := make([]float64, frameLen)
+	spec := make([]complex128, bins)
+	p := Plan(frameLen)
 	var count int
 	for start := 0; start+frameLen <= len(x); start += hop {
-		frame, err := ApplyWindow(x[start:start+frameLen], win)
-		if err != nil {
-			return nil, fmt.Errorf("dsp: Welch frame at %d: %w", start, err)
+		for i := range scratch {
+			scratch[i] = x[start+i] * win[i]
 		}
-		spec := HalfSpectrum(frame)
+		p.RFFT(spec, scratch)
 		for i, v := range spec {
 			re, im := real(v), imag(v)
 			psd[i] += (re*re + im*im) / winPower

@@ -6,7 +6,6 @@ package features
 
 import (
 	"fmt"
-	"math"
 
 	"headtalk/internal/audio"
 	"headtalk/internal/dsp"
@@ -198,7 +197,7 @@ func directivityFeatures(rec *audio.Recording, cfg Config) []float64 {
 		mono = scaled
 	}
 	n := len(mono)
-	spec := dsp.HalfSpectrum(mono)
+	spec := dsp.RFFT(nil, mono)
 	fs := cfg.SampleRate
 	if fs == 0 {
 		fs = rec.SampleRate
@@ -217,6 +216,10 @@ func directivityFeatures(rec *audio.Recording, cfg Config) []float64 {
 		chunks = 20
 	}
 	width := (cfg.LowBandHi - cfg.LowBandLo) / float64(chunks)
+	// One magnitude scratch reused across chunks (chunk widths are a
+	// few bins each; the largest bounds them all).
+	maxChunkBins := dsp.FreqBin(cfg.LowBandHi, n, fs) - dsp.FreqBin(cfg.LowBandLo, n, fs) + 1
+	magScratch := make([]float64, 0, maxChunkBins)
 	for c := 0; c < chunks; c++ {
 		lo := cfg.LowBandLo + float64(c)*width
 		hi := lo + width
@@ -226,9 +229,8 @@ func directivityFeatures(rec *audio.Recording, cfg Config) []float64 {
 			hiBin = len(spec) - 1
 		}
 		var mags []float64
-		for i := loBin; i <= hiBin; i++ {
-			re, im := real(spec[i]), imag(spec[i])
-			mags = append(mags, math.Sqrt(re*re+im*im))
+		if hiBin >= loBin {
+			mags = dsp.MagnitudeInto(magScratch[:0], spec[loBin:hiBin+1])
 		}
 		out = append(out, dsp.Mean(mags), dsp.RMS(mags), dsp.Std(mags))
 	}

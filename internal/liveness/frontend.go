@@ -13,6 +13,7 @@ package liveness
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"headtalk/internal/dsp"
 )
@@ -29,6 +30,18 @@ const (
 	filterHiHz  = 7600
 	logFloorEps = 1e-10
 )
+
+// filterbankOnce caches the filterbank: the filters depend only on
+// package constants, so every Frames call shares one immutable copy.
+var (
+	filterbankOnce sync.Once
+	filterbankTbl  [][]float64
+)
+
+func cachedFilterbank() [][]float64 {
+	filterbankOnce.Do(func() { filterbankTbl = filterbank() })
+	return filterbankTbl
+}
 
 // filterbank returns NumFilters triangular filters over fftSize/2+1
 // bins at TargetRate, log-spaced in frequency.
@@ -81,20 +94,24 @@ func Frames(x []float64, fs float64) ([][]float64, error) {
 		return nil, fmt.Errorf("liveness: waveform too short (%d samples at 16 kHz, need %d)", len(wav), frameLen)
 	}
 
-	fb := filterbank()
+	fb := cachedFilterbank()
 	win := dsp.Hann.Coefficients(frameLen)
-	var frames [][]float64
+	nFrames := (len(wav)-frameLen)/frameHop + 1
+	frames := make([][]float64, 0, nFrames)
+	backing := make([]float64, nFrames*NumFilters)
 	buf := make([]float64, fftSize)
+	spec := make([]complex128, fftSize/2+1)
+	pow := make([]float64, fftSize/2+1)
+	p := dsp.Plan(fftSize)
 	for start := 0; start+frameLen <= len(wav); start += frameHop {
 		for i := 0; i < frameLen; i++ {
 			buf[i] = wav[start+i] * win[i]
 		}
-		for i := frameLen; i < fftSize; i++ {
-			buf[i] = 0
-		}
-		spec := dsp.HalfSpectrum(buf)
-		pow := dsp.Power(spec)
-		frame := make([]float64, NumFilters)
+		// The zero tail beyond frameLen never changes.
+		p.RFFT(spec, buf)
+		dsp.PowerInto(pow, spec)
+		fi := len(frames)
+		frame := backing[fi*NumFilters : (fi+1)*NumFilters]
 		for f := 0; f < NumFilters; f++ {
 			var acc float64
 			for b, w := range fb[f] {

@@ -67,15 +67,19 @@ func FineBands() []Band {
 func SplitBands(x []float64, fs float64, bands []Band) [][]float64 {
 	n := len(x)
 	m := dsp.NextPow2(n)
-	padded := make([]complex128, m)
-	for i, v := range x {
-		padded[i] = complex(v, 0)
-	}
-	spec := dsp.FFT(padded)
+	p := dsp.Plan(m)
+	padded := make([]float64, m)
+	copy(padded, x)
+	// Half-spectrum via the planned real transform; the masked upper
+	// half is implied by conjugate symmetry and reconstructed by IRFFT.
+	spec := p.RFFT(nil, padded)
 	half := m/2 + 1
 	out := make([][]float64, len(bands))
+	masked := make([]complex128, half)
 	for bi, b := range bands {
-		masked := make([]complex128, m)
+		for i := range masked {
+			masked[i] = 0
+		}
 		loBin := dsp.FreqBin(b.Lo, m, fs)
 		hiBin := dsp.FreqBin(b.Hi, m, fs)
 		for i := 0; i < half; i++ {
@@ -87,15 +91,10 @@ func SplitBands(x []float64, fs float64, bands []Band) [][]float64 {
 				continue
 			}
 			masked[i] = spec[i] * complex(w, 0)
-			if i > 0 && i < m/2 {
-				masked[m-i] = spec[m-i] * complex(w, 0)
-			}
 		}
-		full := dsp.IFFT(masked)
+		full := p.IRFFT(padded, masked)
 		sig := make([]float64, n)
-		for i := range sig {
-			sig[i] = real(full[i])
-		}
+		copy(sig, full)
 		out[bi] = sig
 	}
 	return out

@@ -7,10 +7,15 @@ package srp
 
 import (
 	"fmt"
+	"math"
 	"math/cmplx"
 
 	"headtalk/internal/dsp"
 )
+
+// phatEps is the magnitude floor below which a bin is dropped from the
+// whitened cross-spectrum instead of being blown up to unit magnitude.
+const phatEps = 1e-12
 
 // GCCPHAT returns the PHAT-weighted cross-correlation of channels a and
 // b at lags -maxLag..+maxLag (2*maxLag+1 values, lag 0 in the middle).
@@ -27,6 +32,11 @@ func GCCPHAT(a, b []float64, maxLag int) ([]float64, error) {
 // no energy (above ~8 kHz the utterance is noise-dominated) sharpens
 // the coherent peak considerably. Passing fs == 0 disables the band
 // limit.
+//
+// Both channels are transformed with the planned real FFT (half the
+// work of the old pad-to-complex path) and the correlation comes back
+// through the packed inverse real transform; the conjugate-symmetric
+// upper half of the cross-spectrum is never materialized.
 func GCCPHATBand(a, b []float64, maxLag int, fs, loHz, hiHz float64) ([]float64, error) {
 	if len(a) != len(b) {
 		return nil, fmt.Errorf("srp: channel length mismatch %d != %d", len(a), len(b))
@@ -39,17 +49,42 @@ func GCCPHATBand(a, b []float64, maxLag int, fs, loHz, hiHz float64) ([]float64,
 	}
 	n := len(a)
 	m := dsp.NextPow2(2 * n)
-	fa := make([]complex128, m)
-	fb := make([]complex128, m)
-	for i := 0; i < n; i++ {
-		fa[i] = complex(a[i], 0)
-		fb[i] = complex(b[i], 0)
-	}
-	fa = dsp.FFT(fa)
-	fb = dsp.FFT(fb)
+	p := dsp.Plan(m)
+	padded := make([]float64, m)
+	copy(padded, a)
+	fa := p.RFFT(nil, padded)
+	copy(padded, b) // same length, so the zero tail is untouched
+	fb := p.RFFT(nil, padded)
 
-	loBin, hiBin := 0, m/2
+	loBin, hiBin := bandBins(m, fs, loHz, hiHz)
+	// Cross-power spectrum with PHAT whitening: keep only phase, only
+	// inside the analysis band (the upper half is implied by symmetry).
+	cross := make([]complex128, m/2+1)
 	var kept int
+	for i := loBin; i <= hiBin; i++ {
+		c := fa[i] * cmplx.Conj(fb[i])
+		mag := cmplx.Abs(c)
+		if mag <= phatEps {
+			continue
+		}
+		cross[i] = c / complex(mag, 0)
+		kept++
+	}
+	r := p.IRFFT(padded, cross)
+	// Normalize so a perfectly coherent pair peaks at 1 regardless of
+	// how many bins were retained.
+	scale := 1.0
+	if kept > 0 {
+		scale = float64(m) / float64(2*kept)
+	}
+	return lagWindow(nil, r, maxLag, scale), nil
+}
+
+// bandBins converts a [loHz, hiHz] band at sample rate fs into
+// inclusive half-spectrum bin bounds for a length-m transform; fs == 0
+// (or an empty band) selects the full half-spectrum.
+func bandBins(m int, fs, loHz, hiHz float64) (int, int) {
+	loBin, hiBin := 0, m/2
 	if fs > 0 && hiHz > loHz {
 		loBin = dsp.FreqBin(loHz, m, fs)
 		hiBin = dsp.FreqBin(hiHz, m, fs)
@@ -57,38 +92,27 @@ func GCCPHATBand(a, b []float64, maxLag int, fs, loHz, hiHz float64) ([]float64,
 			hiBin = m / 2
 		}
 	}
-	// Cross-power spectrum with PHAT whitening: keep only phase, only
-	// inside the analysis band (conjugate-symmetric on the upper half).
-	cross := make([]complex128, m)
-	for i := loBin; i <= hiBin; i++ {
-		c := fa[i] * cmplx.Conj(fb[i])
-		mag := cmplx.Abs(c)
-		if mag <= 1e-12 {
-			continue
-		}
-		w := c / complex(mag, 0)
-		cross[i] = w
-		if i > 0 && i < m/2 {
-			cross[m-i] = cmplx.Conj(w)
-		}
-		kept++
+	return loBin, hiBin
+}
+
+// lagWindow extracts lags -maxLag..+maxLag from the circular
+// correlation r (length m), scaling each value, into dst (grown if
+// needed).
+func lagWindow(dst, r []float64, maxLag int, scale float64) []float64 {
+	m := len(r)
+	want := 2*maxLag + 1
+	if cap(dst) < want {
+		dst = make([]float64, want)
 	}
-	r := dsp.IFFT(cross)
-	// Normalize so a perfectly coherent pair peaks at 1 regardless of
-	// how many bins were retained.
-	scale := 1.0
-	if kept > 0 {
-		scale = float64(m) / float64(2*kept)
-	}
-	out := make([]float64, 2*maxLag+1)
+	dst = dst[:want]
 	for k := -maxLag; k <= maxLag; k++ {
 		idx := k
 		if idx < 0 {
 			idx += m
 		}
-		out[k+maxLag] = real(r[idx]) * scale
+		dst[k+maxLag] = r[idx] * scale
 	}
-	return out, nil
+	return dst
 }
 
 // CrossCorrPHATless returns the plain (unwhitened) cross-correlation at
@@ -98,34 +122,27 @@ func CrossCorrPHATless(a, b []float64, maxLag int) ([]float64, error) {
 	if len(a) != len(b) || len(a) == 0 {
 		return nil, fmt.Errorf("srp: invalid channels (len %d, %d)", len(a), len(b))
 	}
+	if maxLag < 0 {
+		return nil, fmt.Errorf("srp: negative maxLag %d", maxLag)
+	}
 	n := len(a)
 	m := dsp.NextPow2(2 * n)
-	fa := make([]complex128, m)
-	fb := make([]complex128, m)
-	for i := 0; i < n; i++ {
-		fa[i] = complex(a[i], 0)
-		fb[i] = complex(b[i], 0)
-	}
-	fa = dsp.FFT(fa)
-	fb = dsp.FFT(fb)
-	cross := make([]complex128, m)
+	p := dsp.Plan(m)
+	padded := make([]float64, m)
+	copy(padded, a)
+	fa := p.RFFT(nil, padded)
+	copy(padded, b)
+	fb := p.RFFT(nil, padded)
+	cross := make([]complex128, m/2+1)
 	for i := range cross {
 		cross[i] = fa[i] * cmplx.Conj(fb[i])
 	}
-	r := dsp.IFFT(cross)
+	r := p.IRFFT(padded, cross)
 	norm := dsp.RMS(a) * dsp.RMS(b) * float64(n)
 	if norm == 0 {
 		norm = 1
 	}
-	out := make([]float64, 2*maxLag+1)
-	for k := -maxLag; k <= maxLag; k++ {
-		idx := k
-		if idx < 0 {
-			idx += m
-		}
-		out[k+maxLag] = real(r[idx]) / norm
-	}
-	return out, nil
+	return lagWindow(nil, r, maxLag, 1/norm), nil
 }
 
 // PairGCC is the GCC of one microphone pair plus its TDoA estimate.
@@ -150,18 +167,17 @@ type PairOptions struct {
 
 // AllPairs computes GCCs for every unordered channel pair of a
 // multi-channel capture (C(n,2) pairs, e.g. 6 for a 4-mic array).
+//
+// Each channel is transformed — and, for PHAT, phase-normalized — once
+// and the result shared across every pair it joins, so a C-channel
+// capture costs C forward FFTs plus one inverse per pair instead of the
+// 2·C(C,2) forward transforms of the per-pair path.
 func AllPairs(channels [][]float64, opt PairOptions) ([]PairGCC, error) {
-	var out []PairGCC
-	for i := 0; i < len(channels); i++ {
-		for j := i + 1; j < len(channels); j++ {
-			p, err := pairGCC(channels, i, j, opt)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, p)
-		}
+	idx := make([]int, len(channels))
+	for i := range idx {
+		idx[i] = i
 	}
-	return out, nil
+	return sharedPairs(channels, idx, opt)
 }
 
 // SelectedPairs recomputes the GCC pair set over a subset of surviving
@@ -186,39 +202,119 @@ func SelectedPairs(channels [][]float64, subset []int, opt PairOptions) ([]PairG
 		}
 		seen[c] = true
 	}
-	var out []PairGCC
+	return sharedPairs(channels, subset, opt)
+}
+
+// sharedPairs correlates every unordered pair of the subset channels,
+// computing each channel's forward spectrum exactly once.
+func sharedPairs(channels [][]float64, subset []int, opt PairOptions) ([]PairGCC, error) {
+	if len(subset) < 2 {
+		return nil, nil
+	}
+	n := len(channels[subset[0]])
+	if n == 0 {
+		return nil, fmt.Errorf("srp: pair (%d,%d): srp: empty channels", subset[0], subset[1])
+	}
+	for _, c := range subset[1:] {
+		if len(channels[c]) != n {
+			return nil, fmt.Errorf("srp: pair (%d,%d): srp: channel length mismatch %d != %d",
+				subset[0], c, n, len(channels[c]))
+		}
+	}
+	if opt.MaxLag < 0 {
+		return nil, fmt.Errorf("srp: negative maxLag %d", opt.MaxLag)
+	}
+
+	m := dsp.NextPow2(2 * n)
+	p := dsp.Plan(m)
+	bins := m/2 + 1
+
+	// One forward real FFT per channel, into one flat backing array.
+	// For PHAT the spectrum is phase-normalized here, so the per-pair
+	// whitened cross-spectrum is a plain multiply: with ua = fa/|fa|,
+	// ua·conj(ub) = fa·conj(fb)/|fa·conj(fb)|.
+	specs := make([][]complex128, len(subset))
+	flat := make([]complex128, len(subset)*bins)
+	padded := make([]float64, m)
+	var rms []float64
+	if !opt.PHAT {
+		rms = make([]float64, len(subset))
+	}
+	for si, c := range subset {
+		copy(padded, channels[c]) // equal lengths keep the zero tail intact
+		spec := p.RFFT(flat[si*bins:si*bins:(si+1)*bins], padded)
+		if opt.PHAT {
+			whitenSpectrum(spec)
+		} else {
+			rms[si] = dsp.RMS(channels[c])
+		}
+		specs[si] = spec
+	}
+
+	loBin, hiBin := bandBins(m, opt.SampleRate, opt.BandLo, opt.BandHi)
+	if !opt.PHAT {
+		loBin, hiBin = 0, m/2
+	}
+
+	cross := make([]complex128, bins)
+	rbuf := make([]float64, m)
+	out := make([]PairGCC, 0, len(subset)*(len(subset)-1)/2)
 	for a := 0; a < len(subset); a++ {
 		for b := a + 1; b < len(subset); b++ {
-			p, err := pairGCC(channels, subset[a], subset[b], opt)
-			if err != nil {
-				return nil, err
+			for i := range cross {
+				cross[i] = 0
 			}
-			out = append(out, p)
+			var scale float64
+			if opt.PHAT {
+				var kept int
+				wa, wb := specs[a], specs[b]
+				for i := loBin; i <= hiBin; i++ {
+					c := wa[i] * cmplx.Conj(wb[i])
+					if c != 0 {
+						cross[i] = c
+						kept++
+					}
+				}
+				scale = 1.0
+				if kept > 0 {
+					scale = float64(m) / float64(2*kept)
+				}
+			} else {
+				fa, fb := specs[a], specs[b]
+				for i := range cross {
+					cross[i] = fa[i] * cmplx.Conj(fb[i])
+				}
+				norm := rms[a] * rms[b] * float64(n)
+				if norm == 0 {
+					norm = 1
+				}
+				scale = 1 / norm
+			}
+			p.IRFFT(rbuf, cross)
+			r := lagWindow(nil, rbuf, opt.MaxLag, scale)
+			out = append(out, PairGCC{
+				I:    subset[a],
+				J:    subset[b],
+				R:    r,
+				TDoA: dsp.ArgMax(r) - opt.MaxLag,
+			})
 		}
 	}
 	return out, nil
 }
 
-// pairGCC correlates one channel pair per opt.
-func pairGCC(channels [][]float64, i, j int, opt PairOptions) (PairGCC, error) {
-	var (
-		r   []float64
-		err error
-	)
-	if opt.PHAT {
-		r, err = GCCPHATBand(channels[i], channels[j], opt.MaxLag, opt.SampleRate, opt.BandLo, opt.BandHi)
-	} else {
-		r, err = CrossCorrPHATless(channels[i], channels[j], opt.MaxLag)
+// whitenSpectrum normalizes every bin to unit magnitude in place,
+// zeroing bins below the phatEps floor.
+func whitenSpectrum(spec []complex128) {
+	for i, v := range spec {
+		re, im := real(v), imag(v)
+		mag := math.Sqrt(re*re + im*im)
+		if mag <= phatEps {
+			spec[i] = 0
+			continue
+		}
+		spec[i] = complex(re/mag, im/mag)
 	}
-	if err != nil {
-		return PairGCC{}, fmt.Errorf("srp: pair (%d,%d): %w", i, j, err)
-	}
-	return PairGCC{
-		I:    i,
-		J:    j,
-		R:    r,
-		TDoA: dsp.ArgMax(r) - opt.MaxLag,
-	}, nil
 }
 
 // SRP sums the pair GCCs lag-wise: the paper's "weighted SRP" curve

@@ -1,0 +1,51 @@
+package srp
+
+// GCC benchmarks at paper scale: 4 channels, a 32768-sample analysis
+// window (~0.68 s at 48 kHz — the feature extractor's focus window),
+// PHAT-whitened and band-limited to 100–8000 Hz. The pre-PR numbers
+// are recorded in BENCH_pr3.json (tag "pr3-baseline").
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchChannels(nch, n int) [][]float64 {
+	rng := rand.New(rand.NewPCG(11, 13))
+	src := make([]float64, n+nch)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	out := make([][]float64, nch)
+	for c := range out {
+		out[c] = src[c : c+n]
+	}
+	return out
+}
+
+// BenchmarkGCCAllPairs is the acceptance benchmark: all 6 pairs of a
+// 4-channel capture through the shared-spectra path (4 forward real
+// FFTs + 6 inverse real FFTs, vs 12 full complex forward + 6 full
+// inverse pre-PR).
+func BenchmarkGCCAllPairs(b *testing.B) {
+	chans := benchChannels(4, 32768)
+	opt := PairOptions{MaxLag: 13, PHAT: true, SampleRate: 48000, BandLo: 100, BandHi: 8000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AllPairs(chans, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGCCPHATBand measures one pair through the planned
+// real-transform path.
+func BenchmarkGCCPHATBand(b *testing.B) {
+	chans := benchChannels(2, 32768)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GCCPHATBand(chans[0], chans[1], 13, 48000, 100, 8000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

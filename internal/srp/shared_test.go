@@ -1,0 +1,130 @@
+package srp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randChannels(nch, n int, seed uint64) [][]float64 {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	out := make([][]float64, nch)
+	for c := range out {
+		out[c] = make([]float64, n)
+		for i := range out[c] {
+			out[c][i] = rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+// TestAllPairsMatchesPairwiseGCC pins the shared-spectra rewrite to the
+// per-pair reference: AllPairs computes each channel's whitened
+// spectrum once, which must be numerically indistinguishable (1e-9)
+// from whitening each pair's cross-spectrum separately.
+func TestAllPairsMatchesPairwiseGCC(t *testing.T) {
+	for _, n := range []int{1024, 1000} { // power-of-two and ragged input lengths
+		channels := randChannels(4, n, 51)
+		opt := PairOptions{MaxLag: 13, PHAT: true, SampleRate: 48000, BandLo: 100, BandHi: 8000}
+		pairs, err := AllPairs(channels, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != 6 {
+			t.Fatalf("n=%d: %d pairs, want 6", n, len(pairs))
+		}
+		for _, p := range pairs {
+			want, err := GCCPHATBand(channels[p.I], channels[p.J], opt.MaxLag, opt.SampleRate, opt.BandLo, opt.BandHi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range want {
+				if d := math.Abs(p.R[k] - want[k]); d > 1e-9 {
+					t.Fatalf("n=%d pair (%d,%d) lag %d: shared %g vs pairwise %g (|Δ|=%g)",
+						n, p.I, p.J, k-opt.MaxLag, p.R[k], want[k], d)
+				}
+			}
+		}
+	}
+}
+
+// TestAllPairsPHATlessMatchesPairwise does the same for the unwhitened
+// ablation path.
+func TestAllPairsPHATlessMatchesPairwise(t *testing.T) {
+	channels := randChannels(3, 2048, 53)
+	opt := PairOptions{MaxLag: 9}
+	pairs, err := AllPairs(channels, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		want, err := CrossCorrPHATless(channels[p.I], channels[p.J], opt.MaxLag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if d := math.Abs(p.R[k] - want[k]); d > 1e-9 {
+				t.Fatalf("pair (%d,%d) lag %d: shared %g vs pairwise %g", p.I, p.J, k-opt.MaxLag, p.R[k], want[k])
+			}
+		}
+	}
+}
+
+// TestAllPairsErrorCases preserves the pre-rewrite error contract.
+func TestAllPairsErrorCases(t *testing.T) {
+	if _, err := AllPairs([][]float64{{1, 2}, {1}}, PairOptions{MaxLag: 3}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := AllPairs([][]float64{{}, {}}, PairOptions{MaxLag: 3}); err == nil {
+		t.Error("expected empty-channel error")
+	}
+	if _, err := AllPairs([][]float64{{1, 2}, {3, 4}}, PairOptions{MaxLag: -1}); err == nil {
+		t.Error("expected negative-lag error")
+	}
+	// Fewer than two channels: no pairs, no error (unchanged behavior).
+	if pairs, err := AllPairs([][]float64{{1, 2}}, PairOptions{MaxLag: 3}); err != nil || len(pairs) != 0 {
+		t.Errorf("single channel: pairs=%v err=%v, want empty and nil", pairs, err)
+	}
+}
+
+// TestAllocsGCCPHATBand gates the steady-state allocation count of one
+// banded GCC: padded input, two half-spectra, the cross-spectrum and
+// the lag window — five allocations, down from seven (and ~2.1 MB down
+// from ~6.3 MB at paper scale) on the pre-plan path. Headroom of one is
+// left for the plan pool's pointer box.
+func TestAllocsGCCPHATBand(t *testing.T) {
+	channels := randChannels(2, 32768, 55)
+	if _, err := GCCPHATBand(channels[0], channels[1], 13, 48000, 100, 8000); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := GCCPHATBand(channels[0], channels[1], 13, 48000, 100, 8000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 6 {
+		t.Errorf("GCCPHATBand allocates %.1f times per op, want <= 6", avg)
+	}
+}
+
+// TestAllocsAllPairs gates the shared-spectra pair sweep: per-channel
+// spectra plus per-pair lag windows, far below the old 2-FFTs-per-pair
+// regime.
+func TestAllocsAllPairs(t *testing.T) {
+	channels := randChannels(4, 32768, 57)
+	opt := PairOptions{MaxLag: 13, PHAT: true, SampleRate: 48000, BandLo: 100, BandHi: 8000}
+	if _, err := AllPairs(channels, opt); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := AllPairs(channels, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 4 shared spectra (1 flat backing + headers) + scratch + 6 lag
+	// windows + the pair slice: comfortably under 20; the old path sat
+	// at 46 with 36 of them full-size FFT buffers.
+	if avg > 20 {
+		t.Errorf("AllPairs allocates %.1f times per op, want <= 20", avg)
+	}
+}

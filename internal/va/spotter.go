@@ -24,6 +24,7 @@ type Spotter struct {
 	Word      speech.WakeWord
 	Threshold float64
 	templates [][]float64 // flattened fingerprint per template
+	zscores   [][]float64 // z-scored templates at full length (cached)
 	frames    int         // fingerprint frame count
 }
 
@@ -57,14 +58,21 @@ func NewSpotter(word speech.WakeWord, numTemplates int, seed uint64) (*Spotter, 
 		}
 		s.templates = append(s.templates, fp)
 	}
-	// Truncate all templates to the shortest so offsets align.
+	// Truncate all templates to the shortest so offsets align, and
+	// cache each template's z-score: the detection loop correlates the
+	// same (constant) templates against every window offset, so
+	// standardizing them once moves that work out of the hot path.
 	for i, t := range s.templates {
 		s.templates[i] = t[:s.frames*spotBands]
+		s.zscores = append(s.zscores, dsp.ZScore(s.templates[i]))
 	}
 	return s, nil
 }
 
-// fingerprint computes the flattened log-band energy matrix of x.
+// fingerprint computes the flattened log-band energy matrix of x. The
+// per-frame loop runs on the planned real FFT with one reused windowed
+// frame, spectrum and power buffer, and the band bin edges are resolved
+// once up front.
 func fingerprint(x []float64, fs float64) ([]float64, error) {
 	frameLen := int(spotFrameSec * fs)
 	hop := int(spotHopSec * fs)
@@ -72,24 +80,33 @@ func fingerprint(x []float64, fs float64) ([]float64, error) {
 		return nil, fmt.Errorf("va: audio too short for fingerprint (%d samples)", len(x))
 	}
 	win := dsp.Hann.Coefficients(frameLen)
-	var out []float64
-	for start := 0; start+frameLen <= len(x); start += hop {
-		frame, err := dsp.ApplyWindow(x[start:start+frameLen], win)
-		if err != nil {
-			return nil, fmt.Errorf("va: windowing fingerprint frame: %w", err)
+	bins := frameLen/2 + 1
+	var edges [spotBands][2]int
+	for b := 0; b < spotBands; b++ {
+		lo := spotMaxHz * float64(b) / spotBands
+		hi := spotMaxHz * float64(b+1) / spotBands
+		loBin := dsp.FreqBin(lo, frameLen, fs)
+		hiBin := dsp.FreqBin(hi, frameLen, fs)
+		if hiBin >= bins {
+			hiBin = bins - 1
 		}
-		spec := dsp.HalfSpectrum(frame)
-		pow := dsp.Power(spec)
+		edges[b] = [2]int{loBin, hiBin}
+	}
+	nFrames := (len(x)-frameLen)/hop + 1
+	out := make([]float64, 0, nFrames*spotBands)
+	scratch := make([]float64, frameLen)
+	spec := make([]complex128, bins)
+	pow := make([]float64, bins)
+	p := dsp.Plan(frameLen)
+	for start := 0; start+frameLen <= len(x); start += hop {
+		for i := range scratch {
+			scratch[i] = x[start+i] * win[i]
+		}
+		p.RFFT(spec, scratch)
+		dsp.PowerInto(pow, spec)
 		for b := 0; b < spotBands; b++ {
-			lo := spotMaxHz * float64(b) / spotBands
-			hi := spotMaxHz * float64(b+1) / spotBands
-			loBin := dsp.FreqBin(lo, frameLen, fs)
-			hiBin := dsp.FreqBin(hi, frameLen, fs)
-			if hiBin >= len(pow) {
-				hiBin = len(pow) - 1
-			}
 			var acc float64
-			for i := loBin; i <= hiBin; i++ {
+			for i := edges[b][0]; i <= edges[b][1]; i++ {
 				acc += pow[i]
 			}
 			out = append(out, math.Log(acc+1e-12))
@@ -141,12 +158,13 @@ func (s *Spotter) bestScoreAt(fp []float64, offset, frames int) float64 {
 	window := fp[offset*spotBands : (offset+frames)*spotBands]
 	wz := dsp.ZScore(window)
 	best := -1.0
-	for _, t := range s.templates {
-		tt := t
-		if len(tt) > len(wz) {
-			tt = tt[:len(wz)]
+	for ti, t := range s.templates {
+		var tz []float64
+		if len(t) == len(wz) {
+			tz = s.zscores[ti] // full-length match: cached z-score
+		} else {
+			tz = dsp.ZScore(t[:len(wz)])
 		}
-		tz := dsp.ZScore(tt)
 		var corr float64
 		for i := range tz {
 			corr += tz[i] * wz[i]
