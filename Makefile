@@ -20,7 +20,7 @@ test:
 # health, pair recomputation, fault injection), and the DSP layer now
 # that it holds the shared FFT plan cache and scratch pools.
 race:
-	$(GO) test -race ./internal/serve ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp
+	$(GO) test -race ./internal/serve ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp ./internal/trace
 
 vet:
 	$(GO) vet ./...
@@ -38,9 +38,12 @@ chaos:
 # through cmd/benchjson, which APPENDS one JSON record per result to
 # $(BENCH_JSON) — successive runs accumulate, so the file holds the
 # perf trajectory (grep by "tag"). Override the tag per run:
-#   make bench BENCH_TAG=pr4
-BENCH_JSON ?= BENCH_pr3.json
-BENCH_TAG  ?= pr3
+#   make bench BENCH_TAG=pr5
+# The EngineThroughput pattern also matches EngineThroughputTraced, so
+# every bench run records the traced-vs-untraced serving delta (the
+# tracing overhead budget is ≤5%).
+BENCH_JSON ?= BENCH_pr4.json
+BENCH_TAG  ?= pr4
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput|BenchmarkRuntime|BenchmarkPipelineStages' -benchmem -benchtime 50x . \

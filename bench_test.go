@@ -413,6 +413,17 @@ func engineBenchSetup() {
 // machine (each worker owns its DSP state, so the pipeline has no
 // shared locks on the hot path).
 func BenchmarkEngineThroughput(b *testing.B) {
+	benchEngineThroughput(b, false)
+}
+
+// BenchmarkEngineThroughputTraced is the same sweep with a trace store
+// enabled, so `make bench` records the traced-vs-untraced delta. The
+// tracing acceptance bound is ≤5% throughput overhead.
+func BenchmarkEngineThroughputTraced(b *testing.B) {
+	benchEngineThroughput(b, true)
+}
+
+func benchEngineThroughput(b *testing.B, traced bool) {
 	engineBenchSetup()
 	if engineBenchErr != nil {
 		b.Fatal(engineBenchErr)
@@ -423,11 +434,16 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			eng, err := NewEngine(EngineConfig{
+			cfg := EngineConfig{
 				System:    engineBenchSys,
 				Workers:   workers,
 				QueueSize: 4 * workers,
-			})
+			}
+			if traced {
+				cfg.Traces = NewTraceStore(0, 0)
+				cfg.Traces.SetEnabled(true)
+			}
+			eng, err := NewEngine(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -6,10 +6,11 @@
 //
 // Usage:
 //
-//	headtalk [-seed N] [-angles list] [-distance m]
+//	headtalk [-seed N] [-angles list] [-distance m] [-trace]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +23,10 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Uint64("seed", 7, "simulation seed")
-		anglesCS = flag.String("angles", "0,30,90,180", "head angles (degrees) to demonstrate")
-		distance = flag.Float64("distance", 3, "speaker distance in meters")
+		seed      = flag.Uint64("seed", 7, "simulation seed")
+		anglesCS  = flag.String("angles", "0,30,90,180", "head angles (degrees) to demonstrate")
+		distance  = flag.Float64("distance", 3, "speaker distance in meters")
+		showTrace = flag.Bool("trace", false, "print a per-stage latency table for each decision (paper §IV-B15)")
 	)
 	flag.Parse()
 
@@ -70,13 +72,19 @@ func main() {
 
 	fmt.Printf("\n%-36s  %-8s  %-10s  %-9s  %s\n", "scenario", "live?", "facing?", "accepted", "reason")
 	fmt.Println(strings.Repeat("-", 92))
-	for _, sc := range scenarios {
+	for i, sc := range scenarios {
 		rec, err := captureFor(gen, sc.cond)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simulating %q: %v\n", sc.label, err)
 			os.Exit(1)
 		}
-		d, err := sys.ProcessWake(rec)
+		ctx := context.Background()
+		var rt *headtalk.TraceRecorder
+		if *showTrace {
+			rt = headtalk.NewTraceRecorder(fmt.Sprintf("demo-%d", i+1))
+			ctx = headtalk.WithTrace(ctx, rt)
+		}
+		d, err := sys.ProcessWakeCtx(ctx, rec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "processing %q: %v\n", sc.label, err)
 			os.Exit(1)
@@ -85,6 +93,12 @@ func main() {
 		fmt.Printf("%-36s  %-8s  %-10s  %-9v  %s\n",
 			sc.label, yesNo(d.LiveRan, d.LiveScore >= 0.5),
 			yesNo(d.FacingRan, d.FacingScore >= 0), d.Accepted, d.Reason)
+		if rt != nil {
+			ft := rt.Finish()
+			fmt.Printf("\n  stage latency breakdown (%s):\n", ft.ID)
+			ft.WriteTable(indentWriter{os.Stdout})
+			fmt.Println()
+		}
 	}
 
 	fmt.Println("\nIn Normal mode every one of these would have been uploaded;")
@@ -98,6 +112,18 @@ func main() {
 // preprocessing, exactly as it would on device audio.
 func captureFor(gen *headtalk.Generator, c headtalk.Condition) (*headtalk.Recording, error) {
 	return dataset.CaptureRecording(gen, c)
+}
+
+// indentWriter prefixes each written chunk with four spaces so the
+// stage table nests under its scenario row. WriteTable emits one Write
+// per line, which is all this needs to handle.
+type indentWriter struct{ w *os.File }
+
+func (iw indentWriter) Write(p []byte) (int, error) {
+	if _, err := iw.w.WriteString("    "); err != nil {
+		return 0, err
+	}
+	return iw.w.Write(p)
 }
 
 func yesNo(ran, v bool) string {

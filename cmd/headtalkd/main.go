@@ -9,6 +9,8 @@
 //
 //	headtalkd [-listen addr] [-workers N] [-queue N] [-mode M]
 //	          [-deadline D] [-metrics-every D] [-no-enroll] [-seed N]
+//	          [-trace] [-trace-capacity N] [-slow-threshold D]
+//	          [-debug-addr addr]
 //
 // Request lines:
 //
@@ -17,6 +19,13 @@
 //	{"id":"3","condition":{"Replay":"Smart TV"}}
 //	{"id":"4","mode":"normal"}            (control: switch privacy mode)
 //	{"id":"5","health":true}              (control: engine health snapshot)
+//	{"id":"6","trace":true}               (control: toggle store-wide tracing)
+//	{"id":"7","condition":{},"trace":true}  (force + inline one trace)
+//
+// With -debug-addr set, an HTTP listener additionally serves
+// net/http/pprof under /debug/pprof/, Prometheus text exposition at
+// /metrics, retained traces at /debug/traces[/slow], and a health
+// probe at /healthz.
 //
 // Response lines (order may differ from request order under load; use
 // ids to correlate):
@@ -29,6 +38,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -37,6 +47,8 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync"
 	"time"
@@ -47,6 +59,7 @@ import (
 	"headtalk/internal/dataset"
 	"headtalk/internal/metrics"
 	"headtalk/internal/serve"
+	"headtalk/internal/trace"
 )
 
 func main() {
@@ -63,6 +76,10 @@ func main() {
 		livePairs    = flag.Int("liveness-pairs", 36, "live/replay training pairs for the liveness gate")
 		breakerN     = flag.Int("breaker-threshold", 0, "consecutive pipeline failures that trip the circuit breaker (0: default 8, negative: disable)")
 		breakerWait  = flag.Duration("breaker-cooldown", 0, "reject-fast period before a half-open probe (0: default 5s)")
+		traceOn      = flag.Bool("trace", false, "record per-decision stage traces from the start (also toggleable per connection)")
+		traceCap     = flag.Int("trace-capacity", trace.DefaultCapacity, "recent-trace ring capacity")
+		slowThresh   = flag.Duration("slow-threshold", trace.DefaultSlowThreshold, "decisions at least this slow are always retained (negative: disable)")
+		debugAddr    = flag.String("debug-addr", "", "opt-in HTTP listener for pprof, Prometheus metrics and recent traces (empty: off)")
 	)
 	flag.Parse()
 
@@ -78,12 +95,28 @@ func main() {
 		LivePairs:        *livePairs,
 		BreakerThreshold: *breakerN,
 		BreakerCooldown:  *breakerWait,
+		Trace:            *traceOn,
+		TraceCapacity:    *traceCap,
+		SlowThreshold:    *slowThresh,
 		Progress:         os.Stderr,
 	})
 	if err != nil {
 		log.Fatalf("headtalkd: %v", err)
 	}
 	defer d.Close()
+
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("headtalkd: debug listener: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "headtalkd: debug HTTP on %s (/debug/pprof/, /metrics, /debug/traces)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, d.debugMux()); err != nil {
+				log.Printf("headtalkd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	if *listen == "" {
 		if err := d.ServeStream(os.Stdin, os.Stdout); err != nil {
@@ -112,6 +145,9 @@ type daemonOptions struct {
 	LivePairs        int
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	Trace            bool
+	TraceCapacity    int
+	SlowThreshold    time.Duration
 	Progress         io.Writer
 }
 
@@ -121,6 +157,7 @@ type daemon struct {
 	sys      *core.System
 	engine   *serve.Engine
 	registry *metrics.Registry
+	traces   *trace.Store
 	opts     daemonOptions
 
 	// genMu serializes the synthetic-condition generator, which is not
@@ -168,11 +205,14 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 		return nil, err
 	}
 	sys.SetMode(m)
+	traces := trace.NewStore(opts.TraceCapacity, opts.SlowThreshold)
+	traces.SetEnabled(opts.Trace)
 	engine, err := serve.NewEngine(serve.Config{
 		System:           sys,
 		Workers:          opts.Workers,
 		QueueSize:        opts.QueueSize,
 		Metrics:          registry,
+		Traces:           traces,
 		BreakerThreshold: opts.BreakerThreshold,
 		BreakerCooldown:  opts.BreakerCooldown,
 	})
@@ -186,6 +226,7 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 		sys:      sys,
 		engine:   engine,
 		registry: registry,
+		traces:   traces,
 		opts:     opts,
 		gen:      dataset.NewGenerator(opts.Seed),
 	}, nil
@@ -207,6 +248,11 @@ type request struct {
 	// Health, when true, is a control request for an engine health
 	// snapshot (breaker state, queue depth, panic counts).
 	Health bool `json:"health,omitempty"`
+	// Trace has two meanings. Alone ({"trace":true}) it is a control
+	// request toggling store-wide tracing. Alongside a wav/condition it
+	// forces a trace for that one decision (even with the store off) and
+	// inlines the stage table in the response.
+	Trace *bool `json:"trace,omitempty"`
 }
 
 // response is one NDJSON output line.
@@ -223,9 +269,19 @@ type response struct {
 	Mode        string   `json:"mode,omitempty"`
 	Error       string   `json:"error,omitempty"`
 	// ErrorKind classifies error lines so clients can branch without
-	// parsing error strings: parse | request | wav | mode | bad_input |
-	// panic | breaker_open | backpressure | closed | deadline | pipeline.
+	// parsing error strings: parse | oversized | request | wav | mode |
+	// bad_input | panic | breaker_open | backpressure | closed |
+	// deadline | pipeline.
 	ErrorKind string `json:"error_kind,omitempty"`
+
+	// TraceEnabled acknowledges a {"trace":...} control request.
+	TraceEnabled *bool `json:"trace_enabled,omitempty"`
+	// TraceID names the retained trace for a decision served while
+	// tracing is on; fetch it later from the debug listener.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace inlines the full stage breakdown when the request forced a
+	// per-decision trace with "trace":true.
+	Trace *trace.Trace `json:"trace,omitempty"`
 
 	Health *healthInfo `json:"health,omitempty"`
 
@@ -385,6 +441,14 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 		lw.write(d.healthResponse(req.ID))
 		return
 	}
+	if req.Trace != nil && req.WAV == "" && req.Condition == nil && req.Mode == "" {
+		// Bare {"trace":...} is a control request: flip store-wide
+		// tracing for every subsequent decision.
+		d.traces.SetEnabled(*req.Trace)
+		enabled := d.traces.Enabled()
+		lw.write(response{Type: "ok", ID: req.ID, TraceEnabled: &enabled})
+		return
+	}
 	if req.Mode != "" {
 		m, err := parseMode(req.Mode)
 		if err != nil {
@@ -405,6 +469,10 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 	if d.opts.Deadline > 0 {
 		ctx, cancel = context.WithTimeout(ctx, d.opts.Deadline)
 	}
+	forceTrace := req.Trace != nil && *req.Trace
+	if forceTrace {
+		ctx = trace.NewContext(ctx, d.traces.NewRecorder())
+	}
 	inflight.Add(1)
 	_, err = d.engine.Submit(ctx, serve.Request{
 		ID:        req.ID,
@@ -413,7 +481,10 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 			defer inflight.Done()
 			defer cancel()
 			if res.Err != nil {
-				resp := response{Type: "error", ID: res.ID, Error: res.Err.Error(), ErrorKind: errorKind(res.Err)}
+				resp := response{Type: "error", ID: res.ID, Error: res.Err.Error(), ErrorKind: errorKind(res.Err), TraceID: res.TraceID}
+				if forceTrace {
+					resp.Trace = res.Trace
+				}
 				// Fail-closed paths still carry a typed reject reason
 				// (bad_input, panic, unhealthy) — surface it so clients
 				// see the decision the error produced.
@@ -432,12 +503,16 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 				ReasonSlug:  dec.Reason.Slug(),
 				QueueWaitUS: res.QueueWait.Microseconds(),
 				TotalUS:     res.Total.Microseconds(),
+				TraceID:     res.TraceID,
 			}
 			if dec.LiveRan {
 				resp.LiveScore = &dec.LiveScore
 			}
 			if dec.FacingRan {
 				resp.FacingScore = &dec.FacingScore
+			}
+			if forceTrace {
+				resp.Trace = res.Trace
 			}
 			lw.write(resp)
 		},
@@ -476,10 +551,29 @@ func (d *daemon) ServeStream(r io.Reader, w io.Writer) error {
 		}()
 	}
 
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
+	// A bufio.Scanner would die with ErrTooLong on the first oversized
+	// line — one hostile request killing the whole connection (and, on
+	// stdin, the daemon). readBoundedLine discards past-limit lines so
+	// the stream reports them and keeps serving.
+	br := bufio.NewReaderSize(r, 64*1024)
+	var readErr error
+	for {
+		line, err := readBoundedLine(br, maxRequestLine)
+		if err == io.EOF {
+			break
+		}
+		if err == errLineTooLong {
+			lw.write(response{
+				Type:      "error",
+				Error:     fmt.Sprintf("request line exceeds %d bytes; dropped", maxRequestLine),
+				ErrorKind: "oversized",
+			})
+			continue
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -497,7 +591,107 @@ func (d *daemon) ServeStream(r io.Reader, w io.Writer) error {
 	if d.opts.MetricsEvery > 0 {
 		lw.write(metricsResponse(d.registry.Snapshot()))
 	}
-	return sc.Err()
+	return readErr
+}
+
+// maxRequestLine bounds one NDJSON request line. Requests are paths,
+// condition specs and control verbs — 4 MiB is already generous.
+const maxRequestLine = 4 * 1024 * 1024
+
+// errLineTooLong reports a line that exceeded maxRequestLine; the
+// whole line has been consumed from the reader when it is returned.
+var errLineTooLong = errors.New("request line too long")
+
+// readBoundedLine reads one newline-terminated line of at most max
+// bytes (newline excluded, trailing \r trimmed). A longer line is
+// consumed to its end and reported as errLineTooLong, leaving the
+// reader positioned at the next line. io.EOF is returned only with no
+// pending bytes.
+func readBoundedLine(br *bufio.Reader, max int) ([]byte, error) {
+	var (
+		buf       []byte
+		oversized bool
+	)
+	for {
+		frag, err := br.ReadSlice('\n')
+		if !oversized {
+			if len(buf)+len(frag) > max+1 { // +1: the newline itself
+				oversized = true
+				buf = nil
+			} else {
+				buf = append(buf, frag...)
+			}
+		}
+		switch err {
+		case bufio.ErrBufferFull:
+			continue
+		case nil, io.EOF:
+			if oversized {
+				return nil, errLineTooLong
+			}
+			if err == io.EOF && len(buf) == 0 {
+				return nil, io.EOF
+			}
+			buf = bytes.TrimSuffix(buf, []byte("\n"))
+			buf = bytes.TrimSuffix(buf, []byte("\r"))
+			return buf, nil
+		default:
+			return nil, err
+		}
+	}
+}
+
+// debugMux builds the opt-in debug HTTP handler: pprof, Prometheus
+// metrics, recent/slow traces and a health probe. It is deliberately
+// not mounted on the default mux — the daemon exposes it only when
+// -debug-addr is set.
+func (d *daemon) debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = d.registry.Snapshot().WritePrometheus(w)
+	})
+	writeTraces := func(w http.ResponseWriter, traces []*trace.Trace) {
+		droppedRecent, droppedSlow := d.traces.Dropped()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"enabled":        d.traces.Enabled(),
+			"dropped_recent": droppedRecent,
+			"dropped_slow":   droppedSlow,
+			"traces":         traces,
+		})
+	}
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeTraces(w, d.traces.Recent(parseLimit(r)))
+	})
+	mux.HandleFunc("/debug/traces/slow", func(w http.ResponseWriter, r *http.Request) {
+		writeTraces(w, d.traces.Slow(parseLimit(r)))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := d.engine.HealthSnapshot()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		resp := d.healthResponse("")
+		_ = json.NewEncoder(w).Encode(resp.Health)
+	})
+	return mux
+}
+
+// parseLimit reads an optional ?limit=N query (0: all).
+func parseLimit(r *http.Request) int {
+	var n int
+	fmt.Sscanf(r.URL.Query().Get("limit"), "%d", &n)
+	if n < 0 {
+		n = 0
+	}
+	return n
 }
 
 // ServeListener accepts TCP connections forever, one NDJSON stream

@@ -1,0 +1,190 @@
+package main
+
+// Tests for the PR-4 daemon surface: the oversized-line fix (satellite
+// 4), the {"trace":...} control and per-request forced traces, and the
+// -debug-addr HTTP mux (pprof, Prometheus metrics, trace dumps).
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestOversizedLineBetweenValidRequests is the satellite regression:
+// an NDJSON line past the 4 MiB cap must produce one typed
+// error_kind:"oversized" response and leave the stream serving — the
+// old bufio.Scanner died with ErrTooLong, taking the connection (and
+// on stdin, the daemon) with it.
+func TestOversizedLineBetweenValidRequests(t *testing.T) {
+	d := testDaemon(t, "normal")
+	huge := `{"id":"big","wav":"` + strings.Repeat("A", maxRequestLine+1024) + `"}`
+	resps := runStream(t, d,
+		`{"id":"before","condition":{}}`+"\n"+
+			huge+"\n"+
+			`{"id":"after","condition":{}}`+"\n")
+	m := byID(resps)
+	for _, id := range []string{"before", "after"} {
+		r := m[id]
+		if r.Type != "decision" || r.Accepted == nil || !*r.Accepted {
+			t.Fatalf("%q response %+v, want accept — stream did not survive the oversized line", id, r)
+		}
+	}
+	oversized := 0
+	for _, r := range resps {
+		if r.Type == "error" && r.ErrorKind == "oversized" {
+			oversized++
+			if !strings.Contains(r.Error, "exceeds") {
+				t.Fatalf("oversized error message %q", r.Error)
+			}
+		}
+	}
+	if oversized != 1 {
+		t.Fatalf("%d oversized errors, want 1: %+v", oversized, resps)
+	}
+}
+
+// TestOversizedFinalLineWithoutNewline: an oversized line that hits
+// EOF before its newline still reports once and ends the stream
+// cleanly.
+func TestOversizedFinalLineWithoutNewline(t *testing.T) {
+	d := testDaemon(t, "normal")
+	resps := runStream(t, d,
+		`{"id":"ok","condition":{}}`+"\n"+strings.Repeat("B", maxRequestLine+512))
+	m := byID(resps)
+	if r := m["ok"]; r.Type != "decision" {
+		t.Fatalf("valid request response %+v", r)
+	}
+	oversized := 0
+	for _, r := range resps {
+		if r.ErrorKind == "oversized" {
+			oversized++
+		}
+	}
+	if oversized != 1 {
+		t.Fatalf("%d oversized errors, want 1", oversized)
+	}
+}
+
+// TestTraceControlToggle: bare {"trace":true} flips store-wide tracing
+// on — decisions after it carry a trace_id, decisions before it don't.
+func TestTraceControlToggle(t *testing.T) {
+	d := testDaemon(t, "normal")
+	resps := runStream(t, d,
+		`{"id":"cold","condition":{}}`+"\n"+
+			`{"id":"on","trace":true}`+"\n"+
+			`{"id":"hot","condition":{}}`+"\n"+
+			`{"id":"off","trace":false}`+"\n"+
+			`{"id":"cold2","condition":{}}`+"\n")
+	m := byID(resps)
+	if r := m["on"]; r.Type != "ok" || r.TraceEnabled == nil || !*r.TraceEnabled {
+		t.Fatalf("trace-on control response %+v", r)
+	}
+	if r := m["off"]; r.Type != "ok" || r.TraceEnabled == nil || *r.TraceEnabled {
+		t.Fatalf("trace-off control response %+v", r)
+	}
+	if r := m["cold"]; r.TraceID != "" {
+		t.Fatalf("pre-toggle decision carries trace %+v", r)
+	}
+	if r := m["hot"]; r.TraceID == "" {
+		t.Fatalf("post-toggle decision carries no trace_id: %+v", r)
+	}
+	if r := m["cold2"]; r.TraceID != "" {
+		t.Fatalf("post-disable decision carries trace %+v", r)
+	}
+	if got := d.traces.Recent(0); len(got) != 1 {
+		t.Fatalf("store holds %d traces, want only the toggled-on decision", len(got))
+	}
+}
+
+// TestPerRequestForcedTrace: "trace":true on a decision request
+// inlines the full stage breakdown even with the store switch off.
+func TestPerRequestForcedTrace(t *testing.T) {
+	d := testDaemon(t, "normal")
+	m := byID(runStream(t, d, `{"id":"f","condition":{},"trace":true}`+"\n"))
+	r := m["f"]
+	if r.Type != "decision" || r.TraceID == "" || r.Trace == nil {
+		t.Fatalf("forced-trace response %+v, want inline trace", r)
+	}
+	// The JSON round trip drops the unexported span slots, so assert
+	// the stage detail on the retained store copy.
+	got := d.traces.Recent(0)
+	if len(got) != 1 || got[0].ID != r.TraceID {
+		t.Fatalf("forced trace not retained in store: %+v", got)
+	}
+	if len(got[0].Spans()) == 0 || got[0].Total <= 0 {
+		t.Fatalf("retained trace empty: %+v", got[0])
+	}
+}
+
+// TestDebugMux exercises the -debug-addr HTTP surface via httptest:
+// Prometheus metrics, trace dumps, health probe and pprof index.
+func TestDebugMux(t *testing.T) {
+	d := testDaemon(t, "normal")
+	runStream(t, d,
+		`{"id":"on","trace":true}`+"\n"+
+			`{"id":"1","condition":{}}`+"\n")
+	srv := httptest.NewServer(d.debugMux())
+	defer srv.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "version=0.0.4") {
+		t.Fatalf("/metrics status %d content-type %q", code, hdr.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"# TYPE serve_completed_total counter",
+		"# TYPE serve_decision_latency histogram",
+		`serve_decision_latency_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, _ = get("/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", code)
+	}
+	var dump struct {
+		Enabled bool              `json:"enabled"`
+		Traces  []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/traces not JSON: %v\n%s", err, body)
+	}
+	if !dump.Enabled || len(dump.Traces) != 1 {
+		t.Fatalf("/debug/traces body %s", body)
+	}
+	if !strings.Contains(body, `"spans"`) || !strings.Contains(body, `"queue_wait"`) {
+		t.Fatalf("trace dump missing span detail:\n%s", body)
+	}
+
+	if code, _, _ = get("/debug/traces/slow"); code != http.StatusOK {
+		t.Fatalf("/debug/traces/slow status %d", code)
+	}
+
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"healthy":true`) {
+		t.Fatalf("/healthz status %d body %s", code, body)
+	}
+
+	if code, body, _ = get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}

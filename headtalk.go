@@ -34,7 +34,9 @@
 package headtalk
 
 import (
+	"context"
 	"math/rand/v2"
+	"time"
 
 	"headtalk/internal/audio"
 	"headtalk/internal/core"
@@ -47,6 +49,7 @@ import (
 	"headtalk/internal/room"
 	"headtalk/internal/serve"
 	"headtalk/internal/speech"
+	"headtalk/internal/trace"
 	"headtalk/internal/va"
 )
 
@@ -111,6 +114,38 @@ func NewEngine(cfg EngineConfig) (*Engine, error) { return serve.NewEngine(cfg) 
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Per-decision tracing (see internal/trace): stage-by-stage latency
+// breakdowns of individual decisions, off by default and free when off.
+type (
+	// Trace is one decision's ordered stage spans plus its outcome.
+	Trace = trace.Trace
+	// TraceRecorder accumulates spans for one decision; attach it to a
+	// context with WithTrace. All methods are no-ops on nil.
+	TraceRecorder = trace.Recorder
+	// TraceStore retains recent and slow finished traces in fixed-size
+	// rings; pass one as EngineConfig.Traces for engine auto-tracing.
+	TraceStore = trace.Store
+)
+
+// NewTraceStore returns a trace store holding up to capacity recent
+// traces (0: default 256) and always retaining decisions at least
+// slowThreshold slow (0: default 250ms, negative: disabled).
+func NewTraceStore(capacity int, slowThreshold time.Duration) *TraceStore {
+	return trace.NewStore(capacity, slowThreshold)
+}
+
+// NewTraceRecorder returns a recorder for a single decision.
+func NewTraceRecorder(id string) *TraceRecorder { return trace.NewRecorder(id) }
+
+// WithTrace attaches a recorder to ctx; System.ProcessWakeCtx and
+// Engine submissions record stage spans into it.
+func WithTrace(ctx context.Context, r *TraceRecorder) context.Context {
+	return trace.NewContext(ctx, r)
+}
+
+// TraceFrom extracts the recorder carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *TraceRecorder { return trace.FromContext(ctx) }
 
 // Audio types.
 type (

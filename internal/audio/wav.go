@@ -2,6 +2,7 @@ package audio
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +10,12 @@ import (
 
 // WAV I/O supports 16-bit PCM, the format the prototype devices record
 // in. Multi-channel recordings are interleaved per the RIFF spec.
+//
+// ReadWAV is attacker-facing (the daemon decodes WAV paths named by
+// network peers), so it must never panic, never allocate more than a
+// bounded amount from header-declared sizes, and never emit samples
+// outside [-1, 1]. Failures are typed (*ErrMalformedWAV) so callers
+// can classify them without string matching.
 
 const (
 	riffMagic = "RIFF"
@@ -16,6 +23,63 @@ const (
 	fmtChunk  = "fmt "
 	dataChunk = "data"
 )
+
+// Decode-hardening limits.
+const (
+	// DefaultMaxWAVBytes caps the total chunk payload ReadWAV will
+	// consume (and in particular allocate) from one stream. A 12-byte
+	// header claiming a 4 GiB data chunk must not make the daemon
+	// allocate 4 GiB before the read fails; use ReadWAVLimit to raise
+	// or lower the cap.
+	DefaultMaxWAVBytes = 256 << 20
+	// MaxWAVChannels bounds the fmt chunk's channel count. The largest
+	// prototype array has 8 microphones; anything past this is a
+	// corrupt or hostile header, not a recording.
+	MaxWAVChannels = 64
+	// MaxWAVSampleRate bounds the fmt chunk's sample rate (1.048 MHz —
+	// an order of magnitude past any audio ADC this system meets).
+	MaxWAVSampleRate = 1 << 20
+)
+
+// WAVReason classifies a malformed-WAV failure.
+type WAVReason string
+
+// Malformed-WAV reasons.
+const (
+	WAVNotRIFF      WAVReason = "not_riff"
+	WAVTruncated    WAVReason = "truncated"
+	WAVTooLarge     WAVReason = "too_large"
+	WAVBadFormat    WAVReason = "bad_format"
+	WAVBadRate      WAVReason = "bad_sample_rate"
+	WAVBadChannels  WAVReason = "bad_channels"
+	WAVMissingChunk WAVReason = "missing_chunk"
+)
+
+// ErrMalformedWAV is the typed error ReadWAV returns for any stream it
+// rejects. Callers match it with errors.As (or AsMalformedWAV) and
+// branch on Reason.
+type ErrMalformedWAV struct {
+	Reason WAVReason
+	Detail string
+}
+
+// Error implements error.
+func (e *ErrMalformedWAV) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("audio: malformed WAV (%s)", e.Reason)
+	}
+	return fmt.Sprintf("audio: malformed WAV (%s): %s", e.Reason, e.Detail)
+}
+
+// AsMalformedWAV unwraps err to an *ErrMalformedWAV if one is in its
+// chain.
+func AsMalformedWAV(err error) (*ErrMalformedWAV, bool) {
+	var e *ErrMalformedWAV
+	if errors.As(err, &e) {
+		return e, true
+	}
+	return nil, false
+}
 
 // WriteWAV encodes rec as 16-bit PCM WAV. Samples are clipped to
 // [-1, 1].
@@ -73,20 +137,36 @@ func WriteWAV(w io.Writer, rec *Recording) error {
 	return nil
 }
 
-// ReadWAV decodes a 16-bit PCM WAV stream into a Recording.
+// ReadWAV decodes a 16-bit PCM WAV stream into a Recording with the
+// default DefaultMaxWAVBytes payload cap.
 func ReadWAV(r io.Reader) (*Recording, error) {
+	return ReadWAVLimit(r, DefaultMaxWAVBytes)
+}
+
+// ReadWAVLimit is ReadWAV with an explicit cap on the total chunk
+// payload (per-chunk and cumulative) the decoder will consume. The cap
+// is enforced against the header-declared sizes *before* any
+// allocation, so a tiny stream claiming a huge chunk fails with
+// WAVTooLarge instead of allocating. maxBytes <= 0 selects
+// DefaultMaxWAVBytes. Rejections are typed *ErrMalformedWAV.
+func ReadWAVLimit(r io.Reader, maxBytes int64) (*Recording, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxWAVBytes
+	}
 	var header [12]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
-		return nil, fmt.Errorf("audio: reading RIFF header: %w", err)
+		return nil, &ErrMalformedWAV{Reason: WAVTruncated, Detail: fmt.Sprintf("reading RIFF header: %v", err)}
 	}
 	if string(header[0:4]) != riffMagic || string(header[8:12]) != waveMagic {
-		return nil, fmt.Errorf("audio: not a RIFF/WAVE stream")
+		return nil, &ErrMalformedWAV{Reason: WAVNotRIFF, Detail: "not a RIFF/WAVE stream"}
 	}
 	var (
+		haveFmt    bool
 		channels   uint16
 		sampleRate uint32
 		bits       uint16
 		data       []byte
+		budget     = maxBytes
 	)
 	for {
 		var chunk [8]byte
@@ -94,49 +174,89 @@ func ReadWAV(r io.Reader) (*Recording, error) {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
 				break
 			}
-			return nil, fmt.Errorf("audio: reading chunk header: %w", err)
+			return nil, &ErrMalformedWAV{Reason: WAVTruncated, Detail: fmt.Sprintf("reading chunk header: %v", err)}
 		}
 		id := string(chunk[0:4])
-		size := binary.LittleEndian.Uint32(chunk[4:8])
-		body := make([]byte, size)
-		if _, err := io.ReadFull(r, body); err != nil {
-			return nil, fmt.Errorf("audio: reading %q chunk: %w", id, err)
+		size := int64(binary.LittleEndian.Uint32(chunk[4:8]))
+		// Enforce the cap on the declared size before touching memory:
+		// the size field is attacker-controlled and must never drive an
+		// allocation larger than the budget.
+		if size > budget {
+			return nil, &ErrMalformedWAV{
+				Reason: WAVTooLarge,
+				Detail: fmt.Sprintf("%q chunk claims %d bytes with %d of the %d-byte budget left", id, size, budget, maxBytes),
+			}
 		}
+		budget -= size
 		switch id {
 		case fmtChunk:
 			if size < 16 {
-				return nil, fmt.Errorf("audio: fmt chunk too small (%d bytes)", size)
+				return nil, &ErrMalformedWAV{Reason: WAVBadFormat, Detail: fmt.Sprintf("fmt chunk too small (%d bytes)", size)}
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, &ErrMalformedWAV{Reason: WAVTruncated, Detail: fmt.Sprintf("reading fmt chunk: %v", err)}
 			}
 			format := binary.LittleEndian.Uint16(body[0:2])
 			if format != 1 {
-				return nil, fmt.Errorf("audio: unsupported WAV format %d (want PCM)", format)
+				return nil, &ErrMalformedWAV{Reason: WAVBadFormat, Detail: fmt.Sprintf("unsupported WAV format %d (want PCM)", format)}
 			}
 			channels = binary.LittleEndian.Uint16(body[2:4])
 			sampleRate = binary.LittleEndian.Uint32(body[4:8])
 			bits = binary.LittleEndian.Uint16(body[14:16])
+			// A zero or absurd rate would produce a Recording whose
+			// downstream framing math divides by zero or explodes;
+			// reject at the source with a typed reason.
+			if sampleRate == 0 || sampleRate > MaxWAVSampleRate {
+				return nil, &ErrMalformedWAV{Reason: WAVBadRate, Detail: fmt.Sprintf("sample rate %d Hz outside (0, %d]", sampleRate, MaxWAVSampleRate)}
+			}
+			if channels == 0 || channels > MaxWAVChannels {
+				return nil, &ErrMalformedWAV{Reason: WAVBadChannels, Detail: fmt.Sprintf("channel count %d outside [1, %d]", channels, MaxWAVChannels)}
+			}
+			haveFmt = true
 		case dataChunk:
-			data = body
+			data = make([]byte, size)
+			if _, err := io.ReadFull(r, data); err != nil {
+				return nil, &ErrMalformedWAV{Reason: WAVTruncated, Detail: fmt.Sprintf("reading data chunk: %v", err)}
+			}
+		default:
+			// Unknown chunks (LIST, fact, ...) are streamed past, never
+			// buffered.
+			if _, err := io.CopyN(io.Discard, r, size); err != nil {
+				return nil, &ErrMalformedWAV{Reason: WAVTruncated, Detail: fmt.Sprintf("skipping %q chunk: %v", id, err)}
+			}
 		}
 		if size%2 == 1 {
 			// Chunks are word-aligned; skip the pad byte.
 			var pad [1]byte
 			if _, err := io.ReadFull(r, pad[:]); err != nil && err != io.EOF {
-				return nil, fmt.Errorf("audio: reading chunk padding: %w", err)
+				return nil, &ErrMalformedWAV{Reason: WAVTruncated, Detail: fmt.Sprintf("reading chunk padding: %v", err)}
 			}
 		}
 	}
-	if channels == 0 || data == nil {
-		return nil, fmt.Errorf("audio: missing fmt or data chunk")
+	if !haveFmt || data == nil {
+		return nil, &ErrMalformedWAV{Reason: WAVMissingChunk, Detail: "missing fmt or data chunk"}
 	}
 	if bits != 16 {
-		return nil, fmt.Errorf("audio: unsupported bit depth %d (want 16)", bits)
+		return nil, &ErrMalformedWAV{Reason: WAVBadFormat, Detail: fmt.Sprintf("unsupported bit depth %d (want 16)", bits)}
 	}
 	frames := len(data) / (int(channels) * 2)
 	rec := NewRecording(float64(sampleRate), int(channels), frames)
 	for i := 0; i < frames; i++ {
 		for c := 0; c < int(channels); c++ {
 			raw := int16(binary.LittleEndian.Uint16(data[(i*int(channels)+c)*2:]))
-			rec.Channels[c][i] = float64(raw) / 32767
+			// Decode with the same 32767 scale the encoder uses, clamped
+			// so the full-scale negative sample (-32768) lands exactly on
+			// -1 instead of ≈ -1.00003 — keeping every decoded sample
+			// inside the documented [-1, 1] range and the encode→decode
+			// round trip idempotent.
+			v := float64(raw) / 32767
+			if v < -1 {
+				v = -1
+			} else if v > 1 {
+				v = 1
+			}
+			rec.Channels[c][i] = v
 		}
 	}
 	return rec, nil

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"headtalk/internal/metrics"
 	"headtalk/internal/mic"
 	"headtalk/internal/orientation"
+	"headtalk/internal/trace"
 )
 
 // Mode is the assistant's privacy mode (paper Fig. 1).
@@ -553,9 +555,17 @@ func (s *System) EndSession() {
 // recording should contain just the wake-word utterance from the
 // device's microphone array.
 func (s *System) ProcessWake(rec *audio.Recording) (Decision, error) {
+	return s.ProcessWakeCtx(context.Background(), rec)
+}
+
+// ProcessWakeCtx is ProcessWake with a context. The context may carry
+// a trace.Recorder (trace.NewContext), in which case every pipeline
+// stage records a span; with no recorder the tracing hooks are free
+// no-ops.
+func (s *System) ProcessWakeCtx(ctx context.Context, rec *audio.Recording) (Decision, error) {
 	p := s.prePool.Get().(*Preprocessor)
 	defer s.prePool.Put(p)
-	return s.ProcessWakeWith(p, rec)
+	return s.ProcessWakeWithCtx(ctx, p, rec)
 }
 
 // ProcessWakeWith is ProcessWake with caller-supplied preprocessing
@@ -563,6 +573,13 @@ func (s *System) ProcessWake(rec *audio.Recording) (Decision, error) {
 // DSP hot path runs without any shared mutable state; p must not be
 // used concurrently from another goroutine.
 func (s *System) ProcessWakeWith(p *Preprocessor, rec *audio.Recording) (Decision, error) {
+	return s.ProcessWakeWithCtx(context.Background(), p, rec)
+}
+
+// ProcessWakeWithCtx is ProcessWakeWith with a context-carried
+// trace.Recorder (see ProcessWakeCtx).
+func (s *System) ProcessWakeWithCtx(ctx context.Context, p *Preprocessor, rec *audio.Recording) (Decision, error) {
+	tr := trace.FromContext(ctx)
 	s.mu.Lock()
 	mode := s.mode
 	s.mu.Unlock()
@@ -572,10 +589,13 @@ func (s *System) ProcessWakeWith(p *Preprocessor, rec *audio.Recording) (Decisio
 	// garbage reach the feature path (or, in Normal mode, the cloud).
 	repaired := 0
 	if !s.cfg.DisableInputValidation {
+		vStart := tr.Begin()
 		clean, n, err := s.validateInput(rec)
+		tr.End(trace.StageValidate, vStart)
 		if err != nil {
 			d := Decision{Reason: ReasonBadInput}
 			s.logEvent(mode, d)
+			tr.SetOutcome(mode.String(), false, d.Reason.Slug())
 			return d, err
 		}
 		rec = clean
@@ -590,24 +610,31 @@ func (s *System) ProcessWakeWith(p *Preprocessor, rec *audio.Recording) (Decisio
 		d = Decision{Accepted: true, Reason: ReasonNormalMode}
 	case ModeHeadTalk:
 		var err error
-		d, err = s.headTalkDecision(p, rec)
+		d, err = s.headTalkDecision(tr, p, rec)
 		if err != nil {
 			s.logEvent(mode, Decision{Reason: ReasonProcessingFail})
+			tr.SetGates(d.LiveScore, d.LiveRan, d.FacingScore, d.FacingRan)
+			tr.SetOutcome(mode.String(), false, ReasonProcessingFail.Slug())
 			return Decision{Reason: ReasonProcessingFail}, err
 		}
 	}
 	d.RepairedSamples = repaired
 	s.logEvent(mode, d)
+	tr.SetGates(d.LiveScore, d.LiveRan, d.FacingScore, d.FacingRan)
+	tr.SetOutcome(mode.String(), d.Accepted, d.Reason.Slug())
 	return d, nil
 }
 
-func (s *System) headTalkDecision(p *Preprocessor, rec *audio.Recording) (Decision, error) {
+func (s *System) headTalkDecision(tr *trace.Recorder, p *Preprocessor, rec *audio.Recording) (Decision, error) {
 	var d Decision
 
 	// Degraded-array policy first: channels the health check distrusts
 	// must not feed either gate, and with too few survivors the
 	// decision fails closed before any feature is computed.
+	planStart := tr.Begin()
 	plan := s.planChannels(rec)
+	tr.End(trace.StageChannelPlan, planStart)
+	tr.SetPlan(plan.active, plan.degraded)
 	d.DegradedChannels = plan.degraded
 	if s.ins != nil && !s.cfg.DisableChannelHealth {
 		s.ins.channelsDegraded.Set(int64(plan.degraded))
@@ -625,7 +652,9 @@ func (s *System) headTalkDecision(p *Preprocessor, rec *audio.Recording) (Decisi
 	// so a replay can't ride an open session.
 	sessionActive := s.SessionActive()
 
+	preStart := tr.Begin()
 	pre := p.Apply(rec)
+	tr.End(trace.StagePreprocess, preStart)
 
 	if s.cfg.Liveness != nil {
 		// Liveness mixes down every *healthy* channel — a dead channel
@@ -641,6 +670,7 @@ func (s *System) headTalkDecision(p *Preprocessor, rec *audio.Recording) (Decisi
 		start := time.Now()
 		score, lerr := s.cfg.Liveness.Score(monoSrc.Mono(), pre.SampleRate)
 		d.LivenessLatency = time.Since(start)
+		tr.Observe(trace.StageLiveness, d.LivenessLatency)
 		if s.ins != nil {
 			s.ins.liveGate.ObserveDuration(d.LivenessLatency)
 		}
@@ -679,6 +709,7 @@ func (s *System) headTalkDecision(p *Preprocessor, rec *audio.Recording) (Decisi
 	pred := plan.model.Predict(feats)
 	d.FacingScore = plan.model.Score(feats)
 	d.OrientationLatency = time.Since(start)
+	tr.Observe(trace.StageOrientation, d.OrientationLatency)
 	if s.ins != nil {
 		s.ins.orientGate.ObserveDuration(d.OrientationLatency)
 	}

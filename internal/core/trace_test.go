@@ -1,0 +1,108 @@
+package core
+
+// Tests for per-decision tracing through the core pipeline: every
+// stage that runs gets a span, the spans sum to the trace total, and
+// the trace carries the channel plan, gate scores and outcome.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"headtalk/internal/features"
+	"headtalk/internal/trace"
+)
+
+func TestTraceSpansCoverPipeline(t *testing.T) {
+	featCfg := features.DefaultConfig(13, 48000)
+	sys, err := NewSystem(Config{
+		Features:    featCfg,
+		Orientation: trainedOrientation(t, featCfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetMode(ModeHeadTalk)
+
+	r := trace.NewRecorder("core-1")
+	ctx := trace.NewContext(context.Background(), r)
+	d, err := sys.ProcessWakeCtx(ctx, markedRecording(true, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accepted {
+		t.Fatalf("decision %+v, want accept", d)
+	}
+	tr := r.Finish()
+
+	// Every stage that ran must have a span (no liveness detector is
+	// configured, so no liveness span), and StageDecide absorbs the
+	// remainder so the table sums to the total.
+	for _, stage := range []trace.Stage{
+		trace.StageValidate, trace.StageChannelPlan, trace.StagePreprocess,
+		trace.StageOrientation, trace.StageDecide,
+	} {
+		if _, ok := tr.Span(stage); !ok {
+			t.Fatalf("stage %s missing from trace: %+v", stage, tr.Spans())
+		}
+	}
+	if _, ok := tr.Span(trace.StageLiveness); ok {
+		t.Fatal("liveness span recorded with no liveness gate configured")
+	}
+	var sum time.Duration
+	for _, sp := range tr.Spans() {
+		sum += sp.Duration
+	}
+	if sum != tr.Total || tr.Total <= 0 {
+		t.Fatalf("spans sum %v != total %v", sum, tr.Total)
+	}
+	// Orientation span mirrors the decision's gate latency.
+	if got, _ := tr.Span(trace.StageOrientation); got != d.OrientationLatency {
+		t.Fatalf("orientation span %v != decision latency %v", got, d.OrientationLatency)
+	}
+	if !tr.Accepted || tr.Reason != "accepted" || tr.Mode != "headtalk" {
+		t.Fatalf("trace outcome %+v", tr)
+	}
+	if !tr.FacingRan || tr.FacingScore != d.FacingScore {
+		t.Fatalf("trace gate scores %+v vs decision %+v", tr, d)
+	}
+	if len(tr.PlanChannels) != 4 {
+		t.Fatalf("trace channel plan %v, want the 4-channel array", tr.PlanChannels)
+	}
+}
+
+func TestTraceBadInputOutcome(t *testing.T) {
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := trace.NewRecorder("core-2")
+	ctx := trace.NewContext(context.Background(), r)
+	if _, err := sys.ProcessWakeCtx(ctx, nil); err == nil {
+		t.Fatal("nil recording accepted")
+	}
+	tr := r.Finish()
+	if tr.Accepted || tr.Reason != "bad_input" {
+		t.Fatalf("trace outcome %+v, want bad_input reject", tr)
+	}
+	if _, ok := tr.Span(trace.StageValidate); !ok {
+		t.Fatal("validate span missing on the reject path")
+	}
+}
+
+// TestUntracedProcessWakeUnchanged pins that the tracing hooks are
+// inert without a recorder: decisions and history behave exactly as
+// before.
+func TestUntracedProcessWakeUnchanged(t *testing.T) {
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.ProcessWake(markedRecording(true, 12))
+	if err != nil || !d.Accepted || d.Reason != ReasonNormalMode {
+		t.Fatalf("untraced decision %+v, %v", d, err)
+	}
+	if len(sys.History()) != 1 {
+		t.Fatal("decision not logged")
+	}
+}

@@ -1,0 +1,98 @@
+package metrics
+
+// Prometheus text exposition (text/plain; version=0.0.4) for the
+// daemon's debug listener. Kept separate from WriteText: that format is
+// for humans tailing a terminal, this one is for scrapers, and the two
+// evolve independently.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName sanitizes an instrument name into a valid Prometheus metric
+// name: runes outside [a-zA-Z0-9_:] (dots, dashes, spaces) become
+// underscores, and a leading digit is prefixed with one.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus clients do: shortest
+// round-trippable decimal form.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format: counters and gauges as single samples, histograms
+// as cumulative _bucket{le="..."} series plus _sum and _count. Metric
+// names are sanitized with promName, so the registry's dotted names
+// (serve.queue_wait) come out scrape-safe (serve_queue_wait).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, k := range sortedKeys(s.Counters) {
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		n := promName(k)
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		// Buckets are cumulative per the exposition format; the +Inf
+		// bucket and _count are the cumulative total so the series stays
+		// self-consistent even if Counts raced with the Count field.
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if len(h.Counts) > len(h.Bounds) {
+			cum += h.Counts[len(h.Bounds)]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

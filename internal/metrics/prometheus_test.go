@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.queue_wait":   "serve_queue_wait",
+		"core.accepted":      "core_accepted",
+		"plain":              "plain",
+		"9lives":             "_9lives",
+		"dash-and space":     "dash_and_space",
+		"already_good:ratio": "already_good:ratio",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.accepted").Add(7)
+	r.Gauge("serve.queue_depth").Set(-3)
+	h := r.Histogram("core.latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005) // bucket le=0.001
+	h.Observe(0.005)  // bucket le=0.01
+	h.Observe(0.005)
+	h.Observe(5) // +Inf bucket
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE serve_accepted counter\nserve_accepted 7\n",
+		"# TYPE serve_queue_depth gauge\nserve_queue_depth -3\n",
+		"# TYPE core_latency histogram\n",
+		`core_latency_bucket{le="0.001"} 1`,
+		`core_latency_bucket{le="0.01"} 3`, // cumulative
+		`core_latency_bucket{le="0.1"} 3`,  // still cumulative
+		`core_latency_bucket{le="+Inf"} 4`, // total
+		"core_latency_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "core_latency_sum 5.0105") {
+		t.Errorf("exposition sum wrong:\n%s", out)
+	}
+	// Counters sort before gauges before histograms, each alphabetized,
+	// so scrape output is deterministic.
+	if strings.Index(out, "serve_accepted") > strings.Index(out, "serve_queue_depth") {
+		t.Error("counters should render before gauges")
+	}
+}
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := NewRegistry().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty registry rendered %q", b.String())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"headtalk/internal/audio"
 	"headtalk/internal/core"
 	"headtalk/internal/metrics"
+	"headtalk/internal/trace"
 )
 
 // Sentinel errors returned by Submit/Decide.
@@ -99,6 +100,15 @@ type Config struct {
 	// panics. A panic inside the hook is recovered exactly like a
 	// pipeline panic. Leave nil in production.
 	FaultHook func(*audio.Recording) *audio.Recording
+	// Traces, when non-nil, retains per-decision stage traces. While
+	// the store's switch is enabled, every Submit/Decide whose context
+	// does not already carry a trace.Recorder gets one; finished traces
+	// land in the store's rings, and Results carry the trace. A
+	// caller-supplied recorder in the context (per-request tracing) is
+	// honored and stored regardless of the switch. Nil disables tracing
+	// entirely — the hot path then performs no clock reads or
+	// allocations for it.
+	Traces *trace.Store
 }
 
 // Request is one decision to serve.
@@ -124,6 +134,12 @@ type Result struct {
 	QueueWait time.Duration
 	// Total is queue wait plus pipeline time.
 	Total time.Duration
+	// TraceID and Trace carry the decision's stage trace when tracing
+	// was active for this request (Config.Traces enabled, or a
+	// recorder supplied via the submission context). The Trace is
+	// finished and must not be mutated.
+	TraceID string
+	Trace   *trace.Trace
 }
 
 // task is a queued request with its delivery plumbing.
@@ -263,6 +279,9 @@ func (e *Engine) worker() {
 		e.ins.queueDepth.Add(-1)
 		wait := time.Since(t.enqueued)
 		e.ins.queueWait.ObserveDuration(wait)
+		tr := trace.FromContext(t.ctx)
+		tr.Observe(trace.StageQueueWait, wait)
+		pickup := tr.Begin()
 		res := Result{ID: t.req.ID, QueueWait: wait}
 		switch {
 		case t.ctx.Err() != nil:
@@ -270,6 +289,7 @@ func (e *Engine) worker() {
 			// don't burn pipeline time on a decision nobody waits for.
 			res.Err = t.ctx.Err()
 			e.ins.expired.Inc()
+			tr.SetOutcome("", false, "expired")
 		default:
 			allowed, probe := e.breaker.allow()
 			if !allowed {
@@ -278,10 +298,12 @@ func (e *Engine) worker() {
 				res.Decision = core.Decision{Accepted: false, Reason: core.ReasonUnhealthy}
 				res.Err = ErrBreakerOpen
 				e.ins.breakerFast.Inc()
+				tr.SetOutcome("", false, core.ReasonUnhealthy.Slug())
 				break
 			}
+			tr.End(trace.StagePickup, pickup)
 			start := time.Now()
-			d, err, panicked := e.runPipeline(p, t.req.Recording)
+			d, err, panicked := e.runPipeline(t.ctx, p, t.req.Recording)
 			res.Decision = d
 			res.Err = err
 			res.Total = wait + time.Since(start)
@@ -293,8 +315,15 @@ func (e *Engine) worker() {
 				// The panic may have interrupted the biquad cascade
 				// mid-update; a fresh clone is cheap insurance.
 				p = e.cfg.System.NewPreprocessor()
+				tr.SetOutcome("", false, core.ReasonPanic.Slug())
 			}
 			e.breaker.record(!breakerFailure(err), probe)
+		}
+		if tr != nil {
+			ft := tr.Finish()
+			res.TraceID = ft.ID
+			res.Trace = ft
+			e.cfg.Traces.Add(ft) // nil-safe: stores only when a store exists
 		}
 		e.ins.completed.Inc()
 		if t.req.Callback != nil {
@@ -308,7 +337,7 @@ func (e *Engine) worker() {
 // runPipeline executes one decision with panic isolation. A recovered
 // panic returns a fail-closed reject (ReasonPanic) and a typed
 // *ErrPipelinePanic carrying the panic value and stack.
-func (e *Engine) runPipeline(p *core.Preprocessor, rec *audio.Recording) (d core.Decision, err error, panicked bool) {
+func (e *Engine) runPipeline(ctx context.Context, p *core.Preprocessor, rec *audio.Recording) (d core.Decision, err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			d = core.Decision{Accepted: false, Reason: core.ReasonPanic}
@@ -320,7 +349,7 @@ func (e *Engine) runPipeline(p *core.Preprocessor, rec *audio.Recording) (d core
 	if e.cfg.FaultHook != nil {
 		rec = e.cfg.FaultHook(rec)
 	}
-	d, err = e.cfg.System.ProcessWakeWith(p, rec)
+	d, err = e.cfg.System.ProcessWakeWithCtx(ctx, p, rec)
 	return d, err, false
 }
 
@@ -395,6 +424,21 @@ func (e *Engine) HealthSnapshot() Health {
 	return h
 }
 
+// maybeTrace wraps ctx with a store-issued recorder when automatic
+// tracing is on and the caller did not already supply one. With
+// tracing off (nil store or switch off) this is two cheap checks and
+// no allocation, keeping the untraced submit path unchanged.
+func (e *Engine) maybeTrace(ctx context.Context) context.Context {
+	if !e.cfg.Traces.Enabled() || trace.FromContext(ctx) != nil {
+		return ctx
+	}
+	return trace.NewContext(ctx, e.cfg.Traces.NewRecorder())
+}
+
+// Traces returns the engine's trace store (nil when tracing is not
+// configured).
+func (e *Engine) Traces() *trace.Store { return e.cfg.Traces }
+
 // enqueue places a task on the queue. block selects Decide semantics
 // (wait for space until ctx expires) versus Submit semantics (fail
 // fast with ErrQueueFull).
@@ -445,7 +489,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (<-chan Result, error)
 	if req.Recording == nil {
 		return nil, fmt.Errorf("serve: request %q has no recording", req.ID)
 	}
-	t := &task{req: req, ctx: ctx, enqueued: time.Now()}
+	t := &task{req: req, ctx: e.maybeTrace(ctx), enqueued: time.Now()}
 	if req.Callback == nil {
 		t.out = make(chan Result, 1)
 	}
@@ -466,7 +510,7 @@ func (e *Engine) Decide(ctx context.Context, rec *audio.Recording) (core.Decisio
 	}
 	t := &task{
 		req:      Request{Recording: rec},
-		ctx:      ctx,
+		ctx:      e.maybeTrace(ctx),
 		enqueued: time.Now(),
 		out:      make(chan Result, 1),
 	}
