@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench chaos check
+.PHONY: all build test race vet bench chaos check staticcheck
 
 all: check
 
@@ -20,7 +20,13 @@ test:
 # health, pair recomputation, fault injection), and the DSP layer now
 # that it holds the shared FFT plan cache and scratch pools.
 race:
-	$(GO) test -race ./internal/serve ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp ./internal/trace
+	$(GO) test -race ./internal/serve ./internal/pool ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp ./internal/trace
+
+# Static analysis beyond go vet. staticcheck is not vendored; this
+# target expects it on PATH (CI installs it with `go install`). Keep it
+# out of `check` so the tier-1 gate stays dependency-free locally.
+staticcheck:
+	staticcheck ./...
 
 vet:
 	$(GO) vet ./...

@@ -84,7 +84,7 @@ func main() {
 			rt = headtalk.NewTraceRecorder(fmt.Sprintf("demo-%d", i+1))
 			ctx = headtalk.WithTrace(ctx, rt)
 		}
-		d, err := sys.ProcessWakeCtx(ctx, rec)
+		d, err := sys.ProcessWake(ctx, rec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "processing %q: %v\n", sc.label, err)
 			os.Exit(1)

@@ -2,30 +2,45 @@
 // end-to-end "service" shape for this repo. It reads newline-delimited
 // JSON decision requests — each naming a WAV file or a synthetic
 // condition spec — on stdin or a TCP listener, runs them through the
-// concurrent serving engine (internal/serve), and streams JSON
+// multi-tenant serving pool (internal/pool), and streams JSON
 // decisions plus periodic metrics summaries back.
 //
 // Usage:
 //
 //	headtalkd [-listen addr] [-workers N] [-queue N] [-mode M]
-//	          [-deadline D] [-metrics-every D] [-no-enroll] [-seed N]
-//	          [-trace] [-trace-capacity N] [-slow-threshold D]
-//	          [-debug-addr addr]
+//	          [-tenants spec] [-deadline D] [-metrics-every D]
+//	          [-no-enroll] [-seed N] [-trace] [-trace-capacity N]
+//	          [-slow-threshold D] [-debug-addr addr]
 //
-// Request lines:
+// With -tenants the daemon hosts several isolated device profiles at
+// once, each with its own trained system, queue, circuit breaker and
+// metrics. The spec is a comma-separated list of id:DEVICE@ROOM
+// entries (device D1|D2|D3, room lab|home; both optional):
 //
-//	{"id":"1","wav":"/path/to/utterance.wav"}
+//	headtalkd -tenants lab:D1@lab,home:D3@home
+//
+// Requests name their tenant with a "tenant" field; without one they
+// go to the first configured tenant. Without -tenants the daemon runs
+// a single anonymous tenant and behaves exactly like earlier versions.
+//
+// Request lines (protocol version 1; "v" may be omitted):
+//
+//	{"v":1,"id":"1","wav":"/path/to/utterance.wav"}
 //	{"id":"2","condition":{"AngleDeg":180,"Distance":3}}
-//	{"id":"3","condition":{"Replay":"Smart TV"}}
+//	{"id":"3","tenant":"home","condition":{"Replay":"Smart TV"}}
 //	{"id":"4","mode":"normal"}            (control: switch privacy mode)
-//	{"id":"5","health":true}              (control: engine health snapshot)
+//	{"id":"5","health":true}              (control: tenant health snapshot)
 //	{"id":"6","trace":true}               (control: toggle store-wide tracing)
 //	{"id":"7","condition":{},"trace":true}  (force + inline one trace)
 //
+// Control requests honor "tenant" too: mode, health and trace all act
+// on the named tenant only.
+//
 // With -debug-addr set, an HTTP listener additionally serves
 // net/http/pprof under /debug/pprof/, Prometheus text exposition at
-// /metrics, retained traces at /debug/traces[/slow], and a health
-// probe at /healthz.
+// /metrics (with a tenant label when -tenants is set), retained traces
+// at /debug/traces[/slow] (?tenant= selects a store), and a health
+// probe at /healthz aggregating every tenant.
 //
 // Response lines (order may differ from request order under load; use
 // ids to correlate):
@@ -50,6 +65,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -57,7 +73,10 @@ import (
 	"headtalk/internal/audio"
 	"headtalk/internal/core"
 	"headtalk/internal/dataset"
+	"headtalk/internal/features"
 	"headtalk/internal/metrics"
+	"headtalk/internal/mic"
+	"headtalk/internal/pool"
 	"headtalk/internal/serve"
 	"headtalk/internal/trace"
 )
@@ -65,9 +84,10 @@ import (
 func main() {
 	var (
 		listen       = flag.String("listen", "", "TCP listen address (empty: serve stdin/stdout)")
-		workers      = flag.Int("workers", 0, "engine worker count (0: NumCPU)")
-		queueSize    = flag.Int("queue", 64, "bounded submission queue size")
+		workers      = flag.Int("workers", 0, "per-tenant engine worker count (0: NumCPU)")
+		queueSize    = flag.Int("queue", 64, "per-tenant bounded submission queue size")
 		mode         = flag.String("mode", "headtalk", "initial privacy mode: normal|mute|headtalk")
+		tenants      = flag.String("tenants", "", "comma-separated tenant specs id:DEVICE@ROOM (empty: one anonymous tenant)")
 		deadline     = flag.Duration("deadline", 0, "per-request deadline (0: none)")
 		metricsEvery = flag.Duration("metrics-every", 30*time.Second, "metrics summary interval (0: disable)")
 		noEnroll     = flag.Bool("no-enroll", false, "skip gate training (headtalk mode then rejects everything)")
@@ -77,16 +97,21 @@ func main() {
 		breakerN     = flag.Int("breaker-threshold", 0, "consecutive pipeline failures that trip the circuit breaker (0: default 8, negative: disable)")
 		breakerWait  = flag.Duration("breaker-cooldown", 0, "reject-fast period before a half-open probe (0: default 5s)")
 		traceOn      = flag.Bool("trace", false, "record per-decision stage traces from the start (also toggleable per connection)")
-		traceCap     = flag.Int("trace-capacity", trace.DefaultCapacity, "recent-trace ring capacity")
+		traceCap     = flag.Int("trace-capacity", trace.DefaultCapacity, "per-tenant recent-trace ring capacity")
 		slowThresh   = flag.Duration("slow-threshold", trace.DefaultSlowThreshold, "decisions at least this slow are always retained (negative: disable)")
 		debugAddr    = flag.String("debug-addr", "", "opt-in HTTP listener for pprof, Prometheus metrics and recent traces (empty: off)")
 	)
 	flag.Parse()
 
+	specs, err := parseTenantSpecs(*tenants)
+	if err != nil {
+		log.Fatalf("headtalkd: %v", err)
+	}
 	d, err := newDaemon(daemonOptions{
 		Workers:          *workers,
 		QueueSize:        *queueSize,
 		Mode:             *mode,
+		Tenants:          specs,
 		Deadline:         *deadline,
 		MetricsEvery:     *metricsEvery,
 		Enroll:           !*noEnroll,
@@ -128,15 +153,69 @@ func main() {
 	if err != nil {
 		log.Fatalf("headtalkd: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "headtalkd: listening on %s (%d workers, queue %d)\n", ln.Addr(), d.engine.Workers(), *queueSize)
+	fmt.Fprintf(os.Stderr, "headtalkd: listening on %s (%d tenants: %s; queue %d)\n",
+		ln.Addr(), d.pool.Len(), strings.Join(d.pool.Tenants(), ","), *queueSize)
 	d.ServeListener(ln)
+}
+
+// tenantSpec names one hosted device profile.
+type tenantSpec struct {
+	ID     string
+	Device string // "D1", "D2", "D3"; empty: D2 (the paper's default)
+	Room   string // "lab" or "home"; empty: lab
+}
+
+// parseTenantSpecs parses the -tenants flag: comma-separated
+// id[:DEVICE[@ROOM]] entries.
+func parseTenantSpecs(s string) ([]tenantSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var specs []tenantSpec
+	seen := map[string]bool{}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		spec := tenantSpec{ID: entry}
+		if i := strings.IndexByte(entry, ':'); i >= 0 {
+			spec.ID, spec.Device = entry[:i], entry[i+1:]
+			if j := strings.IndexByte(spec.Device, '@'); j >= 0 {
+				spec.Device, spec.Room = spec.Device[:j], spec.Device[j+1:]
+			}
+		}
+		if spec.ID == "" {
+			return nil, fmt.Errorf("tenant spec %q has no id", entry)
+		}
+		if seen[spec.ID] {
+			return nil, fmt.Errorf("duplicate tenant id %q", spec.ID)
+		}
+		seen[spec.ID] = true
+		if spec.Device != "" {
+			if _, err := mic.DeviceByID(spec.Device); err != nil {
+				return nil, fmt.Errorf("tenant %q: %w", spec.ID, err)
+			}
+		}
+		switch spec.Room {
+		case "", "lab", "home":
+		default:
+			return nil, fmt.Errorf("tenant %q: unknown room %q (want lab|home)", spec.ID, spec.Room)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
 }
 
 // daemonOptions assembles a daemon.
 type daemonOptions struct {
-	Workers          int
-	QueueSize        int
-	Mode             string
+	Workers   int
+	QueueSize int
+	Mode      string
+	// Tenants lists the hosted device profiles. Empty hosts one
+	// anonymous tenant (single-tenant mode: responses and metrics keep
+	// their historical, label-free shape).
+	Tenants          []tenantSpec
 	Deadline         time.Duration
 	MetricsEvery     time.Duration
 	Enroll           bool
@@ -151,14 +230,28 @@ type daemonOptions struct {
 	Progress         io.Writer
 }
 
-// daemon owns the trained system, the serving engine and the synth
-// generator shared by every connection.
+// defaultTenantID names the single tenant hosted when -tenants is not
+// set.
+const defaultTenantID = "default"
+
+// protocolVersion is the NDJSON protocol this daemon speaks. Requests
+// may carry "v"; absent means version 1. Unknown versions are rejected
+// with error_kind "unsupported_version".
+const protocolVersion = 1
+
+// daemon owns the serving pool (one tenant per hosted device profile)
+// and the synth generator shared by every connection.
 type daemon struct {
-	sys      *core.System
-	engine   *serve.Engine
-	registry *metrics.Registry
-	traces   *trace.Store
-	opts     daemonOptions
+	pool *pool.Pool
+	// defaultID routes requests that name no tenant.
+	defaultID string
+	// multiTenant selects the multi-tenant response/metrics shape:
+	// tenant echoes on responses, tenant.<id>. metric prefixes and
+	// tenant-labeled Prometheus exposition. Single-tenant daemons keep
+	// the historical flat shape.
+	multiTenant bool
+	specs       map[string]tenantSpec
+	opts        daemonOptions
 
 	// genMu serializes the synthetic-condition generator, which is not
 	// safe for concurrent use; WAV requests bypass it entirely.
@@ -184,81 +277,149 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := headtalk.Config{}
-	if opts.Enroll {
-		enr, eerr := headtalk.Enroll(headtalk.EnrollmentOptions{
-			Seed:            opts.Seed,
-			OrientationReps: opts.OrientReps,
-			LivenessPairs:   opts.LivePairs,
-			Progress:        opts.Progress,
-		})
-		if eerr != nil {
-			return nil, fmt.Errorf("enrolling gates: %w", eerr)
+	specs := opts.Tenants
+	multiTenant := len(specs) > 0
+	if !multiTenant {
+		specs = []tenantSpec{{ID: defaultTenantID}}
+	}
+
+	d := &daemon{
+		pool:        pool.New(pool.Config{}),
+		defaultID:   specs[0].ID,
+		multiTenant: multiTenant,
+		specs:       make(map[string]tenantSpec, len(specs)),
+		opts:        opts,
+		gen:         dataset.NewGenerator(opts.Seed),
+	}
+
+	// Gate training is per (device, room): tenants sharing an
+	// environment share one enrollment run instead of re-simulating it.
+	enrollments := map[string]*headtalk.Enrollment{}
+	for _, spec := range specs {
+		cfg := headtalk.Config{}
+		if opts.Enroll {
+			key := spec.Device + "|" + spec.Room
+			enr, ok := enrollments[key]
+			if !ok {
+				enr, err = headtalk.Enroll(headtalk.EnrollmentOptions{
+					Seed:            opts.Seed,
+					Room:            spec.Room,
+					Device:          spec.Device,
+					OrientationReps: opts.OrientReps,
+					LivenessPairs:   opts.LivePairs,
+					Progress:        opts.Progress,
+				})
+				if err != nil {
+					_ = d.pool.Close()
+					return nil, fmt.Errorf("enrolling gates for tenant %q: %w", spec.ID, err)
+				}
+				enrollments[key] = enr
+			}
+			cfg.Liveness = enr.Liveness
+			cfg.Orientation = enr.Orientation
 		}
-		cfg.Liveness = enr.Liveness
-		cfg.Orientation = enr.Orientation
+		if spec.Device != "" {
+			// Match the feature geometry (GCC lag window) to the
+			// tenant's array so decision-time extraction agrees with the
+			// enrolled model.
+			array, aerr := mic.DeviceByID(spec.Device)
+			if aerr != nil {
+				_ = d.pool.Close()
+				return nil, fmt.Errorf("tenant %q: %w", spec.ID, aerr)
+			}
+			cfg.Features = features.DefaultConfig(array.MaxDelaySamples(48000, 340), 48000)
+		}
+		registry := metrics.NewRegistry()
+		cfg.Metrics = registry
+		sys, serr := headtalk.NewSystem(cfg)
+		if serr != nil {
+			_ = d.pool.Close()
+			return nil, serr
+		}
+		sys.SetMode(m)
+		_, terr := d.pool.AddTenant(pool.TenantConfig{
+			ID:               spec.ID,
+			System:           sys,
+			Workers:          opts.Workers,
+			QueueSize:        opts.QueueSize,
+			Metrics:          registry,
+			BreakerThreshold: opts.BreakerThreshold,
+			BreakerCooldown:  opts.BreakerCooldown,
+			TraceCapacity:    opts.TraceCapacity,
+			SlowThreshold:    opts.SlowThreshold,
+			TraceEnabled:     opts.Trace,
+		})
+		if terr != nil {
+			_ = d.pool.Close()
+			return nil, terr
+		}
+		d.specs[spec.ID] = spec
 	}
-	registry := metrics.NewRegistry()
-	cfg.Metrics = registry
-	sys, err := headtalk.NewSystem(cfg)
-	if err != nil {
-		return nil, err
-	}
-	sys.SetMode(m)
-	traces := trace.NewStore(opts.TraceCapacity, opts.SlowThreshold)
-	traces.SetEnabled(opts.Trace)
-	engine, err := serve.NewEngine(serve.Config{
-		System:           sys,
-		Workers:          opts.Workers,
-		QueueSize:        opts.QueueSize,
-		Metrics:          registry,
-		Traces:           traces,
-		BreakerThreshold: opts.BreakerThreshold,
-		BreakerCooldown:  opts.BreakerCooldown,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := engine.Start(); err != nil {
-		return nil, err
-	}
-	return &daemon{
-		sys:      sys,
-		engine:   engine,
-		registry: registry,
-		traces:   traces,
-		opts:     opts,
-		gen:      dataset.NewGenerator(opts.Seed),
-	}, nil
+	return d, nil
 }
 
-// Close drains the engine, finishing in-flight decisions.
-func (d *daemon) Close() error { return d.engine.Close() }
+// Close drains every tenant, finishing in-flight decisions.
+func (d *daemon) Close() error { return d.pool.Close() }
+
+// tenant resolves a request's tenant field ("" routes to the default).
+func (d *daemon) tenant(id string) (*pool.Tenant, error) {
+	if id == "" {
+		id = d.defaultID
+	}
+	t, ok := d.pool.Tenant(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", pool.ErrUnknownTenant, id)
+	}
+	return t, nil
+}
+
+// snapshot merges the tenants' metrics for the NDJSON metrics line:
+// flat names in single-tenant mode (the historical shape), a
+// tenant.<id>.-prefixed merge when hosting several.
+func (d *daemon) snapshot() metrics.Snapshot {
+	if !d.multiTenant {
+		if t, ok := d.pool.Tenant(d.defaultID); ok {
+			return t.Metrics().Snapshot()
+		}
+		return metrics.Snapshot{}
+	}
+	return d.pool.Snapshot()
+}
 
 // request is one NDJSON input line.
 type request struct {
-	ID string `json:"id"`
+	// V is the protocol version; nil or 1 selects today's protocol.
+	V *int `json:"v,omitempty"`
+	// Tenant routes the request inside the pool; empty uses the daemon's
+	// default tenant. Applies to decision and control requests alike.
+	Tenant string `json:"tenant,omitempty"`
+	ID     string `json:"id"`
 	// WAV names a multi-channel utterance file on disk.
 	WAV string `json:"wav,omitempty"`
-	// Condition synthesizes the utterance instead (zero values pick
-	// the paper's defaults: lab room, device D2, "Computer", facing).
+	// Condition synthesizes the utterance instead (zero values pick the
+	// tenant's device/room, falling back to the paper's defaults: lab
+	// room, device D2, "Computer", facing).
 	Condition *dataset.Condition `json:"condition,omitempty"`
-	// Mode, when set, is a control request switching the privacy mode.
+	// Mode, when set, is a control request switching the tenant's
+	// privacy mode.
 	Mode string `json:"mode,omitempty"`
-	// Health, when true, is a control request for an engine health
+	// Health, when true, is a control request for the tenant's health
 	// snapshot (breaker state, queue depth, panic counts).
 	Health bool `json:"health,omitempty"`
 	// Trace has two meanings. Alone ({"trace":true}) it is a control
-	// request toggling store-wide tracing. Alongside a wav/condition it
-	// forces a trace for that one decision (even with the store off) and
-	// inlines the stage table in the response.
+	// request toggling the tenant's store-wide tracing. Alongside a
+	// wav/condition it forces a trace for that one decision (even with
+	// the store off) and inlines the stage table in the response.
 	Trace *bool `json:"trace,omitempty"`
 }
 
 // response is one NDJSON output line.
 type response struct {
-	Type        string   `json:"type"` // decision | ok | error | health | metrics
-	ID          string   `json:"id,omitempty"`
+	Type string `json:"type"` // decision | ok | error | health | metrics
+	ID   string `json:"id,omitempty"`
+	// Tenant echoes which tenant served the line (multi-tenant daemons
+	// only; single-tenant responses stay flat).
+	Tenant      string   `json:"tenant,omitempty"`
 	Accepted    *bool    `json:"accepted,omitempty"`
 	Reason      string   `json:"reason,omitempty"`
 	ReasonSlug  string   `json:"reason_slug,omitempty"`
@@ -269,9 +430,9 @@ type response struct {
 	Mode        string   `json:"mode,omitempty"`
 	Error       string   `json:"error,omitempty"`
 	// ErrorKind classifies error lines so clients can branch without
-	// parsing error strings: parse | oversized | request | wav | mode |
-	// bad_input | panic | breaker_open | backpressure | closed |
-	// deadline | pipeline.
+	// parsing error strings: parse | oversized | unsupported_version |
+	// unknown_tenant | request | wav | mode | bad_input | panic |
+	// breaker_open | backpressure | closed | deadline | pipeline.
 	ErrorKind string `json:"error_kind,omitempty"`
 
 	// TraceEnabled acknowledges a {"trace":...} control request.
@@ -290,9 +451,10 @@ type response struct {
 	Latencies map[string]latencySummary `json:"latencies,omitempty"`
 }
 
-// healthInfo is the body of a health line: the engine's serving
-// fitness plus the system's privacy mode.
+// healthInfo is the body of a health line: one tenant's serving
+// fitness plus its privacy mode.
 type healthInfo struct {
+	Tenant              string `json:"tenant,omitempty"`
 	State               string `json:"state"`
 	Healthy             bool   `json:"healthy"`
 	Mode                string `json:"mode"`
@@ -307,27 +469,46 @@ type healthInfo struct {
 	BreakerRejected     uint64 `json:"breaker_rejected"`
 }
 
-// healthResponse snapshots the engine and system into a health line.
-func (d *daemon) healthResponse(id string) response {
-	h := d.engine.HealthSnapshot()
-	return response{
-		Type: "health",
-		ID:   id,
-		Health: &healthInfo{
-			State:               h.State,
-			Healthy:             h.Healthy,
-			Mode:                d.sys.Mode().String(),
-			Workers:             h.Workers,
-			QueueDepth:          h.QueueDepth,
-			QueueCapacity:       h.QueueCapacity,
-			Breaker:             h.Breaker,
-			ConsecutiveFailures: h.ConsecutiveFailures,
-			Panics:              h.Panics,
-			Submitted:           h.Submitted,
-			Completed:           h.Completed,
-			BreakerRejected:     h.BreakerRejected,
-		},
+// tenantHealth snapshots one tenant into a health body.
+func (d *daemon) tenantHealth(t *pool.Tenant) *healthInfo {
+	h := t.Health()
+	info := &healthInfo{
+		State:               h.State,
+		Healthy:             h.Healthy,
+		Mode:                t.System().Mode().String(),
+		Workers:             h.Workers,
+		QueueDepth:          h.QueueDepth,
+		QueueCapacity:       h.QueueCapacity,
+		Breaker:             h.Breaker,
+		ConsecutiveFailures: h.ConsecutiveFailures,
+		Panics:              h.Panics,
+		Submitted:           h.Submitted,
+		Completed:           h.Completed,
+		BreakerRejected:     h.BreakerRejected,
 	}
+	if d.multiTenant {
+		info.Tenant = t.ID()
+	}
+	return info
+}
+
+// healthResponse snapshots one tenant into a health line.
+func (d *daemon) healthResponse(t *pool.Tenant, id string) response {
+	return response{
+		Type:   "health",
+		ID:     id,
+		Tenant: d.echoTenant(t),
+		Health: d.tenantHealth(t),
+	}
+}
+
+// echoTenant returns the tenant id for response echoing (multi-tenant
+// daemons only).
+func (d *daemon) echoTenant(t *pool.Tenant) string {
+	if d.multiTenant {
+		return t.ID()
+	}
+	return ""
 }
 
 // errorKind classifies a serving-path error for the error_kind field.
@@ -335,9 +516,11 @@ func errorKind(err error) string {
 	switch {
 	case err == nil:
 		return ""
+	case errors.Is(err, pool.ErrUnknownTenant), errors.Is(err, pool.ErrNoRoute):
+		return "unknown_tenant"
 	case errors.Is(err, serve.ErrQueueFull):
 		return "backpressure"
-	case errors.Is(err, serve.ErrClosed), errors.Is(err, serve.ErrNotStarted):
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, serve.ErrNotStarted), errors.Is(err, pool.ErrPoolClosed):
 		return "closed"
 	case errors.Is(err, serve.ErrBreakerOpen):
 		return "breaker_open"
@@ -405,8 +588,11 @@ func (lw *lineWriter) write(resp response) {
 // loadRecording resolves a request into a microphone-array recording.
 // kind classifies any failure for the error_kind field: "request" for
 // malformed request shapes, "wav" for unreadable or unparsable WAV
-// paths, "condition" for synthesis failures.
-func (d *daemon) loadRecording(req request) (rec *audio.Recording, kind string, err error) {
+// paths, "condition" for synthesis failures. Synthetic conditions
+// default their device and room to the serving tenant's spec, so a
+// D1 tenant's captures come off a D1 array unless the request says
+// otherwise.
+func (d *daemon) loadRecording(req request, spec tenantSpec) (rec *audio.Recording, kind string, err error) {
 	switch {
 	case req.WAV != "" && req.Condition != nil:
 		return nil, "request", fmt.Errorf("request has both wav and condition")
@@ -422,9 +608,16 @@ func (d *daemon) loadRecording(req request) (rec *audio.Recording, kind string, 
 		}
 		return rec, "", nil
 	case req.Condition != nil:
+		cond := *req.Condition
+		if cond.Device == "" {
+			cond.Device = spec.Device
+		}
+		if cond.Room == "" {
+			cond.Room = spec.Room
+		}
 		d.genMu.Lock()
 		defer d.genMu.Unlock()
-		rec, err = dataset.CaptureRecording(d.gen, *req.Condition)
+		rec, err = dataset.CaptureRecording(d.gen, cond)
 		if err != nil {
 			return nil, "condition", err
 		}
@@ -437,31 +630,46 @@ func (d *daemon) loadRecording(req request) (rec *audio.Recording, kind string, 
 // handle dispatches one request line; decision responses are written
 // asynchronously from engine workers.
 func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
+	if req.V != nil && *req.V != protocolVersion {
+		lw.write(response{
+			Type:      "error",
+			ID:        req.ID,
+			Error:     fmt.Sprintf("unsupported protocol version %d (supported: %d)", *req.V, protocolVersion),
+			ErrorKind: "unsupported_version",
+		})
+		return
+	}
+	t, err := d.tenant(req.Tenant)
+	if err != nil {
+		lw.write(response{Type: "error", ID: req.ID, Error: err.Error(), ErrorKind: errorKind(err)})
+		return
+	}
+	echo := d.echoTenant(t)
 	if req.Health {
-		lw.write(d.healthResponse(req.ID))
+		lw.write(d.healthResponse(t, req.ID))
 		return
 	}
 	if req.Trace != nil && req.WAV == "" && req.Condition == nil && req.Mode == "" {
-		// Bare {"trace":...} is a control request: flip store-wide
-		// tracing for every subsequent decision.
-		d.traces.SetEnabled(*req.Trace)
-		enabled := d.traces.Enabled()
-		lw.write(response{Type: "ok", ID: req.ID, TraceEnabled: &enabled})
+		// Bare {"trace":...} is a control request: flip the tenant's
+		// store-wide tracing for every subsequent decision.
+		t.Traces().SetEnabled(*req.Trace)
+		enabled := t.Traces().Enabled()
+		lw.write(response{Type: "ok", ID: req.ID, Tenant: echo, TraceEnabled: &enabled})
 		return
 	}
 	if req.Mode != "" {
 		m, err := parseMode(req.Mode)
 		if err != nil {
-			lw.write(response{Type: "error", ID: req.ID, Error: err.Error(), ErrorKind: "mode"})
+			lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: err.Error(), ErrorKind: "mode"})
 			return
 		}
-		d.sys.SetMode(m)
-		lw.write(response{Type: "ok", ID: req.ID, Mode: m.String()})
+		t.System().SetMode(m)
+		lw.write(response{Type: "ok", ID: req.ID, Tenant: echo, Mode: m.String()})
 		return
 	}
-	rec, kind, err := d.loadRecording(req)
+	rec, kind, err := d.loadRecording(req, d.specs[t.ID()])
 	if err != nil {
-		lw.write(response{Type: "error", ID: req.ID, Error: err.Error(), ErrorKind: kind})
+		lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: err.Error(), ErrorKind: kind})
 		return
 	}
 	ctx := context.Background()
@@ -471,17 +679,17 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 	}
 	forceTrace := req.Trace != nil && *req.Trace
 	if forceTrace {
-		ctx = trace.NewContext(ctx, d.traces.NewRecorder())
+		ctx = trace.NewContext(ctx, t.Traces().NewRecorder())
 	}
 	inflight.Add(1)
-	_, err = d.engine.Submit(ctx, serve.Request{
+	_, err = t.Engine().Submit(ctx, serve.Request{
 		ID:        req.ID,
 		Recording: rec,
 		Callback: func(res serve.Result) {
 			defer inflight.Done()
 			defer cancel()
 			if res.Err != nil {
-				resp := response{Type: "error", ID: res.ID, Error: res.Err.Error(), ErrorKind: errorKind(res.Err), TraceID: res.TraceID}
+				resp := response{Type: "error", ID: res.ID, Tenant: echo, Error: res.Err.Error(), ErrorKind: errorKind(res.Err), TraceID: res.TraceID}
 				if forceTrace {
 					resp.Trace = res.Trace
 				}
@@ -498,6 +706,7 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 			resp := response{
 				Type:        "decision",
 				ID:          res.ID,
+				Tenant:      echo,
 				Accepted:    &dec.Accepted,
 				Reason:      string(dec.Reason),
 				ReasonSlug:  dec.Reason.Slug(),
@@ -522,7 +731,7 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 		// will never fire.
 		inflight.Done()
 		cancel()
-		lw.write(response{Type: "error", ID: req.ID, Error: err.Error(), ErrorKind: errorKind(err)})
+		lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: err.Error(), ErrorKind: errorKind(err)})
 	}
 }
 
@@ -543,7 +752,7 @@ func (d *daemon) ServeStream(r io.Reader, w io.Writer) error {
 			for {
 				select {
 				case <-t.C:
-					lw.write(metricsResponse(d.registry.Snapshot()))
+					lw.write(metricsResponse(d.snapshot()))
 				case <-stopMetrics:
 					return
 				}
@@ -589,7 +798,7 @@ func (d *daemon) ServeStream(r io.Reader, w io.Writer) error {
 	tickerDone.Wait()
 	// A final summary so batch (stdin) runs always end with the tallies.
 	if d.opts.MetricsEvery > 0 {
-		lw.write(metricsResponse(d.registry.Snapshot()))
+		lw.write(metricsResponse(d.snapshot()))
 	}
 	return readErr
 }
@@ -654,32 +863,60 @@ func (d *daemon) debugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = d.registry.Snapshot().WritePrometheus(w)
+		if d.multiTenant {
+			// One scrape, one TYPE header per metric, a tenant label on
+			// every sample.
+			_ = metrics.WritePrometheusGrouped(w, "tenant", d.pool.TenantSnapshots())
+			return
+		}
+		_ = d.snapshot().WritePrometheus(w)
 	})
-	writeTraces := func(w http.ResponseWriter, traces []*trace.Trace) {
-		droppedRecent, droppedSlow := d.traces.Dropped()
+	// traceStore resolves the optional ?tenant= selector, answering 404
+	// for unknown tenants.
+	traceStore := func(w http.ResponseWriter, r *http.Request) *trace.Store {
+		t, err := d.tenant(r.URL.Query().Get("tenant"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return nil
+		}
+		return t.Traces()
+	}
+	writeTraces := func(w http.ResponseWriter, st *trace.Store, traces []*trace.Trace) {
+		droppedRecent, droppedSlow := st.Dropped()
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{
-			"enabled":        d.traces.Enabled(),
+			"enabled":        st.Enabled(),
 			"dropped_recent": droppedRecent,
 			"dropped_slow":   droppedSlow,
 			"traces":         traces,
 		})
 	}
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
-		writeTraces(w, d.traces.Recent(parseLimit(r)))
+		if st := traceStore(w, r); st != nil {
+			writeTraces(w, st, st.Recent(parseLimit(r)))
+		}
 	})
 	mux.HandleFunc("/debug/traces/slow", func(w http.ResponseWriter, r *http.Request) {
-		writeTraces(w, d.traces.Slow(parseLimit(r)))
+		if st := traceStore(w, r); st != nil {
+			writeTraces(w, st, st.Slow(parseLimit(r)))
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		h := d.engine.HealthSnapshot()
+		ph := d.pool.HealthSnapshot()
 		w.Header().Set("Content-Type", "application/json")
-		if !h.Healthy {
+		if !ph.Healthy {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		resp := d.healthResponse("")
-		_ = json.NewEncoder(w).Encode(resp.Health)
+		tenants := make(map[string]*healthInfo, ph.TenantCount)
+		for id := range ph.Tenants {
+			if t, ok := d.pool.Tenant(id); ok {
+				tenants[id] = d.tenantHealth(t)
+			}
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"healthy": ph.Healthy,
+			"tenants": tenants,
+		})
 	})
 	return mux
 }

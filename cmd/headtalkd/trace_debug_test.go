@@ -94,7 +94,8 @@ func TestTraceControlToggle(t *testing.T) {
 	if r := m["cold2"]; r.TraceID != "" {
 		t.Fatalf("post-disable decision carries trace %+v", r)
 	}
-	if got := d.traces.Recent(0); len(got) != 1 {
+	tn, _ := d.tenant("")
+	if got := tn.Traces().Recent(0); len(got) != 1 {
 		t.Fatalf("store holds %d traces, want only the toggled-on decision", len(got))
 	}
 }
@@ -110,7 +111,8 @@ func TestPerRequestForcedTrace(t *testing.T) {
 	}
 	// The JSON round trip drops the unexported span slots, so assert
 	// the stage detail on the retained store copy.
-	got := d.traces.Recent(0)
+	tn, _ := d.tenant("")
+	got := tn.Traces().Recent(0)
 	if len(got) != 1 || got[0].ID != r.TraceID {
 		t.Fatalf("forced trace not retained in store: %+v", got)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,7 +49,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("simulate %q: %v", ev.label, err)
 		}
-		decision, err := sys.ProcessWake(rec)
+		decision, err := sys.ProcessWake(context.Background(), rec)
 		if err != nil {
 			log.Fatalf("process %q: %v", ev.label, err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -46,7 +47,7 @@ func main() {
 			if err != nil {
 				log.Fatalf("simulate attack: %v", err)
 			}
-			d, err := sys.ProcessWake(rec)
+			d, err := sys.ProcessWake(context.Background(), rec)
 			if err != nil {
 				log.Fatalf("process attack: %v", err)
 			}
@@ -71,7 +72,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("simulate owner: %v", err)
 		}
-		d, err := sys.ProcessWake(rec)
+		d, err := sys.ProcessWake(context.Background(), rec)
 		if err != nil {
 			log.Fatalf("process owner: %v", err)
 		}

@@ -26,7 +26,7 @@
 //		Orientation: orientationModel,
 //	})
 //	sys.SetMode(headtalk.ModeHeadTalk)
-//	decision, err := sys.ProcessWake(recording)
+//	decision, err := sys.ProcessWake(ctx, recording)
 //	if decision.Accepted { /* forward audio to the cloud */ }
 //
 // See examples/quickstart for a complete runnable program that
@@ -35,6 +35,7 @@ package headtalk
 
 import (
 	"context"
+	"io"
 	"math/rand/v2"
 	"time"
 
@@ -46,6 +47,7 @@ import (
 	"headtalk/internal/metrics"
 	"headtalk/internal/mic"
 	"headtalk/internal/orientation"
+	"headtalk/internal/pool"
 	"headtalk/internal/room"
 	"headtalk/internal/serve"
 	"headtalk/internal/speech"
@@ -100,17 +102,82 @@ type (
 	MetricsSnapshot = metrics.Snapshot
 )
 
-// Serving-layer sentinel errors.
+// Error taxonomy. Every failure the serving stack reports is either a
+// sentinel (match with errors.Is) or a typed error carrying detail
+// (match with errors.As); see the README's error table for the full
+// map. Sentinels:
 var (
-	// ErrQueueFull is the engine's backpressure signal.
+	// ErrQueueFull is the engine's backpressure signal: the bounded
+	// submission queue is at capacity. errors.Is(err, ErrQueueFull).
 	ErrQueueFull = serve.ErrQueueFull
 	// ErrEngineClosed is returned once an engine drains or closes.
 	ErrEngineClosed = serve.ErrClosed
+	// ErrBreakerOpen marks decisions rejected fast while an engine's
+	// circuit breaker is open after repeated pipeline failures.
+	ErrBreakerOpen = serve.ErrBreakerOpen
+	// ErrUnknownTenant is a pool routing failure: the named tenant is
+	// not (or no longer) hosted. The returned error wraps this sentinel
+	// with the tenant ID; match with errors.Is.
+	ErrUnknownTenant = pool.ErrUnknownTenant
+	// ErrTenantExists rejects AddTenant calls reusing a live ID.
+	ErrTenantExists = pool.ErrTenantExists
+	// ErrPoolClosed is returned by pool operations after Drain/Close.
+	ErrPoolClosed = pool.ErrPoolClosed
+	// ErrNoRoute reports an anonymous request the pool could not place:
+	// hash fallback is off or no tenants are hosted.
+	ErrNoRoute = pool.ErrNoRoute
 )
+
+// Typed errors: match with errors.As and branch on their fields.
+type (
+	// ErrBadInput is the input-hardening reject (too short, too long,
+	// non-finite or clipped samples); its Reason field classifies the
+	// fault. Use AsBadInput or errors.As.
+	ErrBadInput = audio.ErrBadInput
+	// ErrMalformedWAV reports an undecodable WAV stream; its Reason
+	// field names the structural fault.
+	ErrMalformedWAV = audio.ErrMalformedWAV
+	// ErrPipelinePanic carries a recovered decision-pipeline panic
+	// (value + stack). The submission fails closed; the worker
+	// survives. Use IsPanic or errors.As.
+	ErrPipelinePanic = serve.ErrPipelinePanic
+)
+
+// IsPanic reports whether err chains to an *ErrPipelinePanic.
+func IsPanic(err error) bool { return serve.IsPanic(err) }
+
+// AsBadInput unwraps err to an *ErrBadInput if one is in its chain.
+func AsBadInput(err error) (*ErrBadInput, bool) { return audio.AsBadInput(err) }
 
 // NewEngine validates cfg and returns a decision engine; call Start
 // before submitting and Close (or Drain) to finish in-flight work.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return serve.NewEngine(cfg) }
+
+// Multi-tenant serving (see internal/pool): one process hosting many
+// named (System, Engine) pairs — per-device or per-room profiles —
+// each with its own queue, circuit breaker, metrics registry and trace
+// store, behind a single routing API. One tenant's saturation or open
+// breaker never rejects another tenant's requests.
+type (
+	// Pool is the sharded multi-tenant serving pool.
+	Pool = pool.Pool
+	// PoolConfig sizes a Pool (shard count, anonymous-traffic hash
+	// fallback).
+	PoolConfig = pool.Config
+	// PoolTenant is one hosted (System, Engine) pair.
+	PoolTenant = pool.Tenant
+	// TenantConfig assembles one tenant for Pool.AddTenant.
+	TenantConfig = pool.TenantConfig
+	// PoolHealth aggregates every tenant's serving fitness.
+	PoolHealth = pool.Health
+	// EngineHealth is one engine's serving fitness (also the per-tenant
+	// entry inside PoolHealth).
+	EngineHealth = serve.Health
+)
+
+// NewPool returns an empty multi-tenant serving pool; add tenants with
+// AddTenant and route with Decide/Submit.
+func NewPool(cfg PoolConfig) *Pool { return pool.New(cfg) }
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
@@ -138,7 +205,7 @@ func NewTraceStore(capacity int, slowThreshold time.Duration) *TraceStore {
 // NewTraceRecorder returns a recorder for a single decision.
 func NewTraceRecorder(id string) *TraceRecorder { return trace.NewRecorder(id) }
 
-// WithTrace attaches a recorder to ctx; System.ProcessWakeCtx and
+// WithTrace attaches a recorder to ctx; System.ProcessWake and
 // Engine submissions record stage spans into it.
 func WithTrace(ctx context.Context, r *TraceRecorder) context.Context {
 	return trace.NewContext(ctx, r)
@@ -154,6 +221,20 @@ type (
 	// Buffer is a mono signal at a known sample rate.
 	Buffer = audio.Buffer
 )
+
+// NewRecording returns a zeroed recording with the given channel count
+// and per-channel length.
+func NewRecording(sampleRate float64, channels, n int) *Recording {
+	return audio.NewRecording(sampleRate, channels, n)
+}
+
+// ReadWAV decodes a 16-bit PCM (multi-channel) WAV stream. It is
+// hardened against hostile input: bounded allocation, no panics, and
+// typed *ErrMalformedWAV failures.
+func ReadWAV(r io.Reader) (*Recording, error) { return audio.ReadWAV(r) }
+
+// WriteWAV encodes a recording as 16-bit PCM WAV.
+func WriteWAV(w io.Writer, rec *Recording) error { return audio.WriteWAV(w, rec) }
 
 // Liveness detection.
 type (

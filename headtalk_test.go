@@ -1,6 +1,7 @@
 package headtalk
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -60,7 +61,7 @@ func TestEnrollValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := sys.ProcessWake(facing)
+	d, err := sys.ProcessWake(context.Background(), facing)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestEnrollValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err = sys.ProcessWake(away)
+	d, err = sys.ProcessWake(context.Background(), away)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -85,7 +86,7 @@ func TestFailClosedOnBadInput(t *testing.T) {
 	for _, mode := range []Mode{ModeNormal, ModeMute, ModeHeadTalk} {
 		sys.SetMode(mode)
 		for _, tc := range cases {
-			d, err := sys.ProcessWake(tc.rec)
+			d, err := sys.ProcessWake(context.Background(), tc.rec)
 			if d.Accepted {
 				t.Fatalf("%s/%s: ACCEPTED malformed input %+v", mode, tc.name, d)
 			}
@@ -110,7 +111,7 @@ func TestDegradedBelowMinChannelsFailsClosed(t *testing.T) {
 
 	// Sanity: the facing recording is accepted with a healthy array.
 	rec := markedRecording(true, 40)
-	d, err := sys.ProcessWake(rec)
+	d, err := sys.ProcessWake(context.Background(), rec)
 	if err != nil || !d.Accepted {
 		t.Fatalf("healthy-array facing decision %+v, err %v", d, err)
 	}
@@ -122,7 +123,7 @@ func TestDegradedBelowMinChannelsFailsClosed(t *testing.T) {
 			rec.Channels[c][i] = 0
 		}
 	}
-	d, err = sys.ProcessWake(rec)
+	d, err = sys.ProcessWake(context.Background(), rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestDegradedWithoutFallbackModelFailsClosed(t *testing.T) {
 	for i := range rec.Channels[1] {
 		rec.Channels[1][i] = 0
 	}
-	d, err := sys.ProcessWake(rec)
+	d, err := sys.ProcessWake(context.Background(), rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestDegradedFallbackModelKeepsDeciding(t *testing.T) {
 	for i := range facing.Channels[3] {
 		facing.Channels[3][i] = 0
 	}
-	d, err := sys.ProcessWake(facing)
+	d, err := sys.ProcessWake(context.Background(), facing)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestDegradedFallbackModelKeepsDeciding(t *testing.T) {
 	for i := range away.Channels[3] {
 		away.Channels[3][i] = 0
 	}
-	d, err = sys.ProcessWake(away)
+	d, err = sys.ProcessWake(context.Background(), away)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestRepairNonFiniteRecoversDecision(t *testing.T) {
 		rec.Channels[0][i] = math.NaN()
 	}
 	rec.Channels[2][700] = math.Inf(1)
-	d, err := sys.ProcessWake(rec)
+	d, err := sys.ProcessWake(context.Background(), rec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package core
 // hammering (run with -race).
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -25,7 +26,7 @@ func TestBoundedHistoryRing(t *testing.T) {
 	// Normal mode: every wake is accepted and logged.
 	for i := 0; i < 10; i++ {
 		clock.Advance(time.Second)
-		if _, err := sys.ProcessWake(markedRecording(true, uint64(i))); err != nil {
+		if _, err := sys.ProcessWake(context.Background(), markedRecording(true, uint64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -91,11 +92,11 @@ func TestMetricsWiring(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.SetMode(ModeHeadTalk)
-	if _, err := sys.ProcessWake(markedRecording(true, 80)); err != nil {
+	if _, err := sys.ProcessWake(context.Background(), markedRecording(true, 80)); err != nil {
 		t.Fatal(err)
 	}
 	sys.EndSession()
-	if _, err := sys.ProcessWake(markedRecording(false, 81)); err != nil {
+	if _, err := sys.ProcessWake(context.Background(), markedRecording(false, 81)); err != nil {
 		t.Fatal(err)
 	}
 	s := reg.Snapshot()
@@ -153,7 +154,7 @@ func TestConcurrentHammer(t *testing.T) {
 					sys.DroppedEvents()
 				default:
 					r := recs[(w+i)%len(recs)]
-					if _, err := sys.ProcessWake(markedRecording(r.facing, uint64(w*100+i))); err != nil {
+					if _, err := sys.ProcessWake(context.Background(), markedRecording(r.facing, uint64(w*100+i))); err != nil {
 						t.Error(err)
 						return
 					}

@@ -554,31 +554,32 @@ func (s *System) EndSession() {
 // on a detected wake-word recording and logs the outcome. The
 // recording should contain just the wake-word utterance from the
 // device's microphone array.
-func (s *System) ProcessWake(rec *audio.Recording) (Decision, error) {
-	return s.ProcessWakeCtx(context.Background(), rec)
-}
-
-// ProcessWakeCtx is ProcessWake with a context. The context may carry
-// a trace.Recorder (trace.NewContext), in which case every pipeline
-// stage records a span; with no recorder the tracing hooks are free
-// no-ops.
-func (s *System) ProcessWakeCtx(ctx context.Context, rec *audio.Recording) (Decision, error) {
+//
+// This is the canonical, context-first entry point: pass
+// context.Background() when there is nothing to propagate. The context
+// may carry a trace.Recorder (trace.NewContext), in which case every
+// pipeline stage records a span; with no recorder the tracing hooks
+// are free no-ops.
+func (s *System) ProcessWake(ctx context.Context, rec *audio.Recording) (Decision, error) {
 	p := s.prePool.Get().(*Preprocessor)
 	defer s.prePool.Put(p)
-	return s.ProcessWakeWithCtx(ctx, p, rec)
+	return s.ProcessWakeWith(ctx, p, rec)
+}
+
+// ProcessWakeCtx is the former name of the context-first entry point.
+//
+// Deprecated: ProcessWake itself is context-first now; call
+// ProcessWake(ctx, rec) instead. This wrapper remains for source
+// compatibility and delegates unchanged.
+func (s *System) ProcessWakeCtx(ctx context.Context, rec *audio.Recording) (Decision, error) {
+	return s.ProcessWake(ctx, rec)
 }
 
 // ProcessWakeWith is ProcessWake with caller-supplied preprocessing
 // state. Serving workers call this with a Preprocessor they own so the
 // DSP hot path runs without any shared mutable state; p must not be
 // used concurrently from another goroutine.
-func (s *System) ProcessWakeWith(p *Preprocessor, rec *audio.Recording) (Decision, error) {
-	return s.ProcessWakeWithCtx(context.Background(), p, rec)
-}
-
-// ProcessWakeWithCtx is ProcessWakeWith with a context-carried
-// trace.Recorder (see ProcessWakeCtx).
-func (s *System) ProcessWakeWithCtx(ctx context.Context, p *Preprocessor, rec *audio.Recording) (Decision, error) {
+func (s *System) ProcessWakeWith(ctx context.Context, p *Preprocessor, rec *audio.Recording) (Decision, error) {
 	tr := trace.FromContext(ctx)
 	s.mu.Lock()
 	mode := s.mode
@@ -623,6 +624,15 @@ func (s *System) ProcessWakeWithCtx(ctx context.Context, p *Preprocessor, rec *a
 	tr.SetGates(d.LiveScore, d.LiveRan, d.FacingScore, d.FacingRan)
 	tr.SetOutcome(mode.String(), d.Accepted, d.Reason.Slug())
 	return d, nil
+}
+
+// ProcessWakeWithCtx is the former name of ProcessWakeWith.
+//
+// Deprecated: ProcessWakeWith itself is context-first now; call
+// ProcessWakeWith(ctx, p, rec) instead. This wrapper remains for
+// source compatibility and delegates unchanged.
+func (s *System) ProcessWakeWithCtx(ctx context.Context, p *Preprocessor, rec *audio.Recording) (Decision, error) {
+	return s.ProcessWakeWith(ctx, p, rec)
 }
 
 func (s *System) headTalkDecision(tr *trace.Recorder, p *Preprocessor, rec *audio.Recording) (Decision, error) {

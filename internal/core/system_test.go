@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -120,7 +121,7 @@ func TestNewSystemValidation(t *testing.T) {
 func TestNormalModeAcceptsEverything(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1000, 0)}
 	sys := testSystem(t, clock)
-	d, err := sys.ProcessWake(markedRecording(false, 1))
+	d, err := sys.ProcessWake(context.Background(), markedRecording(false, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestMuteModeRejectsEverything(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1000, 0)}
 	sys := testSystem(t, clock)
 	sys.SetMode(ModeMute)
-	d, err := sys.ProcessWake(markedRecording(true, 2))
+	d, err := sys.ProcessWake(context.Background(), markedRecording(true, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestHeadTalkModeOrientationGate(t *testing.T) {
 	sys := testSystem(t, clock)
 	sys.SetMode(ModeHeadTalk)
 
-	d, err := sys.ProcessWake(markedRecording(true, 20))
+	d, err := sys.ProcessWake(context.Background(), markedRecording(true, 20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestHeadTalkModeOrientationGate(t *testing.T) {
 	}
 	sys.EndSession()
 
-	d, err = sys.ProcessWake(markedRecording(false, 21))
+	d, err = sys.ProcessWake(context.Background(), markedRecording(false, 21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,14 +174,14 @@ func TestSessionSkipsFacingCheck(t *testing.T) {
 	sys := testSystem(t, clock)
 	sys.SetMode(ModeHeadTalk)
 
-	if _, err := sys.ProcessWake(markedRecording(true, 30)); err != nil {
+	if _, err := sys.ProcessWake(context.Background(), markedRecording(true, 30)); err != nil {
 		t.Fatal(err)
 	}
 	if !sys.SessionActive() {
 		t.Fatal("session should open after a facing accept")
 	}
 	// A non-facing follow-up within the session is accepted.
-	d, err := sys.ProcessWake(markedRecording(false, 31))
+	d, err := sys.ProcessWake(context.Background(), markedRecording(false, 31))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestSessionSkipsFacingCheck(t *testing.T) {
 	if sys.SessionActive() {
 		t.Error("session should expire")
 	}
-	d, err = sys.ProcessWake(markedRecording(false, 32))
+	d, err = sys.ProcessWake(context.Background(), markedRecording(false, 32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestSetModeClosesSession(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1000, 0)}
 	sys := testSystem(t, clock)
 	sys.SetMode(ModeHeadTalk)
-	if _, err := sys.ProcessWake(markedRecording(true, 40)); err != nil {
+	if _, err := sys.ProcessWake(context.Background(), markedRecording(true, 40)); err != nil {
 		t.Fatal(err)
 	}
 	sys.SetMode(ModeHeadTalk) // re-entering a mode resets the session
@@ -221,7 +222,7 @@ func TestNoOrientationModelRejects(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.SetMode(ModeHeadTalk)
-	d, err := sys.ProcessWake(markedRecording(true, 50))
+	d, err := sys.ProcessWake(context.Background(), markedRecording(true, 50))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestHistoryLog(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1000, 0)}
 	sys := testSystem(t, clock)
 	for i := 0; i < 3; i++ {
-		if _, err := sys.ProcessWake(markedRecording(true, uint64(60+i))); err != nil {
+		if _, err := sys.ProcessWake(context.Background(), markedRecording(true, uint64(60+i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -289,9 +290,44 @@ func TestConcurrentAccess(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 5; i++ {
-		if _, err := sys.ProcessWake(markedRecording(i%2 == 0, uint64(70+i))); err != nil {
+		if _, err := sys.ProcessWake(context.Background(), markedRecording(i%2 == 0, uint64(70+i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	<-done
+}
+
+// TestDeprecatedWakeWrappersDelegate pins the API consolidation: the
+// old ProcessWakeCtx / ProcessWakeWithCtx names remain as thin
+// wrappers over the context-first ProcessWake / ProcessWakeWith and
+// produce identical decisions.
+func TestDeprecatedWakeWrappersDelegate(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	sys := testSystem(t, clock)
+	sys.SetMode(ModeHeadTalk)
+	ctx := context.Background()
+
+	want, err := sys.ProcessWake(ctx, markedRecording(true, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EndSession() // the accept opened a session; reset between calls
+
+	got, err := sys.ProcessWakeCtx(ctx, markedRecording(true, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EndSession()
+	if got.Accepted != want.Accepted || got.Reason != want.Reason {
+		t.Fatalf("ProcessWakeCtx = %+v, ProcessWake = %+v", got, want)
+	}
+
+	p := sys.NewPreprocessor()
+	got, err = sys.ProcessWakeWithCtx(ctx, p, markedRecording(true, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Accepted != want.Accepted || got.Reason != want.Reason {
+		t.Fatalf("ProcessWakeWithCtx = %+v, ProcessWake = %+v", got, want)
+	}
 }

@@ -26,7 +26,7 @@ func TestTraceSpansCoverPipeline(t *testing.T) {
 
 	r := trace.NewRecorder("core-1")
 	ctx := trace.NewContext(context.Background(), r)
-	d, err := sys.ProcessWakeCtx(ctx, markedRecording(true, 11))
+	d, err := sys.ProcessWake(ctx, markedRecording(true, 11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestTraceBadInputOutcome(t *testing.T) {
 	}
 	r := trace.NewRecorder("core-2")
 	ctx := trace.NewContext(context.Background(), r)
-	if _, err := sys.ProcessWakeCtx(ctx, nil); err == nil {
+	if _, err := sys.ProcessWake(ctx, nil); err == nil {
 		t.Fatal("nil recording accepted")
 	}
 	tr := r.Finish()
@@ -98,7 +98,7 @@ func TestUntracedProcessWakeUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := sys.ProcessWake(markedRecording(true, 12))
+	d, err := sys.ProcessWake(context.Background(), markedRecording(true, 12))
 	if err != nil || !d.Accepted || d.Reason != ReasonNormalMode {
 		t.Fatalf("untraced decision %+v, %v", d, err)
 	}

@@ -1,0 +1,283 @@
+package metrics
+
+// Multi-tenant snapshot helpers. A serving pool gives every tenant its
+// own Registry so one tenant's counters never mix with another's; the
+// helpers here re-assemble those private registries into one view — a
+// name-prefixed merge for the daemon's NDJSON metrics lines, and a
+// label-carrying Prometheus rendering so scrapers see a proper
+// `tenant="..."` dimension instead of mangled metric names.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prefixed returns a copy of the snapshot with prefix prepended to
+// every instrument name. The underlying histogram bound/count slices
+// are shared (snapshots are read-only views).
+func (s Snapshot) Prefixed(prefix string) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[prefix+k] = v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[prefix+k] = v
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[prefix+k] = v
+	}
+	return out
+}
+
+// MergeSnapshots combines snapshots into one. Counters and gauges
+// sharing a name are summed; histograms sharing a name are summed
+// bucket-wise when their bounds match, otherwise the first occurrence
+// wins (merging histograms with different layouts has no meaningful
+// answer). Callers that need collision-free merges should Prefix each
+// snapshot first.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] += v
+		}
+		for k, v := range s.Histograms {
+			prev, ok := out.Histograms[k]
+			if !ok {
+				out.Histograms[k] = v
+				continue
+			}
+			if merged, ok := mergeHistograms(prev, v); ok {
+				out.Histograms[k] = merged
+			}
+		}
+	}
+	return out
+}
+
+// mergeHistograms sums two snapshots with identical bucket layouts.
+func mergeHistograms(a, b HistogramSnapshot) (HistogramSnapshot, bool) {
+	if len(a.Bounds) != len(b.Bounds) || len(a.Counts) != len(b.Counts) {
+		return a, false
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return a, false
+		}
+	}
+	m := HistogramSnapshot{
+		Count:  a.Count + b.Count,
+		Sum:    a.Sum + b.Sum,
+		Bounds: a.Bounds,
+		Counts: make([]uint64, len(a.Counts)),
+	}
+	for i := range a.Counts {
+		m.Counts[i] = a.Counts[i] + b.Counts[i]
+	}
+	switch {
+	case a.HasData && b.HasData:
+		m.HasData = true
+		m.Min, m.Max = a.Min, a.Max
+		if b.Min < m.Min {
+			m.Min = b.Min
+		}
+		if b.Max > m.Max {
+			m.Max = b.Max
+		}
+	case a.HasData:
+		m.HasData, m.Min, m.Max = true, a.Min, a.Max
+	case b.HasData:
+		m.HasData, m.Min, m.Max = true, b.Min, b.Max
+	}
+	return m, true
+}
+
+// WritePrometheusGrouped renders one snapshot per label value (e.g.
+// tenant ID → snapshot) grouped by metric name, so each # TYPE header
+// appears exactly once even when several tenants expose the same
+// instrument — the exposition format forbids repeating a metadata line
+// per metric. labelName names the distinguishing label ("tenant").
+func WritePrometheusGrouped(w io.Writer, labelName string, snaps map[string]Snapshot) error {
+	values := sortedKeys(snaps)
+	lbl := func(v string) map[string]string { return map[string]string{labelName: v} }
+
+	counterNames := map[string]bool{}
+	gaugeNames := map[string]bool{}
+	histNames := map[string]bool{}
+	for _, v := range values {
+		for k := range snaps[v].Counters {
+			counterNames[k] = true
+		}
+		for k := range snaps[v].Gauges {
+			gaugeNames[k] = true
+		}
+		for k := range snaps[v].Histograms {
+			histNames[k] = true
+		}
+	}
+	for _, k := range sortedKeys(counterNames) {
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", n); err != nil {
+			return err
+		}
+		for _, v := range values {
+			if c, ok := snaps[v].Counters[k]; ok {
+				if _, err := fmt.Fprintf(w, "%s{%s} %d\n", n, promLabels(lbl(v)), c); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, k := range sortedKeys(gaugeNames) {
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", n); err != nil {
+			return err
+		}
+		for _, v := range values {
+			if g, ok := snaps[v].Gauges[k]; ok {
+				if _, err := fmt.Fprintf(w, "%s{%s} %d\n", n, promLabels(lbl(v)), g); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, k := range sortedKeys(histNames) {
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		for _, v := range values {
+			h, ok := snaps[v].Histograms[k]
+			if !ok {
+				continue
+			}
+			ls := promLabels(lbl(v))
+			var cum uint64
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", n, ls, promFloat(bound), cum); err != nil {
+					return err
+				}
+			}
+			if len(h.Counts) > len(h.Bounds) {
+				cum += h.Counts[len(h.Bounds)]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", n, ls, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{%s} %s\n%s_count{%s} %d\n", n, ls, promFloat(h.Sum), n, ls, cum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promLabels renders a label set as `k1="v1",k2="v2"` with keys sorted
+// and values escaped per the exposition format (backslash, quote,
+// newline). Empty maps render as "".
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := sortedKeys(labels)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(k))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value for the text exposition format.
+func promEscape(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheusLabeled renders the snapshot like WritePrometheus but
+// attaches the given label set to every sample — the shape a
+// multi-tenant daemon wants, one scrape with `tenant="lab"` /
+// `tenant="home"` series instead of per-tenant metric names. Histogram
+// bucket samples combine the label set with their le label.
+func (s Snapshot) WritePrometheusLabeled(w io.Writer, labels map[string]string) error {
+	ls := promLabels(labels)
+	brace := func() string {
+		if ls == "" {
+			return ""
+		}
+		return "{" + ls + "}"
+	}()
+	for _, k := range sortedKeys(s.Counters) {
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", n, n, brace, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", n, n, brace, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	bucketLabels := func(le string) string {
+		if ls == "" {
+			return `{le="` + le + `"}`
+		}
+		return "{" + ls + `,le="` + le + `"}`
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		n := promName(k)
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", n, bucketLabels(promFloat(bound)), cum); err != nil {
+				return err
+			}
+		}
+		if len(h.Counts) > len(h.Bounds) {
+			cum += h.Counts[len(h.Bounds)]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", n, bucketLabels("+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", n, brace, promFloat(h.Sum), n, brace, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

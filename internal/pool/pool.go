@@ -1,0 +1,354 @@
+// Package pool is the multi-tenant serving layer: a sharded pool of
+// named tenants, each a (core.System, serve.Engine) pair with its own
+// device profile, bounded queue, circuit breaker, metrics registry and
+// trace store, behind one Pool API. It is the piece that turns a
+// single-array daemon into a fleet front end — heterogeneous devices
+// (the paper's D1/D2/D3 prototypes, lab vs. home rooms) share one
+// process without sharing any serving state.
+//
+// Isolation is the design invariant: every queue, breaker, worker set
+// and instrument belongs to exactly one tenant, so one tenant's open
+// breaker or saturated queue can never reject another tenant's
+// requests (internal/pool's fault-injection tests assert this under
+// -race). Routing is by explicit tenant ID; anonymous requests can
+// optionally fall back to a consistent-hash ring over the current
+// membership. Tenants may be added and removed at runtime —
+// RemoveTenant unroutes the tenant first, then drains its in-flight
+// work exactly once.
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/core"
+	"headtalk/internal/metrics"
+	"headtalk/internal/serve"
+)
+
+// Typed errors. Route failures wrap these with the offending tenant
+// ID, so match with errors.Is.
+var (
+	// ErrUnknownTenant: the named tenant is not (or no longer) in the
+	// pool.
+	ErrUnknownTenant = errors.New("pool: unknown tenant")
+	// ErrTenantExists: AddTenant was given an ID already in use.
+	ErrTenantExists = errors.New("pool: tenant already exists")
+	// ErrPoolClosed: the pool has been drained or closed.
+	ErrPoolClosed = errors.New("pool: pool closed")
+	// ErrNoRoute: an anonymous request (empty tenant ID) could not be
+	// routed — hash fallback is disabled or the pool is empty.
+	ErrNoRoute = errors.New("pool: no route for anonymous request")
+)
+
+const (
+	defaultShards       = 8
+	defaultHashReplicas = 64
+)
+
+// Config assembles a Pool.
+type Config struct {
+	// Shards is the tenant-map shard count (default 8). Lookups hash
+	// the tenant ID onto a shard so hot routing never funnels through
+	// one lock.
+	Shards int
+	// HashFallback routes requests with an empty tenant ID over a
+	// consistent-hash ring of the current tenants (keyed by request ID,
+	// or a round-robin sequence for keyless calls). Off by default:
+	// anonymous traffic then fails with ErrNoRoute.
+	HashFallback bool
+	// HashReplicas is the virtual-node count per tenant on the ring
+	// (default 64).
+	HashReplicas int
+}
+
+// shard is one slice of the tenant map with its own lock.
+type shard struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+}
+
+// Pool owns N named tenants behind a sharded lookup. All methods are
+// safe for concurrent use.
+type Pool struct {
+	cfg    Config
+	shards []*shard
+	closed atomic.Bool
+
+	// ringMu guards ring rebuilds; the ring itself is immutable, so
+	// routing loads it with a read lock and searches lock-free.
+	ringMu sync.RWMutex
+	ring   *ring
+
+	// anon sequences routing keys for keyless anonymous Decide calls,
+	// spreading them over the ring.
+	anon atomic.Uint64
+}
+
+// New returns an empty pool.
+func New(cfg Config) *Pool {
+	if cfg.Shards <= 0 {
+		cfg.Shards = defaultShards
+	}
+	if cfg.HashReplicas <= 0 {
+		cfg.HashReplicas = defaultHashReplicas
+	}
+	p := &Pool{cfg: cfg, shards: make([]*shard, cfg.Shards), ring: buildRing(nil, cfg.HashReplicas)}
+	for i := range p.shards {
+		p.shards[i] = &shard{tenants: make(map[string]*Tenant)}
+	}
+	return p
+}
+
+// shardFor hashes a tenant ID onto its shard.
+func (p *Pool) shardFor(id string) *shard {
+	return p.shards[hashKey(id)%uint32(len(p.shards))]
+}
+
+// AddTenant builds the tenant's serving stack, starts its engine and
+// routes it. It fails with ErrTenantExists (wrapped with the ID) if
+// the ID is taken, ErrPoolClosed after Drain/Close.
+func (p *Pool) AddTenant(cfg TenantConfig) (*Tenant, error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	t, err := newTenant(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sh := p.shardFor(t.id)
+	sh.mu.Lock()
+	if _, dup := sh.tenants[t.id]; dup {
+		sh.mu.Unlock()
+		_ = t.engine.Close()
+		return nil, fmt.Errorf("%w: %q", ErrTenantExists, t.id)
+	}
+	if p.closed.Load() {
+		// Close raced us between the entry check and the insert; do not
+		// leak a running engine into a closed pool.
+		sh.mu.Unlock()
+		_ = t.engine.Close()
+		return nil, ErrPoolClosed
+	}
+	sh.tenants[t.id] = t
+	sh.mu.Unlock()
+	p.rebuildRing()
+	return t, nil
+}
+
+// RemoveTenant unroutes the tenant — new requests fail with
+// ErrUnknownTenant immediately — then drains its queued and in-flight
+// work, bounded by ctx. Already-accepted submissions are still
+// delivered exactly once. Concurrent removals of the same tenant
+// resolve to one winner; the others return ErrUnknownTenant.
+func (p *Pool) RemoveTenant(ctx context.Context, id string) error {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	t, ok := sh.tenants[id]
+	if ok {
+		delete(sh.tenants, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+	}
+	p.rebuildRing()
+	return t.engine.Drain(ctx)
+}
+
+// rebuildRing reassembles the consistent-hash ring from the current
+// membership. Serialized by ringMu so concurrent add/remove cannot
+// interleave a stale membership snapshot over a fresh one.
+func (p *Pool) rebuildRing() {
+	p.ringMu.Lock()
+	defer p.ringMu.Unlock()
+	p.ring = buildRing(p.tenantIDs(), p.cfg.HashReplicas)
+}
+
+// tenantIDs snapshots the current membership, sorted.
+func (p *Pool) tenantIDs() []string {
+	var ids []string
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for id := range sh.tenants {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Tenant looks up a tenant by ID.
+func (p *Pool) Tenant(id string) (*Tenant, bool) {
+	sh := p.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, ok := sh.tenants[id]
+	return t, ok
+}
+
+// Tenants returns the current tenant IDs, sorted.
+func (p *Pool) Tenants() []string { return p.tenantIDs() }
+
+// Len returns the current tenant count.
+func (p *Pool) Len() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		n += len(sh.tenants)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// resolve routes a request to its tenant: by explicit ID, or — when
+// the ID is empty and hash fallback is on — over the consistent-hash
+// ring keyed by routeKey (a fresh sequence number when routeKey is
+// empty).
+func (p *Pool) resolve(tenantID, routeKey string) (*Tenant, error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	if tenantID == "" {
+		if !p.cfg.HashFallback {
+			return nil, ErrNoRoute
+		}
+		if routeKey == "" {
+			routeKey = "anon-" + strconv.FormatUint(p.anon.Add(1), 10)
+		}
+		p.ringMu.RLock()
+		tenantID = p.ring.route(routeKey)
+		p.ringMu.RUnlock()
+		if tenantID == "" {
+			return nil, ErrNoRoute
+		}
+	}
+	t, ok := p.Tenant(tenantID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tenantID)
+	}
+	return t, nil
+}
+
+// Route reports which tenant an anonymous request with the given
+// routing key would land on (diagnostics; "" when unroutable).
+func (p *Pool) Route(routeKey string) string {
+	if !p.cfg.HashFallback {
+		return ""
+	}
+	p.ringMu.RLock()
+	defer p.ringMu.RUnlock()
+	return p.ring.route(routeKey)
+}
+
+// Decide serves one decision through the named tenant's engine,
+// blocking for queue space and the decision, bounded by ctx. An empty
+// tenantID uses the hash fallback when enabled.
+func (p *Pool) Decide(ctx context.Context, tenantID string, rec *audio.Recording) (core.Decision, error) {
+	t, err := p.resolve(tenantID, "")
+	if err != nil {
+		return core.Decision{}, err
+	}
+	return t.engine.Decide(ctx, rec)
+}
+
+// Submit enqueues a request on the named tenant's engine with Submit
+// semantics: never blocks, ErrQueueFull on that tenant's full queue.
+// An empty tenantID uses the hash fallback keyed by req.ID.
+func (p *Pool) Submit(ctx context.Context, tenantID string, req serve.Request) (<-chan serve.Result, error) {
+	t, err := p.resolve(tenantID, req.ID)
+	if err != nil {
+		return nil, err
+	}
+	return t.engine.Submit(ctx, req)
+}
+
+// Health aggregates per-tenant serving fitness.
+type Health struct {
+	// Tenants maps tenant ID to its engine health.
+	Tenants map[string]serve.Health
+	// TenantCount is len(Tenants).
+	TenantCount int
+	// Healthy is true when the pool is open, has at least one tenant,
+	// and every tenant is healthy.
+	Healthy bool
+	// Closed reports Drain/Close.
+	Closed bool
+}
+
+// HealthSnapshot reports every tenant's serving fitness plus the
+// pool-level rollup.
+func (p *Pool) HealthSnapshot() Health {
+	h := Health{Tenants: make(map[string]serve.Health), Closed: p.closed.Load()}
+	allHealthy := true
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for id, t := range sh.tenants {
+			th := t.Health()
+			h.Tenants[id] = th
+			allHealthy = allHealthy && th.Healthy
+		}
+		sh.mu.RUnlock()
+	}
+	h.TenantCount = len(h.Tenants)
+	h.Healthy = !h.Closed && h.TenantCount > 0 && allHealthy
+	return h
+}
+
+// Snapshot merges every tenant's metrics into one view, each
+// instrument prefixed "tenant.<id>." so tenants never collide.
+func (p *Pool) Snapshot() metrics.Snapshot {
+	per := p.TenantSnapshots()
+	merged := make([]metrics.Snapshot, 0, len(per))
+	for id, s := range per {
+		merged = append(merged, s.Prefixed("tenant."+id+"."))
+	}
+	return metrics.MergeSnapshots(merged...)
+}
+
+// TenantSnapshots scrapes each tenant's private registry, keyed by
+// tenant ID (the shape metrics.WritePrometheusGrouped consumes).
+func (p *Pool) TenantSnapshots() map[string]metrics.Snapshot {
+	out := make(map[string]metrics.Snapshot)
+	for _, id := range p.tenantIDs() {
+		if t, ok := p.Tenant(id); ok {
+			out[id] = t.registry.Snapshot()
+		}
+	}
+	return out
+}
+
+// Drain stops routing, then drains every tenant's engine, bounded by
+// ctx. Safe to call more than once; concurrent calls race to remove
+// each tenant and each engine still drains exactly once.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.closed.Store(true)
+	var firstErr error
+	for _, id := range p.tenantIDs() {
+		sh := p.shardFor(id)
+		sh.mu.Lock()
+		t, ok := sh.tenants[id]
+		if ok {
+			delete(sh.tenants, id)
+		}
+		sh.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if err := t.engine.Drain(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("pool: draining tenant %q: %w", id, err)
+		}
+	}
+	p.rebuildRing()
+	return firstErr
+}
+
+// Close drains with no deadline.
+func (p *Pool) Close() error { return p.Drain(context.Background()) }

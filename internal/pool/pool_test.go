@@ -1,0 +1,274 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"testing"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/core"
+	"headtalk/internal/metrics"
+)
+
+// testRecording returns a short 4-channel noise burst — enough to run
+// the preprocessing stage without training any gate model.
+func testRecording(seed uint64) *audio.Recording {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	rec := audio.NewRecording(48000, 4, 4800)
+	for c := range rec.Channels {
+		for i := range rec.Channels[c] {
+			rec.Channels[c][i] = rng.NormFloat64()
+		}
+	}
+	return rec
+}
+
+// testTenantConfig builds a minimal tenant over a fresh Normal-mode
+// System (decisions are fast and always accepted).
+func testTenantConfig(t *testing.T, id string) TenantConfig {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return TenantConfig{ID: id, System: sys, Workers: 2, QueueSize: 8}
+}
+
+func newTestPool(t *testing.T, cfg Config, ids ...string) *Pool {
+	t.Helper()
+	p := New(cfg)
+	t.Cleanup(func() { _ = p.Close() })
+	for _, id := range ids {
+		if _, err := p.AddTenant(testTenantConfig(t, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestPoolAddDecideRemove(t *testing.T) {
+	p := newTestPool(t, Config{}, "lab", "home")
+	if got := p.Tenants(); len(got) != 2 || got[0] != "home" || got[1] != "lab" {
+		t.Fatalf("tenants = %v", got)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	for _, id := range []string{"lab", "home"} {
+		d, err := p.Decide(context.Background(), id, testRecording(1))
+		if err != nil {
+			t.Fatalf("decide %s: %v", id, err)
+		}
+		if !d.Accepted {
+			t.Fatalf("decide %s: %+v", id, d)
+		}
+	}
+	if _, err := p.Decide(context.Background(), "ghost", testRecording(2)); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant decide = %v, want ErrUnknownTenant", err)
+	}
+	if err := p.RemoveTenant(context.Background(), "lab"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Decide(context.Background(), "lab", testRecording(3)); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("removed tenant decide = %v, want ErrUnknownTenant", err)
+	}
+	if err := p.RemoveTenant(context.Background(), "lab"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("double remove = %v, want ErrUnknownTenant", err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len after remove = %d", p.Len())
+	}
+}
+
+func TestPoolDuplicateTenant(t *testing.T) {
+	p := newTestPool(t, Config{}, "lab")
+	_, err := p.AddTenant(testTenantConfig(t, "lab"))
+	if !errors.Is(err, ErrTenantExists) {
+		t.Fatalf("duplicate add = %v, want ErrTenantExists", err)
+	}
+	if !strings.Contains(err.Error(), `"lab"`) {
+		t.Fatalf("duplicate add error should name the tenant: %v", err)
+	}
+}
+
+func TestTenantConfigValidation(t *testing.T) {
+	p := newTestPool(t, Config{})
+	if _, err := p.AddTenant(TenantConfig{}); err == nil {
+		t.Fatal("tenant without ID should fail")
+	}
+	if _, err := p.AddTenant(TenantConfig{ID: "x"}); err == nil {
+		t.Fatal("tenant without System should fail")
+	}
+}
+
+func TestPoolAnonymousRoutingDisabledByDefault(t *testing.T) {
+	p := newTestPool(t, Config{}, "lab")
+	if _, err := p.Decide(context.Background(), "", testRecording(4)); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("anonymous decide without fallback = %v, want ErrNoRoute", err)
+	}
+	if got := p.Route("any"); got != "" {
+		t.Fatalf("Route with fallback off = %q, want empty", got)
+	}
+}
+
+func TestPoolAnonymousHashFallback(t *testing.T) {
+	p := newTestPool(t, Config{HashFallback: true}, "lab", "home", "office")
+
+	// The same routing key must always land on the same tenant.
+	for _, key := range []string{"alpha", "beta", "gamma", "delta"} {
+		first := p.Route(key)
+		if first == "" {
+			t.Fatalf("key %q unroutable", key)
+		}
+		for i := 0; i < 5; i++ {
+			if got := p.Route(key); got != first {
+				t.Fatalf("key %q routed to %q then %q", key, first, got)
+			}
+		}
+	}
+
+	// With enough keys every tenant owns part of the ring.
+	owners := map[string]int{}
+	for i := 0; i < 300; i++ {
+		owners[p.Route("key-"+strconv.Itoa(i))]++
+	}
+	for _, id := range []string{"lab", "home", "office"} {
+		if owners[id] == 0 {
+			t.Fatalf("tenant %s owns no keys: %v", id, owners)
+		}
+	}
+
+	// Removing one tenant only remaps its keys; keys owned by the
+	// survivors stay put (the consistent-hash property).
+	before := map[string]string{}
+	for i := 0; i < 300; i++ {
+		k := "key-" + strconv.Itoa(i)
+		before[k] = p.Route(k)
+	}
+	if err := p.RemoveTenant(context.Background(), "office"); err != nil {
+		t.Fatal(err)
+	}
+	for k, owner := range before {
+		got := p.Route(k)
+		if owner != "office" && got != owner {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, owner, got)
+		}
+		if owner == "office" && got == "office" {
+			t.Fatalf("key %q still routed to removed tenant", k)
+		}
+	}
+
+	// Anonymous decisions flow end to end.
+	d, err := p.Decide(context.Background(), "", testRecording(5))
+	if err != nil || !d.Accepted {
+		t.Fatalf("anonymous decide = %+v, %v", d, err)
+	}
+}
+
+func TestPoolClosedSemantics(t *testing.T) {
+	p := newTestPool(t, Config{HashFallback: true}, "lab")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Decide(context.Background(), "lab", testRecording(6)); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("decide after close = %v, want ErrPoolClosed", err)
+	}
+	if _, err := p.AddTenant(testTenantConfig(t, "late")); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("add after close = %v, want ErrPoolClosed", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+	h := p.HealthSnapshot()
+	if h.Healthy || !h.Closed || h.TenantCount != 0 {
+		t.Fatalf("closed pool health %+v", h)
+	}
+}
+
+func TestPoolHealthSnapshot(t *testing.T) {
+	p := newTestPool(t, Config{})
+	if h := p.HealthSnapshot(); h.Healthy {
+		t.Fatalf("empty pool should not be healthy: %+v", h)
+	}
+	p = newTestPool(t, Config{}, "lab", "home")
+	h := p.HealthSnapshot()
+	if !h.Healthy || h.TenantCount != 2 {
+		t.Fatalf("health %+v", h)
+	}
+	for _, id := range []string{"lab", "home"} {
+		th, ok := h.Tenants[id]
+		if !ok || !th.Healthy || th.State != "running" {
+			t.Fatalf("tenant %s health %+v", id, th)
+		}
+	}
+	// One tenant's tripped breaker degrades the rollup but not the
+	// other tenant's entry.
+	lab, _ := p.Tenant("lab")
+	lab.Engine().TripBreaker()
+	h = p.HealthSnapshot()
+	if h.Healthy {
+		t.Fatalf("pool with open breaker should not roll up healthy: %+v", h)
+	}
+	if !h.Tenants["home"].Healthy {
+		t.Fatalf("home must stay healthy: %+v", h.Tenants["home"])
+	}
+	if h.Tenants["lab"].Breaker != "open" {
+		t.Fatalf("lab breaker %q, want open", h.Tenants["lab"].Breaker)
+	}
+}
+
+func TestPoolSnapshotPrefixesTenants(t *testing.T) {
+	p := newTestPool(t, Config{}, "lab", "home")
+	for i := 0; i < 3; i++ {
+		if _, err := p.Decide(context.Background(), "lab", testRecording(uint64(10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Decide(context.Background(), "home", testRecording(20)); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if got := s.Counters["tenant.lab.serve.completed.total"]; got != 3 {
+		t.Fatalf("lab completed = %d, want 3 (counters %v)", got, s.Counters)
+	}
+	if got := s.Counters["tenant.home.serve.completed.total"]; got != 1 {
+		t.Fatalf("home completed = %d, want 1", got)
+	}
+	per := p.TenantSnapshots()
+	if len(per) != 2 {
+		t.Fatalf("tenant snapshots %v", per)
+	}
+	if per["lab"].Counters["serve.completed.total"] != 3 {
+		t.Fatalf("per-tenant lab snapshot %v", per["lab"].Counters)
+	}
+
+	// The per-tenant map renders as a labeled Prometheus exposition.
+	var b strings.Builder
+	if err := metrics.WritePrometheusGrouped(&b, "tenant", per); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`serve_completed_total{tenant="lab"} 3`,
+		`serve_completed_total{tenant="home"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("grouped exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := buildRing(nil, 0).route("k"); got != "" {
+		t.Fatalf("empty ring routed to %q", got)
+	}
+	r := buildRing([]string{"only"}, 4)
+	for _, k := range []string{"a", "b", "c"} {
+		if got := r.route(k); got != "only" {
+			t.Fatalf("single-tenant ring routed %q to %q", k, got)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package pool
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over tenant IDs, used to route
+// anonymous traffic (requests that name no tenant) stably: the same
+// routing key always lands on the same tenant, and adding or removing
+// one tenant only remaps the keys adjacent to its virtual nodes
+// instead of reshuffling everything. Rings are immutable once built —
+// membership changes rebuild (tenant counts are small; the rebuild is
+// microseconds, and immutability means route() takes no lock).
+type ring struct {
+	points []ringPoint // sorted by hash, ascending
+}
+
+type ringPoint struct {
+	hash uint32
+	id   string
+}
+
+// hashKey is FNV-1a, the same dependency-free hash the shard selector
+// uses.
+func hashKey(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32()
+}
+
+// buildRing places replicas virtual nodes per tenant ID. An empty ID
+// list yields an empty ring (route returns "").
+func buildRing(ids []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultHashReplicas
+	}
+	r := &ring{points: make([]ringPoint, 0, len(ids)*replicas)}
+	for _, id := range ids {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: hashKey(id + "#" + strconv.Itoa(i)),
+				id:   id,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on ID so the ring order is deterministic even on
+		// (rare) 32-bit hash collisions.
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+// route returns the tenant owning key: the first virtual node at or
+// clockwise of the key's hash. Empty ring routes to "".
+func (r *ring) route(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.points[i].id
+}

@@ -135,6 +135,31 @@ func (b *breaker) record(success, probe bool) {
 	}
 }
 
+// forceOpen trips the breaker as if the threshold had just been
+// crossed (the cooldown starts now). Used by the operational
+// TripBreaker control; no-op when disabled.
+func (b *breaker) forceOpen() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.openedAt = b.clock()
+	b.setStateLocked(BreakerOpen)
+}
+
+// forceClose closes the breaker and clears the failure streak. Used by
+// the operational ResetBreaker control; no-op when disabled.
+func (b *breaker) forceClose() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.setStateLocked(BreakerClosed)
+}
+
 // snapshot returns the current state and consecutive-failure count.
 func (b *breaker) snapshot() (BreakerState, int) {
 	if b.disabled() {

@@ -1,0 +1,189 @@
+package serve
+
+// Lifecycle edge tests: the engine must answer every combination of
+// Submit/Drain/Close with a typed error and bounded waiting — never a
+// deadlock — because the pool leans on these semantics for
+// drain-on-remove.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/core"
+)
+
+// stallEngine builds a 1-worker engine whose pipeline blocks until
+// release is closed, pinning submissions in flight on demand.
+func stallEngine(t *testing.T, queueSize int) (eng *Engine, entered chan struct{}, release chan struct{}) {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered = make(chan struct{}, queueSize+1)
+	release = make(chan struct{})
+	eng, err = NewEngine(Config{
+		System: sys, Workers: 1, QueueSize: queueSize,
+		FaultHook: func(rec *audio.Recording) *audio.Recording {
+			entered <- struct{}{}
+			<-release
+			return rec
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, entered, release
+}
+
+// TestDrainCancelledContextReturnsTyped: Drain under an
+// already-cancelled context with work pinned in flight must return
+// promptly with the context error in its chain — and a later unbounded
+// Close must still deliver the work exactly once.
+func TestDrainCancelledContextReturnsTyped(t *testing.T) {
+	eng, entered, release := stallEngine(t, 4)
+	var delivered atomic.Int64
+	if _, err := eng.Submit(context.Background(), Request{
+		ID: "pinned", Recording: testRecording(1),
+		Callback: func(Result) { delivered.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the pinned request")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := eng.Drain(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("drain under cancelled ctx = %v, want context.Canceled in chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled drain took %v — it must not wait for in-flight work", elapsed)
+	}
+	// The engine is already closed (drain is stop-then-wait), so new
+	// submissions fail typed even though the drain wait was abandoned.
+	if _, err := eng.Submit(context.Background(), Request{ID: "late", Recording: testRecording(2)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after abandoned drain = %v, want ErrClosed", err)
+	}
+	close(release)
+	if err := eng.Close(); err != nil {
+		t.Fatalf("unbounded close after abandoned drain = %v", err)
+	}
+	if delivered.Load() != 1 {
+		t.Fatalf("pinned request delivered %d times, want exactly 1", delivered.Load())
+	}
+}
+
+// TestConcurrentDrainsAllComplete: racing Drain calls are all valid —
+// each returns nil once the work finishes, none deadlocks.
+func TestConcurrentDrainsAllComplete(t *testing.T) {
+	eng, entered, release := stallEngine(t, 4)
+	if _, err := eng.Submit(context.Background(), Request{ID: "work", Recording: testRecording(3)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never started")
+	}
+
+	const drains = 4
+	errs := make(chan error, drains)
+	var wg sync.WaitGroup
+	for i := 0; i < drains; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- eng.Drain(context.Background())
+		}()
+	}
+	// All drains are now blocked on the stalled worker; unstick it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent drains deadlocked")
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent drain returned %v, want nil", err)
+		}
+	}
+}
+
+// TestDrainBeforeStart: draining a never-started engine is a clean
+// close, and Start afterwards reports ErrClosed.
+func TestDrainBeforeStart(t *testing.T) {
+	sys, err := core.NewSystem(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{System: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Drain(context.Background()); err != nil {
+		t.Fatalf("drain on new engine = %v", err)
+	}
+	if err := eng.Start(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("start after drain = %v, want ErrClosed", err)
+	}
+	if err := eng.Drain(context.Background()); err != nil {
+		t.Fatalf("double drain = %v", err)
+	}
+}
+
+// TestSubmitWhileDraining: a Submit racing an in-progress Drain gets a
+// typed ErrClosed, never a hang or a lost callback.
+func TestSubmitWhileDraining(t *testing.T) {
+	eng, entered, release := stallEngine(t, 4)
+	if _, err := eng.Submit(context.Background(), Request{ID: "w", Recording: testRecording(4)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never started")
+	}
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- eng.Drain(context.Background()) }()
+	// Wait until the drain has flipped the state (submissions start
+	// failing), then assert the failure is typed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := eng.Submit(context.Background(), Request{ID: "racer", Recording: testRecording(5)})
+		if err != nil && !errors.Is(err, ErrQueueFull) {
+			// The stalled queue may fill before the drain flips the
+			// state; only the lifecycle error ends the wait.
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("submit during drain = %v, want ErrClosed", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started rejecting submissions")
+		}
+	}
+	close(release)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package va
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -32,9 +33,11 @@ type Response struct {
 // Decider is the decision backend an assistant routes wake words
 // through. core.System implements it directly; serve.Engine implements
 // it by dispatching to its worker pool, letting many assistants (or
-// listener streams) share one set of serving workers.
+// listener streams) share one set of serving workers. The interface is
+// context-first, matching the consolidated core API: the context bounds
+// the decision and may carry a trace recorder.
 type Decider interface {
-	ProcessWake(rec *audio.Recording) (core.Decision, error)
+	ProcessWake(ctx context.Context, rec *audio.Recording) (core.Decision, error)
 }
 
 // Assistant wires a wake-word spotter to a HeadTalk privacy
@@ -77,8 +80,16 @@ func (a *Assistant) UseDecider(d Decider) {
 }
 
 // Hear processes a microphone-array recording that may contain the
-// wake word. source tags the scenario actor for the upload log.
+// wake word. source tags the scenario actor for the upload log. It is
+// HearCtx with a background context.
 func (a *Assistant) Hear(rec *audio.Recording, source string) (Response, error) {
+	return a.HearCtx(context.Background(), rec, source)
+}
+
+// HearCtx is Hear with a caller context: the context bounds the wake
+// decision (relevant when the decider is a serving engine with a
+// bounded queue) and may carry a trace recorder.
+func (a *Assistant) HearCtx(ctx context.Context, rec *audio.Recording, source string) (Response, error) {
 	var resp Response
 	detected, score, _ := a.spotter.Detect(rec.Mono(), rec.SampleRate)
 	resp.WakeDetected = detected
@@ -87,7 +98,7 @@ func (a *Assistant) Hear(rec *audio.Recording, source string) (Response, error) 
 		resp.Speech = ""
 		return resp, nil
 	}
-	decision, err := a.decider.ProcessWake(rec)
+	decision, err := a.decider.ProcessWake(ctx, rec)
 	if err != nil {
 		return resp, fmt.Errorf("va: processing wake word: %w", err)
 	}

@@ -1,6 +1,7 @@
 package va
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -16,9 +17,9 @@ type countingDecider struct {
 	calls int
 }
 
-func (d *countingDecider) ProcessWake(rec *audio.Recording) (core.Decision, error) {
+func (d *countingDecider) ProcessWake(ctx context.Context, rec *audio.Recording) (core.Decision, error) {
 	d.calls++
-	return d.sys.ProcessWake(rec)
+	return d.sys.ProcessWake(ctx, rec)
 }
 
 func TestAssistantUsesDecider(t *testing.T) {
