@@ -17,10 +17,11 @@ test:
 # Race-detect the packages with real concurrency: the serving engine
 # (including its chaos suite), the core controller it hammers, the
 # assistant/listener layer, the fault-tolerance layers (channel
-# health, pair recomputation, fault injection), and the DSP layer now
-# that it holds the shared FFT plan cache and scratch pools.
+# health, pair recomputation, fault injection), the DSP layer now
+# that it holds the shared FFT plan cache and scratch pools, and the
+# streaming-ingest session manager (concurrent push/evict).
 race:
-	$(GO) test -race ./internal/serve ./internal/pool ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp ./internal/trace
+	$(GO) test -race ./internal/serve ./internal/pool ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp ./internal/trace ./internal/stream
 
 # Static analysis beyond go vet. staticcheck is not vendored; this
 # target expects it on PATH (CI installs it with `go install`). Keep it
@@ -33,9 +34,11 @@ vet:
 
 # Fault-injection chaos suite, run twice under the race detector:
 # exactly-once delivery and fail-closed decisions while the injector
-# corrupts frames, drops channels, stalls stages and induces panics.
+# corrupts frames, drops channels, stalls stages and induces panics,
+# plus streaming-session isolation (a stalled session must not starve
+# pushes or eviction for other sessions).
 chaos:
-	$(GO) test -race -count=2 -run 'Chaos|Breaker|Panic|FaultInject' ./internal/serve
+	$(GO) test -race -count=2 -run 'Chaos|Breaker|Panic|FaultInject' ./internal/serve ./internal/stream
 	$(GO) test -race -count=2 ./internal/faultinject
 
 # Benchmarks, machine-readable: serving-layer throughput (worker
@@ -44,15 +47,17 @@ chaos:
 # through cmd/benchjson, which APPENDS one JSON record per result to
 # $(BENCH_JSON) — successive runs accumulate, so the file holds the
 # perf trajectory (grep by "tag"). Override the tag per run:
-#   make bench BENCH_TAG=pr5
+#   make bench BENCH_TAG=pr7
 # The EngineThroughput pattern also matches EngineThroughputTraced, so
 # every bench run records the traced-vs-untraced serving delta (the
-# tracing overhead budget is ≤5%).
-BENCH_JSON ?= BENCH_pr4.json
-BENCH_TAG  ?= pr4
+# tracing overhead budget is ≤5%). PipelineStages includes the
+# streaming-cascade per-chunk stages, and StreamEndToEnd records the
+# streaming-vs-batch decision cost on identical audio.
+BENCH_JSON ?= BENCH_pr6.json
+BENCH_TAG  ?= pr6
 
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput|BenchmarkRuntime|BenchmarkPipelineStages' -benchmem -benchtime 50x . \
+	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput|BenchmarkRuntime|BenchmarkPipelineStages|BenchmarkStreamEndToEnd' -benchmem -benchtime 50x . \
 		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)
 	$(GO) test -run xxx -bench 'BenchmarkRFFT|BenchmarkFFTPlan|BenchmarkBluestein|BenchmarkSTFT|BenchmarkWelchPSD|BenchmarkGCCAllPairs|BenchmarkGCCPHATBand' -benchmem ./internal/dsp ./internal/srp \
 		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)

@@ -25,6 +25,7 @@ import (
 	"headtalk/internal/room"
 	"headtalk/internal/speech"
 	"headtalk/internal/srp"
+	"headtalk/internal/stream"
 	"headtalk/internal/va"
 )
 
@@ -344,6 +345,162 @@ func BenchmarkPipelineStages(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+	// Streaming variants: the per-chunk cost of the continuous-listening
+	// cascade. "stream-ingest" is the silence fast path (validate, ring
+	// write, energy exit); "stream-spot" adds decimation, fingerprinting
+	// and online template scoring on an audible chunk. Both are 10 ms
+	// chunks, so audio_s/s is the real-time factor per session.
+	newStreamManager := func(b *testing.B) *stream.Manager {
+		m, err := stream.NewManager(stream.Config{
+			SampleRate:   48000,
+			Channels:     4,
+			Spotter:      spotter,
+			JanitorEvery: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(m.Close)
+		return m
+	}
+	streamChunk := func(amp float64) [][]float64 {
+		rng := rand.New(rand.NewPCG(9, 9))
+		chunk := make([][]float64, 4)
+		for c := range chunk {
+			chunk[c] = make([]float64, 480)
+			for i := range chunk[c] {
+				chunk[c][i] = amp * rng.NormFloat64()
+			}
+		}
+		return chunk
+	}
+	for _, bc := range []struct {
+		name string
+		amp  float64
+	}{{"stream-ingest", 0}, {"stream-spot", 0.2}} {
+		b.Run(bc.name, func(b *testing.B) {
+			m := newStreamManager(b)
+			chunk := streamChunk(bc.amp)
+			ctx := context.Background()
+			// Warm-up push: session creation (ring allocation) is
+			// one-time, not steady-state cost.
+			if _, err := m.Push(ctx, "bench", chunk); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Push(ctx, "bench", chunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(0.01*float64(b.N)/b.Elapsed().Seconds(), "audio_s/s")
+		})
+	}
+}
+
+// streamBenchFeed returns a padded wake-word utterance at 48 kHz
+// replicated across 4 channels, plus the same samples as a Recording
+// for the batch baseline.
+func streamBenchFeed() ([][]float64, *Recording) {
+	rng := rand.New(rand.NewPCG(42, 0x5b07734))
+	buf := speech.Synthesize(speech.WordComputer, speech.RandomVoice(rng), 48000, rng)
+	pad := make([]float64, 9600)
+	mono := append(append(append([]float64(nil), pad...), buf.Samples...), pad...)
+	feed := make([][]float64, 4)
+	rec := audio.NewRecording(48000, 4, len(mono))
+	for c := range feed {
+		feed[c] = mono
+		copy(rec.Channels[c], mono)
+	}
+	return feed, rec
+}
+
+// BenchmarkStreamEndToEnd compares continuous-listening ingest against
+// the batch path on the same trained system and the same wake-word
+// audio: "streaming" pushes 10 ms chunks through the early-exit cascade
+// until the spotted candidate's bounded window is decided; "batch" runs
+// the full recording through the pipeline in one call. audio_s/s is
+// audio seconds processed per wall second.
+func BenchmarkStreamEndToEnd(b *testing.B) {
+	engineBenchSetup()
+	if engineBenchErr != nil {
+		b.Fatal(engineBenchErr)
+	}
+	feed, rec := streamBenchFeed()
+	spotter, err := va.NewSpotter(speech.WordComputer, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feedSeconds := float64(len(feed[0])) / 48000
+
+	b.Run("streaming", func(b *testing.B) {
+		eng, err := NewEngine(EngineConfig{
+			System:  engineBenchSys,
+			Workers: 2,
+			Streaming: &stream.Config{
+				SampleRate:   48000,
+				Channels:     4,
+				Spotter:      spotter,
+				JanitorEvery: -1,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		chunk := make([][]float64, 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sid := fmt.Sprintf("s%d", i)
+			decided := false
+			for start := 0; start < len(feed[0]) && !decided; start += 480 {
+				end := start + 480
+				if end > len(feed[0]) {
+					end = len(feed[0])
+				}
+				for c := range chunk {
+					chunk[c] = feed[c][start:end]
+				}
+				res, err := eng.PushFrames(context.Background(), sid, chunk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				decided = res.Status == stream.StatusDecided
+			}
+			if !decided {
+				b.Fatal("feed ended without a decision")
+			}
+			if _, err := eng.EndSession(sid); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(feedSeconds*float64(b.N)/b.Elapsed().Seconds(), "audio_s/s")
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		eng, err := NewEngine(EngineConfig{System: engineBenchSys, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Decide(context.Background(), rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(feedSeconds*float64(b.N)/b.Elapsed().Seconds(), "audio_s/s")
 	})
 }
 

@@ -23,7 +23,8 @@
 // go to the first configured tenant. Without -tenants the daemon runs
 // a single anonymous tenant and behaves exactly like earlier versions.
 //
-// Request lines (protocol version 1; "v" may be omitted):
+// Request lines (protocol version 2; "v" may be omitted and then
+// means 1 — version 1 requests are still accepted unchanged):
 //
 //	{"v":1,"id":"1","wav":"/path/to/utterance.wav"}
 //	{"id":"2","condition":{"AngleDeg":180,"Distance":3}}
@@ -33,8 +34,23 @@
 //	{"id":"6","trace":true}               (control: toggle store-wide tracing)
 //	{"id":"7","condition":{},"trace":true}  (force + inline one trace)
 //
-// Control requests honor "tenant" too: mode, health and trace all act
-// on the named tenant only.
+// Protocol version 2 adds continuous-listening ingest: instead of
+// shipping a whole utterance, clients push chunked multichannel sample
+// frames into a named per-connection session. The daemon runs the
+// early-exit cascade (energy floor, online wake-word spotting) on every
+// chunk and only a spotted candidate reaches the full decision
+// pipeline; the response reports how far each chunk got:
+//
+//	{"v":2,"id":"8","session":"kitchen","frames":[[...ch0...],[...ch1...],...]}
+//	{"v":2,"id":"9","session":"kitchen","end_session":true}
+//
+// Frames are 48 kHz samples, one inner array per microphone channel
+// (the tenant's array geometry dictates the channel count; 4 without a
+// device spec). "frames" and "end_session" on a v1 request are
+// rejected with error_kind "unsupported_version".
+//
+// Control requests honor "tenant" too: mode, health, trace, frames and
+// end_session all act on the named tenant only.
 //
 // With -debug-addr set, an HTTP listener additionally serves
 // net/http/pprof under /debug/pprof/, Prometheus text exposition at
@@ -46,9 +62,11 @@
 // ids to correlate):
 //
 //	{"type":"decision","id":"1","accepted":true,"reason":"accepted",...}
+//	{"type":"stream","id":"8","session":"kitchen","status":"no_wake","spot_score":0.41}
+//	{"type":"stream","id":"8","session":"kitchen","status":"decided","accepted":true,...}
 //	{"type":"error","id":"9","error":"serve: submission queue full","error_kind":"backpressure"}
 //	{"type":"health","id":"5","health":{"state":"running","healthy":true,...}}
-//	{"type":"metrics","counters":{...},"latencies":{...}}
+//	{"type":"metrics","counters":{...},"gauges":{...},"latencies":{...}}
 package main
 
 import (
@@ -78,7 +96,10 @@ import (
 	"headtalk/internal/mic"
 	"headtalk/internal/pool"
 	"headtalk/internal/serve"
+	"headtalk/internal/speech"
+	"headtalk/internal/stream"
 	"headtalk/internal/trace"
+	"headtalk/internal/va"
 )
 
 func main() {
@@ -234,10 +255,19 @@ type daemonOptions struct {
 // set.
 const defaultTenantID = "default"
 
-// protocolVersion is the NDJSON protocol this daemon speaks. Requests
-// may carry "v"; absent means version 1. Unknown versions are rejected
-// with error_kind "unsupported_version".
-const protocolVersion = 1
+// protocolVersion is the newest NDJSON protocol this daemon speaks.
+// Requests may carry "v"; absent means version 1. Every version from 1
+// through protocolVersion is accepted; anything else is rejected with
+// error_kind "unsupported_version".
+const protocolVersion = 2
+
+// minStreamVersion gates the continuous-ingest request fields: frames
+// and end_session require at least protocol version 2.
+const minStreamVersion = 2
+
+// defaultSessionID names the streaming session used when a frames or
+// end_session request carries no "session" field.
+const defaultSessionID = "default"
 
 // daemon owns the serving pool (one tenant per hosted device profile)
 // and the synth generator shared by every connection.
@@ -292,6 +322,15 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 		gen:         dataset.NewGenerator(opts.Seed),
 	}
 
+	// One wake-word spotter serves every tenant's streaming sessions:
+	// after construction its templates are read-only, and each session
+	// spots through its own OnlineSpotter state.
+	spotter, err := va.NewSpotter(speech.WordComputer, 4, opts.Seed)
+	if err != nil {
+		_ = d.pool.Close()
+		return nil, fmt.Errorf("building wake spotter: %w", err)
+	}
+
 	// Gate training is per (device, room): tenants sharing an
 	// environment share one enrollment run instead of re-simulating it.
 	enrollments := map[string]*headtalk.Enrollment{}
@@ -318,6 +357,7 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 			cfg.Liveness = enr.Liveness
 			cfg.Orientation = enr.Orientation
 		}
+		streamChannels := 4
 		if spec.Device != "" {
 			// Match the feature geometry (GCC lag window) to the
 			// tenant's array so decision-time extraction agrees with the
@@ -328,6 +368,8 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 				return nil, fmt.Errorf("tenant %q: %w", spec.ID, aerr)
 			}
 			cfg.Features = features.DefaultConfig(array.MaxDelaySamples(48000, 340), 48000)
+			// Streamed frames must match the array geometry too.
+			streamChannels = array.Channels()
 		}
 		registry := metrics.NewRegistry()
 		cfg.Metrics = registry
@@ -348,6 +390,15 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 			TraceCapacity:    opts.TraceCapacity,
 			SlowThreshold:    opts.SlowThreshold,
 			TraceEnabled:     opts.Trace,
+			// The continuous-ingest front end: every tenant accepts v2
+			// frames pushes. The stream manager reuses the tenant's
+			// registry, so its session gauges and early-exit counters
+			// surface in metrics lines and Prometheus exposition.
+			Streaming: &stream.Config{
+				SampleRate: 48000,
+				Channels:   streamChannels,
+				Spotter:    spotter,
+			},
 		})
 		if terr != nil {
 			_ = d.pool.Close()
@@ -411,11 +462,21 @@ type request struct {
 	// wav/condition it forces a trace for that one decision (even with
 	// the store off) and inlines the stage table in the response.
 	Trace *bool `json:"trace,omitempty"`
+	// Frames pushes one chunk of 48 kHz multichannel samples (one inner
+	// array per microphone channel) into the tenant's streaming session
+	// named by Session. Requires protocol version 2.
+	Frames [][]float64 `json:"frames,omitempty"`
+	// Session names the streaming session Frames and EndSession act on;
+	// empty uses "default". Sessions are scoped per tenant.
+	Session string `json:"session,omitempty"`
+	// EndSession closes the named streaming session, releasing its ring
+	// buffer. Requires protocol version 2.
+	EndSession bool `json:"end_session,omitempty"`
 }
 
 // response is one NDJSON output line.
 type response struct {
-	Type string `json:"type"` // decision | ok | error | health | metrics
+	Type string `json:"type"` // decision | stream | ok | error | health | metrics
 	ID   string `json:"id,omitempty"`
 	// Tenant echoes which tenant served the line (multi-tenant daemons
 	// only; single-tenant responses stay flat).
@@ -431,9 +492,19 @@ type response struct {
 	Error       string   `json:"error,omitempty"`
 	// ErrorKind classifies error lines so clients can branch without
 	// parsing error strings: parse | oversized | unsupported_version |
-	// unknown_tenant | request | wav | mode | bad_input | panic |
-	// breaker_open | backpressure | closed | deadline | pipeline.
+	// unknown_tenant | request | wav | mode | bad_input | session_limit |
+	// panic | breaker_open | backpressure | closed | deadline | pipeline.
 	ErrorKind string `json:"error_kind,omitempty"`
+
+	// Session and Status report what one v2 frames push accomplished:
+	// how far the chunk got through the early-exit cascade (buffered,
+	// silent, no_wake, spotted, decided). SpotScore carries the best
+	// wake-word window score once the spotter has a full window; Ended
+	// acknowledges an end_session request.
+	Session   string   `json:"session,omitempty"`
+	Status    string   `json:"status,omitempty"`
+	SpotScore *float64 `json:"spot_score,omitempty"`
+	Ended     *bool    `json:"ended,omitempty"`
 
 	// TraceEnabled acknowledges a {"trace":...} control request.
 	TraceEnabled *bool `json:"trace_enabled,omitempty"`
@@ -520,10 +591,17 @@ func errorKind(err error) string {
 		return "unknown_tenant"
 	case errors.Is(err, serve.ErrQueueFull):
 		return "backpressure"
-	case errors.Is(err, serve.ErrClosed), errors.Is(err, serve.ErrNotStarted), errors.Is(err, pool.ErrPoolClosed):
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, serve.ErrNotStarted),
+		errors.Is(err, pool.ErrPoolClosed), errors.Is(err, stream.ErrClosed):
 		return "closed"
 	case errors.Is(err, serve.ErrBreakerOpen):
 		return "breaker_open"
+	case errors.Is(err, stream.ErrSessionLimit):
+		return "session_limit"
+	case errors.Is(err, stream.ErrBadFrame):
+		return "bad_input"
+	case errors.Is(err, serve.ErrNoStream):
+		return "request"
 	case serve.IsPanic(err):
 		return "panic"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -630,11 +708,24 @@ func (d *daemon) loadRecording(req request, spec tenantSpec) (rec *audio.Recordi
 // handle dispatches one request line; decision responses are written
 // asynchronously from engine workers.
 func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
-	if req.V != nil && *req.V != protocolVersion {
+	v := 1
+	if req.V != nil {
+		v = *req.V
+	}
+	if v < 1 || v > protocolVersion {
 		lw.write(response{
 			Type:      "error",
 			ID:        req.ID,
-			Error:     fmt.Sprintf("unsupported protocol version %d (supported: %d)", *req.V, protocolVersion),
+			Error:     fmt.Sprintf("unsupported protocol version %d (supported: 1..%d)", v, protocolVersion),
+			ErrorKind: "unsupported_version",
+		})
+		return
+	}
+	if (req.Frames != nil || req.EndSession) && v < minStreamVersion {
+		lw.write(response{
+			Type:      "error",
+			ID:        req.ID,
+			Error:     fmt.Sprintf("frames/end_session require protocol version %d (request is version %d)", minStreamVersion, v),
 			ErrorKind: "unsupported_version",
 		})
 		return
@@ -647,6 +738,10 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 	echo := d.echoTenant(t)
 	if req.Health {
 		lw.write(d.healthResponse(t, req.ID))
+		return
+	}
+	if req.Frames != nil || req.EndSession {
+		d.handleStream(req, t, lw)
 		return
 	}
 	if req.Trace != nil && req.WAV == "" && req.Condition == nil && req.Mode == "" {
@@ -733,6 +828,59 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 		cancel()
 		lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: err.Error(), ErrorKind: errorKind(err)})
 	}
+}
+
+// handleStream serves protocol-v2 frames and end_session requests.
+// Pushes run synchronously: the early-exit cascade answers most chunks
+// in microseconds, and a spotted candidate rides the engine's normal
+// submission path (queue, breaker, tracing) before the response line is
+// written.
+func (d *daemon) handleStream(req request, t *pool.Tenant, lw *lineWriter) {
+	echo := d.echoTenant(t)
+	sid := req.Session
+	if sid == "" {
+		sid = defaultSessionID
+	}
+	if req.EndSession {
+		ended, err := t.Engine().EndSession(sid)
+		if err != nil {
+			lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Session: sid, Error: err.Error(), ErrorKind: errorKind(err)})
+			return
+		}
+		lw.write(response{Type: "stream", ID: req.ID, Tenant: echo, Session: sid, Ended: &ended})
+		return
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if d.opts.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d.opts.Deadline)
+	}
+	defer cancel()
+	res, err := t.Engine().PushFrames(ctx, sid, req.Frames)
+	if err != nil {
+		lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Session: sid, Error: err.Error(), ErrorKind: errorKind(err)})
+		return
+	}
+	if res.Err != nil {
+		// The chunk was spotted but the decision pipeline failed
+		// (backpressure, breaker, pipeline error): surface it as a typed
+		// error so clients can retry or back off.
+		lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Session: sid, Status: res.Status.String(), Error: res.Err.Error(), ErrorKind: errorKind(res.Err)})
+		return
+	}
+	resp := response{Type: "stream", ID: req.ID, Tenant: echo, Session: sid, Status: res.Status.String()}
+	switch res.Status {
+	case stream.StatusNoWake, stream.StatusSpotted, stream.StatusDecided:
+		score := res.SpotScore
+		resp.SpotScore = &score
+	}
+	if dec := res.Decision; dec != nil {
+		resp.Accepted = &dec.Accepted
+		resp.Reason = string(dec.Reason)
+		resp.ReasonSlug = dec.Reason.Slug()
+	}
+	lw.write(resp)
 }
 
 // ServeStream serves NDJSON requests from r, writing responses to w,

@@ -82,19 +82,22 @@ func TestProtocolVersionGate(t *testing.T) {
 	d := testDaemon(t, "normal")
 	resps := runStream(t, d,
 		`{"v":1,"id":"ok","condition":{}}`+"\n"+
-			`{"v":2,"id":"future","condition":{}}`+"\n"+
+			`{"v":2,"id":"ok2","condition":{}}`+"\n"+
+			`{"v":3,"id":"future","condition":{}}`+"\n"+
 			`{"v":0,"id":"zero","health":true}`+"\n")
 	m := byID(resps)
-	if r := m["ok"]; r.Type != "decision" || r.Accepted == nil || !*r.Accepted {
-		t.Fatalf("v1 response %+v", r)
+	for _, id := range []string{"ok", "ok2"} {
+		if r := m[id]; r.Type != "decision" || r.Accepted == nil || !*r.Accepted {
+			t.Fatalf("%s response %+v", id, r)
+		}
 	}
 	for _, id := range []string{"future", "zero"} {
 		r := m[id]
 		if r.Type != "error" || r.ErrorKind != "unsupported_version" {
 			t.Fatalf("%s response %+v, want unsupported_version error", id, r)
 		}
-		if !strings.Contains(r.Error, "supported: 1") {
-			t.Fatalf("%s error message %q should name the supported version", id, r.Error)
+		if !strings.Contains(r.Error, "supported: 1..2") {
+			t.Fatalf("%s error message %q should name the supported versions", id, r.Error)
 		}
 	}
 }

@@ -51,6 +51,7 @@ import (
 	"headtalk/internal/room"
 	"headtalk/internal/serve"
 	"headtalk/internal/speech"
+	"headtalk/internal/stream"
 	"headtalk/internal/trace"
 	"headtalk/internal/va"
 )
@@ -100,6 +101,16 @@ type (
 	MetricsRegistry = metrics.Registry
 	// MetricsSnapshot is a point-in-time scrape of a registry.
 	MetricsSnapshot = metrics.Snapshot
+	// StreamConfig attaches a continuous-listening ingest front end to
+	// an engine (EngineConfig.Streaming): per-session ring buffers,
+	// incremental STFT and online wake-word spotting with early-exit
+	// gating ahead of the full pipeline (see internal/stream).
+	StreamConfig = stream.Config
+	// StreamManager owns an engine's streaming sessions (Engine.Streams).
+	StreamManager = stream.Manager
+	// StreamPushResult reports how far one pushed chunk got through the
+	// early-exit cascade (Engine.PushFrames).
+	StreamPushResult = stream.PushResult
 )
 
 // Error taxonomy. Every failure the serving stack reports is either a
@@ -126,6 +137,15 @@ var (
 	// ErrNoRoute reports an anonymous request the pool could not place:
 	// hash fallback is off or no tenants are hosted.
 	ErrNoRoute = pool.ErrNoRoute
+	// ErrNoStream rejects streaming calls on an engine built without
+	// EngineConfig.Streaming.
+	ErrNoStream = serve.ErrNoStream
+	// ErrStreamSessionLimit rejects new streaming sessions while a
+	// manager is at MaxSessions with no idle session to evict.
+	ErrStreamSessionLimit = stream.ErrSessionLimit
+	// ErrBadFrame rejects a malformed streamed chunk (wrong channel
+	// count, ragged or non-finite samples, longer than the window).
+	ErrBadFrame = stream.ErrBadFrame
 )
 
 // Typed errors: match with errors.As and branch on their fields.

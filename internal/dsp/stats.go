@@ -210,16 +210,29 @@ func Normalize(x []float64) []float64 {
 // ZScore standardizes x to zero mean and unit variance and returns a
 // new slice. Constant input yields all zeros.
 func ZScore(x []float64) []float64 {
-	out := make([]float64, len(x))
+	return ZScoreInto(make([]float64, len(x)), x)
+}
+
+// ZScoreInto is the dst-reusing variant of ZScore: it standardizes x
+// into dst (grown if needed) and returns dst[:len(x)]. Constant input
+// yields all zeros. dst may alias x.
+func ZScoreInto(dst, x []float64) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
 	m := Mean(x)
 	s := Std(x)
 	if s == 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
 	for i, v := range x {
-		out[i] = (v - m) / s
+		dst[i] = (v - m) / s
 	}
-	return out
+	return dst
 }
 
 // Peak is a local maximum found by TopPeaks.

@@ -178,3 +178,39 @@ func TestTopPeaksFewerThanK(t *testing.T) {
 		t.Errorf("got %d peaks, want 1", len(peaks))
 	}
 }
+
+func TestZScoreInto(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	want := ZScore(x)
+	dst := make([]float64, 0, 8)
+	got := ZScoreInto(dst, x)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ZScoreInto[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Constant input zeroes a previously dirty dst.
+	dirty := []float64{9, 9, 9}
+	out := ZScoreInto(dirty, []float64{4, 4, 4})
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("constant input dst[%d] = %g, want 0", i, v)
+		}
+	}
+	// Aliasing dst == x is allowed.
+	alias := []float64{1, 2, 3, 4, 5}
+	ZScoreInto(alias, alias)
+	for i := range want {
+		if math.Abs(alias[i]-want[i]) > 1e-12 {
+			t.Fatalf("aliased ZScoreInto[%d] = %g, want %g", i, alias[i], want[i])
+		}
+	}
+	// Steady state with a sized dst performs no allocations.
+	buf := make([]float64, len(x))
+	if avg := testing.AllocsPerRun(100, func() { ZScoreInto(buf, x) }); avg != 0 {
+		t.Errorf("ZScoreInto steady state allocates %.1f times per op, want 0", avg)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"headtalk/internal/core"
 	"headtalk/internal/metrics"
 	"headtalk/internal/serve"
+	"headtalk/internal/stream"
 )
 
 // Typed errors. Route failures wrap these with the offending tenant
@@ -257,6 +258,31 @@ func (p *Pool) Decide(ctx context.Context, tenantID string, rec *audio.Recording
 		return core.Decision{}, err
 	}
 	return t.engine.Decide(ctx, rec)
+}
+
+// PushFrames feeds one multichannel chunk into the named streaming
+// session of the named tenant's engine. An empty tenantID uses the
+// hash fallback keyed by sessionID, so an anonymous session sticks to
+// one tenant for its whole life. Tenants built without
+// TenantConfig.Streaming fail with serve.ErrNoStream.
+func (p *Pool) PushFrames(ctx context.Context, tenantID, sessionID string, frame [][]float64) (stream.PushResult, error) {
+	t, err := p.resolve(tenantID, sessionID)
+	if err != nil {
+		return stream.PushResult{}, err
+	}
+	return t.engine.PushFrames(ctx, sessionID, frame)
+}
+
+// EndSession removes one streaming session from the named tenant's
+// engine, reporting whether it existed. Anonymous routing matches
+// PushFrames (keyed by sessionID), so an anonymous end reaches the
+// same tenant its pushes did.
+func (p *Pool) EndSession(tenantID, sessionID string) (bool, error) {
+	t, err := p.resolve(tenantID, sessionID)
+	if err != nil {
+		return false, err
+	}
+	return t.engine.EndSession(sessionID)
 }
 
 // Submit enqueues a request on the named tenant's engine with Submit

@@ -8,6 +8,7 @@ import (
 	"headtalk/internal/core"
 	"headtalk/internal/metrics"
 	"headtalk/internal/serve"
+	"headtalk/internal/stream"
 	"headtalk/internal/trace"
 )
 
@@ -49,6 +50,13 @@ type TenantConfig struct {
 	// FaultHook is passed through to the tenant's engine (fault
 	// injection in tests; leave nil in production).
 	FaultHook func(*audio.Recording) *audio.Recording
+	// Streaming, when non-nil, attaches a continuous-listening ingest
+	// front end to the tenant's engine (see serve.Config.Streaming).
+	// Each tenant gets its own session manager — session IDs are scoped
+	// to the tenant, and one tenant's session-limit pressure never
+	// rejects another tenant's streams. The config is copied per
+	// tenant, so one TenantConfig template may be reused.
+	Streaming *stream.Config
 }
 
 // Tenant is one named (System, Engine) pair inside a Pool, with its
@@ -77,6 +85,11 @@ func newTenant(cfg TenantConfig) (*Tenant, error) {
 	}
 	traces := trace.NewStore(cfg.TraceCapacity, cfg.SlowThreshold)
 	traces.SetEnabled(cfg.TraceEnabled)
+	var streaming *stream.Config
+	if cfg.Streaming != nil {
+		sc := *cfg.Streaming // per-tenant copy: managers must not share state
+		streaming = &sc
+	}
 	engine, err := serve.NewEngine(serve.Config{
 		System:           cfg.System,
 		Workers:          cfg.Workers,
@@ -87,6 +100,7 @@ func newTenant(cfg TenantConfig) (*Tenant, error) {
 		Clock:            cfg.Clock,
 		FaultHook:        cfg.FaultHook,
 		Traces:           traces,
+		Streaming:        streaming,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pool: tenant %q: %w", cfg.ID, err)
@@ -119,6 +133,10 @@ func (t *Tenant) Metrics() *metrics.Registry { return t.registry }
 
 // Traces returns the tenant's private trace store.
 func (t *Tenant) Traces() *trace.Store { return t.traces }
+
+// Streams returns the tenant's streaming session manager (nil when the
+// tenant was built without TenantConfig.Streaming).
+func (t *Tenant) Streams() *stream.Manager { return t.engine.Streams() }
 
 // Health reports the tenant's serving fitness.
 func (t *Tenant) Health() serve.Health { return t.engine.HealthSnapshot() }

@@ -26,6 +26,7 @@ import (
 	"headtalk/internal/audio"
 	"headtalk/internal/core"
 	"headtalk/internal/metrics"
+	"headtalk/internal/stream"
 	"headtalk/internal/trace"
 )
 
@@ -109,6 +110,14 @@ type Config struct {
 	// entirely — the hot path then performs no clock reads or
 	// allocations for it.
 	Traces *trace.Store
+	// Streaming, when non-nil, attaches a continuous-listening ingest
+	// front end (internal/stream): per-session ring buffers fed by
+	// PushFrames, an online wake-word spotter, and an early-exit
+	// cascade that only enqueues spotted candidate windows as engine
+	// decisions. The manager's Decide is wired to this engine (any
+	// caller-set Decide is overridden); its Metrics and Clock default
+	// to the engine's. Drain/Close also close the session manager.
+	Streaming *stream.Config
 }
 
 // Request is one decision to serve.
@@ -164,6 +173,7 @@ type Engine struct {
 	queue   chan *task
 	wg      sync.WaitGroup
 	breaker *breaker
+	streams *stream.Manager
 
 	// mu guards state. Submitters hold it shared (RLock) while
 	// sending so close(queue) — taken under the exclusive lock —
@@ -233,6 +243,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 		},
 	}
 	e.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock, e.ins.breakerState)
+	if cfg.Streaming != nil {
+		if err := e.buildStreams(); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
@@ -561,12 +576,14 @@ func (e *Engine) Drain(ctx context.Context) error {
 	case stateNew:
 		e.state = stateClosed
 		e.mu.Unlock()
+		e.closeStreams()
 		return nil
 	case stateRunning:
 		e.state = stateClosed
 		close(e.queue) // safe: submitters hold mu.RLock while sending
 	}
 	e.mu.Unlock()
+	e.closeStreams()
 
 	done := make(chan struct{})
 	go func() {

@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"fmt"
+
+	"headtalk/internal/dsp"
+)
+
+// HopFramer turns an arbitrary-chunked sample feed into hopped
+// analysis frames: it accumulates pushed samples, emits each complete
+// frameLen-sample frame, then slides by hop — retaining the
+// frameLen−hop overlap so overlapping frames are assembled without
+// ever re-reading delivered samples. The emit callback receives a view
+// into the framer's internal buffer valid only for the duration of the
+// call. HopFramer is not safe for concurrent use.
+type HopFramer struct {
+	frameLen int
+	hop      int
+	buf      []float64
+	n        int // valid samples in buf
+}
+
+// NewHopFramer builds a framer for frameLen-sample frames hopped by
+// hop (0 < hop ≤ frameLen).
+func NewHopFramer(frameLen, hop int) *HopFramer {
+	if frameLen < 1 || hop < 1 || hop > frameLen {
+		panic(fmt.Sprintf("stream: invalid framer geometry frameLen=%d hop=%d", frameLen, hop))
+	}
+	return &HopFramer{frameLen: frameLen, hop: hop, buf: make([]float64, frameLen)}
+}
+
+// FrameLen returns the frame length in samples.
+func (h *HopFramer) FrameLen() int { return h.frameLen }
+
+// Hop returns the hop in samples.
+func (h *HopFramer) Hop() int { return h.hop }
+
+// Reset discards buffered samples.
+func (h *HopFramer) Reset() { h.n = 0 }
+
+// Push feeds samples and calls emit once per completed frame. It
+// performs no allocations (emit permitting) and returns the number of
+// frames emitted.
+func (h *HopFramer) Push(x []float64, emit func(frame []float64)) int {
+	frames := 0
+	for len(x) > 0 {
+		take := h.frameLen - h.n
+		if take > len(x) {
+			take = len(x)
+		}
+		copy(h.buf[h.n:], x[:take])
+		h.n += take
+		x = x[take:]
+		if h.n == h.frameLen {
+			emit(h.buf)
+			frames++
+			// Slide: keep the frameLen−hop overlap for the next frame.
+			copy(h.buf, h.buf[h.hop:])
+			h.n = h.frameLen - h.hop
+		}
+	}
+	return frames
+}
+
+// STFT is the incremental short-time Fourier transform: a HopFramer
+// feeding each completed frame through a window and the planned real
+// FFT. Every hop of the input is transformed exactly once — when the
+// analysis window slides, the overlap is carried as samples by the
+// framer rather than re-transformed — which is what makes the
+// streaming path cheaper than re-running a batch STFT per push. The
+// spectrum slice handed to the callback is reused across frames. STFT
+// is not safe for concurrent use.
+type STFT struct {
+	framer  *HopFramer
+	win     []float64
+	scratch []float64
+	spec    []complex128
+	plan    *dsp.FFTPlan
+	hops    uint64
+
+	// emitSpec is bound once at construction so Push has no per-call
+	// closure allocation; fn is stashed per Push.
+	emitFrame func(frame []float64)
+	fn        func(spec []complex128)
+}
+
+// NewSTFT builds an incremental STFT with frameLen-sample frames
+// (rounded up to a power of two by the FFT plan is NOT done here:
+// frameLen must already be a power of two, matching dsp.Plan), hop
+// samples between frames, and the given window.
+func NewSTFT(frameLen, hop int, win dsp.Window) *STFT {
+	s := &STFT{
+		framer:  NewHopFramer(frameLen, hop),
+		win:     win.Coefficients(frameLen),
+		scratch: make([]float64, frameLen),
+		spec:    make([]complex128, frameLen/2+1),
+		plan:    dsp.Plan(frameLen),
+	}
+	s.emitFrame = s.transform
+	return s
+}
+
+// Hops returns the number of frames transformed so far.
+func (s *STFT) Hops() uint64 { return s.hops }
+
+// Reset discards buffered samples (the hop counter is retained).
+func (s *STFT) Reset() { s.framer.Reset() }
+
+func (s *STFT) transform(frame []float64) {
+	for i := range s.scratch {
+		s.scratch[i] = frame[i] * s.win[i]
+	}
+	s.plan.RFFT(s.spec, s.scratch)
+	s.hops++
+	if s.fn != nil {
+		s.fn(s.spec)
+	}
+}
+
+// Push feeds samples and calls fn once per completed frame with the
+// frame's one-sided spectrum (reused storage — copy it to keep it).
+// Returns the number of frames transformed. Zero allocations in steady
+// state, fn permitting.
+func (s *STFT) Push(x []float64, fn func(spec []complex128)) int {
+	s.fn = fn
+	n := s.framer.Push(x, s.emitFrame)
+	s.fn = nil
+	return n
+}

@@ -3,7 +3,8 @@
 // paper's §IV-B15 pipeline latency table. A Trace carries an ID plus
 // one span per pipeline stage (validate → channel-plan → preprocess →
 // liveness → orientation → decide, with queue-wait and worker-pickup
-// spans when a decision is served through an engine), the channel plan
+// spans when a decision is served through an engine, and ingest/spot
+// spans when it arrived through the streaming path), the channel plan
 // chosen for the decision, the per-gate scores, and the final reason.
 //
 // Recording is built around a *Recorder that is safe to use as a nil
@@ -35,9 +36,18 @@ type Stage int
 
 // Pipeline stages.
 const (
+	// StageIngest is the streaming ingest work that preceded a
+	// streamed decision: ring-buffer pushes, frame validation and the
+	// energy gate, accumulated across every PushFrames call since the
+	// previous candidate.
+	StageIngest Stage = iota
+	// StageSpot is the online wake-word spotting work that preceded a
+	// streamed decision: incremental STFT hops plus sliding-window
+	// template scoring, accumulated like StageIngest.
+	StageSpot
 	// StageQueueWait is the time a served request spent in the
 	// submission queue before a worker dequeued it.
-	StageQueueWait Stage = iota
+	StageQueueWait
 	// StagePickup is the worker's dispatch overhead between dequeuing
 	// the request and starting the pipeline (breaker check, plumbing).
 	StagePickup
@@ -66,6 +76,10 @@ const (
 // String returns the stage's machine-friendly name.
 func (s Stage) String() string {
 	switch s {
+	case StageIngest:
+		return "ingest"
+	case StageSpot:
+		return "spot"
 	case StageQueueWait:
 		return "queue_wait"
 	case StagePickup:

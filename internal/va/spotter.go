@@ -37,6 +37,14 @@ const (
 	spotMaxHz    = 6000.0
 )
 
+// SpotterSampleRate is the rate the spotter's fingerprints are
+// computed at; audio at other rates is resampled (batch Detect) or
+// decimated (the streaming ingest path) down to it first.
+const SpotterSampleRate = 16000.0
+
+// SpotterBands returns the fingerprint band count per frame.
+func SpotterBands() int { return spotBands }
+
 // NewSpotter builds a spotter for the word from numTemplates
 // synthesized speaker variants.
 func NewSpotter(word speech.WakeWord, numTemplates int, seed uint64) (*Spotter, error) {
@@ -69,19 +77,42 @@ func NewSpotter(word speech.WakeWord, numTemplates int, seed uint64) (*Spotter, 
 	return s, nil
 }
 
-// fingerprint computes the flattened log-band energy matrix of x. The
-// per-frame loop runs on the planned real FFT with one reused windowed
-// frame, spectrum and power buffer, and the band bin edges are resolved
-// once up front.
-func fingerprint(x []float64, fs float64) ([]float64, error) {
+// Fingerprinter computes the spotter's log-band energy fingerprint one
+// frame at a time on the planned real FFT, with every buffer (windowed
+// frame, spectrum, power) reused across calls — the per-hop unit the
+// streaming ingest path runs with zero steady-state allocations. A
+// Fingerprinter is not safe for concurrent use.
+type Fingerprinter struct {
+	fs       float64
+	frameLen int
+	hop      int
+	win      []float64
+	edges    [spotBands][2]int
+	scratch  []float64
+	spec     []complex128
+	pow      []float64
+	plan     *dsp.FFTPlan
+}
+
+// NewFingerprinter builds a fingerprinter for audio at fs (use
+// SpotterSampleRate to match the spotter's templates).
+func NewFingerprinter(fs float64) (*Fingerprinter, error) {
 	frameLen := int(spotFrameSec * fs)
 	hop := int(spotHopSec * fs)
-	if len(x) < frameLen {
-		return nil, fmt.Errorf("va: audio too short for fingerprint (%d samples)", len(x))
+	if frameLen < 2 || hop < 1 {
+		return nil, fmt.Errorf("va: sample rate %g too low for fingerprint frames", fs)
 	}
-	win := dsp.Hann.Coefficients(frameLen)
 	bins := frameLen/2 + 1
-	var edges [spotBands][2]int
+	f := &Fingerprinter{
+		fs:       fs,
+		frameLen: frameLen,
+		hop:      hop,
+		win:      dsp.Hann.Coefficients(frameLen),
+		scratch:  make([]float64, frameLen),
+		spec:     make([]complex128, bins),
+		pow:      make([]float64, bins),
+		plan:     dsp.Plan(frameLen),
+	}
 	for b := 0; b < spotBands; b++ {
 		lo := spotMaxHz * float64(b) / spotBands
 		hi := spotMaxHz * float64(b+1) / spotBands
@@ -90,27 +121,58 @@ func fingerprint(x []float64, fs float64) ([]float64, error) {
 		if hiBin >= bins {
 			hiBin = bins - 1
 		}
-		edges[b] = [2]int{loBin, hiBin}
+		f.edges[b] = [2]int{loBin, hiBin}
 	}
-	nFrames := (len(x)-frameLen)/hop + 1
+	return f, nil
+}
+
+// FrameLen returns the analysis frame length in samples.
+func (f *Fingerprinter) FrameLen() int { return f.frameLen }
+
+// Hop returns the frame hop in samples.
+func (f *Fingerprinter) Hop() int { return f.hop }
+
+// Bands returns the band count per fingerprint frame.
+func (f *Fingerprinter) Bands() int { return spotBands }
+
+// Frame writes the log-band energies of one frame (len(x) ==
+// FrameLen) into dst[:Bands()] and returns it. dst must have room for
+// Bands() values; the call performs no allocations.
+func (f *Fingerprinter) Frame(dst []float64, x []float64) []float64 {
+	if len(x) != f.frameLen {
+		panic(fmt.Sprintf("va: fingerprint frame has %d samples, want %d", len(x), f.frameLen))
+	}
+	for i := range f.scratch {
+		f.scratch[i] = x[i] * f.win[i]
+	}
+	f.plan.RFFT(f.spec, f.scratch)
+	dsp.PowerInto(f.pow, f.spec)
+	dst = dst[:spotBands]
+	for b := 0; b < spotBands; b++ {
+		var acc float64
+		for i := f.edges[b][0]; i <= f.edges[b][1]; i++ {
+			acc += f.pow[i]
+		}
+		dst[b] = math.Log(acc + 1e-12)
+	}
+	return dst
+}
+
+// fingerprint computes the flattened log-band energy matrix of x by
+// running a Fingerprinter over hopped frames.
+func fingerprint(x []float64, fs float64) ([]float64, error) {
+	f, err := NewFingerprinter(fs)
+	if err != nil {
+		return nil, err
+	}
+	if len(x) < f.frameLen {
+		return nil, fmt.Errorf("va: audio too short for fingerprint (%d samples)", len(x))
+	}
+	nFrames := (len(x)-f.frameLen)/f.hop + 1
 	out := make([]float64, 0, nFrames*spotBands)
-	scratch := make([]float64, frameLen)
-	spec := make([]complex128, bins)
-	pow := make([]float64, bins)
-	p := dsp.Plan(frameLen)
-	for start := 0; start+frameLen <= len(x); start += hop {
-		for i := range scratch {
-			scratch[i] = x[start+i] * win[i]
-		}
-		p.RFFT(spec, scratch)
-		dsp.PowerInto(pow, spec)
-		for b := 0; b < spotBands; b++ {
-			var acc float64
-			for i := edges[b][0]; i <= edges[b][1]; i++ {
-				acc += pow[i]
-			}
-			out = append(out, math.Log(acc+1e-12))
-		}
+	for start := 0; start+f.frameLen <= len(x); start += f.hop {
+		out = out[:len(out)+spotBands]
+		f.Frame(out[len(out)-spotBands:], x[start:start+f.frameLen])
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("va: no fingerprint frames")
@@ -150,6 +212,91 @@ func (s *Spotter) Detect(x []float64, fs float64) (bool, float64, int) {
 		}
 	}
 	return bestScore >= s.Threshold, bestScore, bestOffset
+}
+
+// TemplateFrames returns the fingerprint frame count of the spotter's
+// (truncated, aligned) templates — the sliding-window length an online
+// scorer must accumulate before scores are meaningful.
+func (s *Spotter) TemplateFrames() int { return s.frames }
+
+// NewOnline returns an online scorer over this spotter's templates.
+// Where Detect re-fingerprints a whole buffered window per scan, the
+// online spotter consumes one fingerprint frame per hop — each hop is
+// transformed exactly once, window slide reuses every previously
+// computed frame — and scores the template-length window ending at the
+// newest frame. Scanning all offsets falls out for free: every offset
+// is "the newest window" exactly once as frames arrive.
+type OnlineSpotter struct {
+	s      *Spotter
+	ring   []float64 // frames*spotBands fingerprint ring
+	start  int       // oldest frame slot
+	filled int       // frames currently held
+	win    []float64 // linearized window scratch
+	wz     []float64 // z-scored window scratch
+}
+
+// NewOnline builds an online scorer; see OnlineSpotter.
+func (s *Spotter) NewOnline() *OnlineSpotter {
+	n := s.frames * spotBands
+	return &OnlineSpotter{
+		s:    s,
+		ring: make([]float64, n),
+		win:  make([]float64, n),
+		wz:   make([]float64, n),
+	}
+}
+
+// Reset discards accumulated frames (after a silence gap or an
+// accepted detection, so a stale partial window cannot blend into the
+// next utterance).
+func (o *OnlineSpotter) Reset() {
+	o.start = 0
+	o.filled = 0
+}
+
+// Ready reports whether a full template-length window has accumulated.
+func (o *OnlineSpotter) Ready() bool { return o.filled == o.s.frames }
+
+// PushFrame appends one fingerprint frame (len == SpotterBands()) and,
+// once a full window has accumulated, returns the best normalized
+// template correlation for the window ending at this frame and
+// ready=true. The call performs no allocations.
+func (o *OnlineSpotter) PushFrame(frame []float64) (score float64, ready bool) {
+	if len(frame) != spotBands {
+		panic(fmt.Sprintf("va: fingerprint frame has %d bands, want %d", len(frame), spotBands))
+	}
+	frames := o.s.frames
+	slot := (o.start + o.filled) % frames
+	if o.filled == frames {
+		// Window full: overwrite the oldest frame and slide.
+		slot = o.start
+		o.start = (o.start + 1) % frames
+	} else {
+		o.filled++
+	}
+	copy(o.ring[slot*spotBands:(slot+1)*spotBands], frame)
+	if o.filled < frames {
+		return 0, false
+	}
+	// Linearize oldest→newest, standardize, correlate against the
+	// cached z-scored templates (always full length here, so the
+	// truncate-and-rescore path of bestScoreAt never runs).
+	head := (frames - o.start) * spotBands
+	copy(o.win[:head], o.ring[o.start*spotBands:])
+	copy(o.win[head:], o.ring[:o.start*spotBands])
+	dsp.ZScoreInto(o.wz, o.win)
+	best := -1.0
+	for _, tz := range o.s.zscores {
+		var corr float64
+		for i := range tz {
+			corr += tz[i] * o.wz[i]
+		}
+		corr /= float64(len(tz))
+		if corr > best {
+			best = corr
+		}
+	}
+	return best, true
 }
 
 // bestScoreAt returns the max normalized correlation across templates
