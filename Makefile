@@ -21,7 +21,7 @@ test:
 # that it holds the shared FFT plan cache and scratch pools, and the
 # streaming-ingest session manager (concurrent push/evict).
 race:
-	$(GO) test -race ./internal/serve ./internal/pool ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp ./internal/trace ./internal/stream
+	$(GO) test -race ./internal/serve ./internal/pool ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp ./internal/trace ./internal/stream ./internal/cluster
 
 # Static analysis beyond go vet. staticcheck is not vendored; this
 # target expects it on PATH (CI installs it with `go install`). Keep it
@@ -36,10 +36,14 @@ vet:
 # exactly-once delivery and fail-closed decisions while the injector
 # corrupts frames, drops channels, stalls stages and induces panics,
 # plus streaming-session isolation (a stalled session must not starve
-# pushes or eviction for other sessions).
+# pushes or eviction for other sessions), plus federation isolation
+# (dead, black-hole and slow-drip peers must fail fast with typed
+# errors and leave locally-owned tenants' latency and error rate
+# untouched).
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Breaker|Panic|FaultInject' ./internal/serve ./internal/stream
 	$(GO) test -race -count=2 ./internal/faultinject
+	$(GO) test -race -count=2 -run 'Chaos' ./internal/cluster
 
 # Benchmarks, machine-readable: serving-layer throughput (worker
 # sweep), the paper's §IV-B15 pipeline-stage timings, and the DSP
@@ -47,19 +51,23 @@ chaos:
 # through cmd/benchjson, which APPENDS one JSON record per result to
 # $(BENCH_JSON) — successive runs accumulate, so the file holds the
 # perf trajectory (grep by "tag"). Override the tag per run:
-#   make bench BENCH_TAG=pr7
+#   make bench BENCH_TAG=pr8
 # The EngineThroughput pattern also matches EngineThroughputTraced, so
 # every bench run records the traced-vs-untraced serving delta (the
 # tracing overhead budget is ≤5%). PipelineStages includes the
-# streaming-cascade per-chunk stages, and StreamEndToEnd records the
-# streaming-vs-batch decision cost on identical audio.
-BENCH_JSON ?= BENCH_pr6.json
-BENCH_TAG  ?= pr6
+# streaming-cascade per-chunk stages, StreamEndToEnd records the
+# streaming-vs-batch decision cost on identical audio, and
+# ForwardOverhead records the federation tax (local vs peer-forwarded
+# decision over loopback TCP).
+BENCH_JSON ?= BENCH_pr7.json
+BENCH_TAG  ?= pr7
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput|BenchmarkRuntime|BenchmarkPipelineStages|BenchmarkStreamEndToEnd' -benchmem -benchtime 50x . \
 		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)
 	$(GO) test -run xxx -bench 'BenchmarkRFFT|BenchmarkFFTPlan|BenchmarkBluestein|BenchmarkSTFT|BenchmarkWelchPSD|BenchmarkGCCAllPairs|BenchmarkGCCPHATBand' -benchmem ./internal/dsp ./internal/srp \
+		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)
+	$(GO) test -run xxx -bench 'BenchmarkForwardOverhead' -benchmem -benchtime 50x ./internal/cluster \
 		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)
 
 check: build vet test race

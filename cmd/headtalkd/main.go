@@ -83,12 +83,16 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"headtalk"
 	"headtalk/internal/audio"
+	"headtalk/internal/cluster"
 	"headtalk/internal/core"
 	"headtalk/internal/dataset"
 	"headtalk/internal/features"
@@ -121,12 +125,30 @@ func main() {
 		traceCap     = flag.Int("trace-capacity", trace.DefaultCapacity, "per-tenant recent-trace ring capacity")
 		slowThresh   = flag.Duration("slow-threshold", trace.DefaultSlowThreshold, "decisions at least this slow are always retained (negative: disable)")
 		debugAddr    = flag.String("debug-addr", "", "opt-in HTTP listener for pprof, Prometheus metrics and recent traces (empty: off)")
+		nodeID       = flag.String("node-id", "", "federation node id (empty: standalone daemon)")
+		peersFlag    = flag.String("peers", "", "comma-separated federation peers id=host:port")
+		peerListen   = flag.String("peer-listen", "", "TCP listen address for node-to-node traffic (required with -node-id and peers)")
+		forwardTO    = flag.Duration("forward-timeout", 0, "end-to-end deadline for one forwarded request (0: 2s)")
+		drainTO      = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for draining in-flight decisions")
 	)
 	flag.Parse()
 
 	specs, err := parseTenantSpecs(*tenants)
 	if err != nil {
 		log.Fatalf("headtalkd: %v", err)
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("headtalkd: %v", err)
+	}
+	if *nodeID == "" && len(peers) > 0 {
+		log.Fatalf("headtalkd: -peers requires -node-id")
+	}
+	if *nodeID != "" && len(peers) > 0 && *peerListen == "" {
+		log.Fatalf("headtalkd: federating with peers requires -peer-listen")
+	}
+	if *peerListen != "" && *nodeID == "" {
+		log.Fatalf("headtalkd: -peer-listen requires -node-id")
 	}
 	d, err := newDaemon(daemonOptions{
 		Workers:          *workers,
@@ -145,11 +167,43 @@ func main() {
 		TraceCapacity:    *traceCap,
 		SlowThreshold:    *slowThresh,
 		Progress:         os.Stderr,
+		NodeID:           *nodeID,
+		Peers:            peers,
+		ForwardTimeout:   *forwardTO,
+		DrainTimeout:     *drainTO,
 	})
 	if err != nil {
 		log.Fatalf("headtalkd: %v", err)
 	}
 	defer d.Close()
+
+	// SIGINT/SIGTERM: stop accepting, leave the federation, drain
+	// in-flight decisions bounded by -drain-timeout, emit one final
+	// metrics line, exit 0.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "headtalkd: %v: draining (bound %v)\n", s, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := d.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "headtalkd: drain: %v\n", err)
+		}
+		final, _ := json.Marshal(metricsResponse(d.snapshot()))
+		fmt.Println(string(final))
+		os.Exit(0)
+	}()
+
+	if *peerListen != "" {
+		pln, err := net.Listen("tcp", *peerListen)
+		if err != nil {
+			log.Fatalf("headtalkd: peer listener: %v", err)
+		}
+		d.registerListener(pln)
+		fmt.Fprintf(os.Stderr, "headtalkd: node %s peer wire on %s (%d peers)\n", *nodeID, pln.Addr(), len(peers))
+		d.node.ServeLoop(pln)
+	}
 
 	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
@@ -177,6 +231,31 @@ func main() {
 	fmt.Fprintf(os.Stderr, "headtalkd: listening on %s (%d tenants: %s; queue %d)\n",
 		ln.Addr(), d.pool.Len(), strings.Join(d.pool.Tenants(), ","), *queueSize)
 	d.ServeListener(ln)
+}
+
+// parsePeers parses the -peers flag: comma-separated id=host:port
+// entries.
+func parsePeers(s string) (map[string]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	peers := map[string]string{}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		i := strings.IndexByte(entry, '=')
+		if i <= 0 || i == len(entry)-1 {
+			return nil, fmt.Errorf("peer %q: want id=host:port", entry)
+		}
+		id, addr := entry[:i], entry[i+1:]
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q", id)
+		}
+		peers[id] = addr
+	}
+	return peers, nil
 }
 
 // tenantSpec names one hosted device profile.
@@ -249,6 +328,20 @@ type daemonOptions struct {
 	TraceCapacity    int
 	SlowThreshold    time.Duration
 	Progress         io.Writer
+
+	// NodeID joins this daemon to a federation: tenants are partitioned
+	// across nodes on a consistent-hash ring, only owned tenants are
+	// enrolled and hosted here, and requests for everyone else's are
+	// forwarded to the owning peer. Empty runs the classic standalone
+	// daemon.
+	NodeID string
+	// Peers maps peer node IDs to their peer-listener addresses.
+	Peers map[string]string
+	// ForwardTimeout bounds one forwarded request end to end (0: the
+	// cluster default, 2s).
+	ForwardTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown's pool drain (0: 10s).
+	DrainTimeout time.Duration
 }
 
 // defaultTenantID names the single tenant hosted when -tenants is not
@@ -259,11 +352,15 @@ const defaultTenantID = "default"
 // Requests may carry "v"; absent means version 1. Every version from 1
 // through protocolVersion is accepted; anything else is rejected with
 // error_kind "unsupported_version".
-const protocolVersion = 2
+const protocolVersion = 3
 
 // minStreamVersion gates the continuous-ingest request fields: frames
 // and end_session require at least protocol version 2.
 const minStreamVersion = 2
+
+// minClusterVersion gates the federation request fields: snapshot,
+// restore, join and leave require at least protocol version 3.
+const minClusterVersion = 3
 
 // defaultSessionID names the streaming session used when a frames or
 // end_session request carries no "session" field.
@@ -283,10 +380,24 @@ type daemon struct {
 	specs       map[string]tenantSpec
 	opts        daemonOptions
 
+	// node federates this daemon with its peers (nil: standalone). Its
+	// registry is merged into metrics lines under the cluster.* names.
+	node *cluster.Node
+	// spotter is shared by every tenant's streaming sessions, including
+	// tenants restored from snapshots later.
+	spotter *va.Spotter
+
 	// genMu serializes the synthetic-condition generator, which is not
 	// safe for concurrent use; WAV requests bypass it entirely.
 	genMu sync.Mutex
 	gen   *dataset.Generator
+
+	// lnMu guards listeners, registered by the serving entry points so
+	// Shutdown can stop accepting.
+	lnMu      sync.Mutex
+	listeners []net.Listener
+	shutdown  sync.Once
+	draining  atomic.Bool
 }
 
 func parseMode(s string) (core.Mode, error) {
@@ -329,6 +440,42 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 	if err != nil {
 		_ = d.pool.Close()
 		return nil, fmt.Errorf("building wake spotter: %w", err)
+	}
+	d.spotter = spotter
+
+	if opts.NodeID != "" {
+		node, err := cluster.NewNode(cluster.Config{
+			NodeID:         opts.NodeID,
+			Pool:           d.pool,
+			Peers:          opts.Peers,
+			Metrics:        metrics.NewRegistry(),
+			ForwardTimeout: opts.ForwardTimeout,
+			TenantBuilder:  d.restoredTenantConfig,
+			Profile: func(tenantID string) (string, string) {
+				spec := d.specs[tenantID]
+				return spec.Device, spec.Room
+			},
+		})
+		if err != nil {
+			_ = d.pool.Close()
+			return nil, err
+		}
+		d.node = node
+		// Ownership filter: enroll and host only the tenants the ring
+		// assigns to this node; the rest are served by forwarding.
+		var owned []tenantSpec
+		for _, spec := range specs {
+			if node.Owns(spec.ID) {
+				owned = append(owned, spec)
+			} else if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "headtalkd: tenant %q owned by node %s; serving by forwarding\n", spec.ID, node.Owner(spec.ID))
+			}
+		}
+		specs = owned
+		d.defaultID = ""
+		if len(specs) > 0 {
+			d.defaultID = specs[0].ID
+		}
 	}
 
 	// Gate training is per (device, room): tenants sharing an
@@ -406,11 +553,87 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 		}
 		d.specs[spec.ID] = spec
 	}
+	if d.node != nil {
+		d.node.Start()
+	}
 	return d, nil
 }
 
+// restoredTenantConfig assembles the serving stack for a tenant
+// activated from a snapshot envelope: same workers, queue, breaker,
+// tracing and streaming front end a locally-enrolled tenant gets. The
+// streamed channel count follows the envelope's recorded device.
+func (d *daemon) restoredTenantConfig(env *cluster.Envelope, sys *core.System, registry *metrics.Registry) pool.TenantConfig {
+	streamChannels := 4
+	if device, _, err := env.Profile(); err == nil && device != "" {
+		if array, aerr := mic.DeviceByID(device); aerr == nil {
+			streamChannels = array.Channels()
+		}
+	}
+	return pool.TenantConfig{
+		ID:               env.TenantID,
+		System:           sys,
+		Workers:          d.opts.Workers,
+		QueueSize:        d.opts.QueueSize,
+		Metrics:          registry,
+		BreakerThreshold: d.opts.BreakerThreshold,
+		BreakerCooldown:  d.opts.BreakerCooldown,
+		TraceCapacity:    d.opts.TraceCapacity,
+		SlowThreshold:    d.opts.SlowThreshold,
+		TraceEnabled:     d.opts.Trace,
+		Streaming: &stream.Config{
+			SampleRate: 48000,
+			Channels:   streamChannels,
+			Spotter:    d.spotter,
+		},
+	}
+}
+
+// restoreEnvelope rebuilds and activates a tenant from a snapshot with
+// restore-then-activate semantics, with or without a federation node.
+func (d *daemon) restoreEnvelope(ctx context.Context, env *cluster.Envelope) error {
+	if d.node != nil {
+		return d.node.Restore(ctx, env)
+	}
+	registry := metrics.NewRegistry()
+	sys, err := cluster.BuildSystem(env, registry)
+	if err != nil {
+		return err
+	}
+	_, err = d.pool.ReplaceTenant(ctx, d.restoredTenantConfig(env, sys, registry))
+	return err
+}
+
+// registerListener records a listener so Shutdown can stop accepting.
+func (d *daemon) registerListener(ln net.Listener) {
+	d.lnMu.Lock()
+	d.listeners = append(d.listeners, ln)
+	d.lnMu.Unlock()
+}
+
 // Close drains every tenant, finishing in-flight decisions.
-func (d *daemon) Close() error { return d.pool.Close() }
+func (d *daemon) Close() error { return d.Shutdown(context.Background()) }
+
+// Shutdown is the graceful exit path: stop accepting new connections,
+// leave the federation (peers see probes fail and reroute), then drain
+// every tenant's queue bounded by ctx. In-flight decisions finish;
+// late submissions fail with typed closed/draining errors. Idempotent.
+func (d *daemon) Shutdown(ctx context.Context) error {
+	var err error
+	d.shutdown.Do(func() {
+		d.draining.Store(true)
+		d.lnMu.Lock()
+		for _, ln := range d.listeners {
+			_ = ln.Close()
+		}
+		d.lnMu.Unlock()
+		if d.node != nil {
+			_ = d.node.Close()
+		}
+		err = d.pool.Drain(ctx)
+	})
+	return err
+}
 
 // tenant resolves a request's tenant field ("" routes to the default).
 func (d *daemon) tenant(id string) (*pool.Tenant, error) {
@@ -428,13 +651,36 @@ func (d *daemon) tenant(id string) (*pool.Tenant, error) {
 // flat names in single-tenant mode (the historical shape), a
 // tenant.<id>.-prefixed merge when hosting several.
 func (d *daemon) snapshot() metrics.Snapshot {
+	var s metrics.Snapshot
 	if !d.multiTenant {
 		if t, ok := d.pool.Tenant(d.defaultID); ok {
-			return t.Metrics().Snapshot()
+			s = t.Metrics().Snapshot()
 		}
-		return metrics.Snapshot{}
+	} else {
+		s = d.pool.Snapshot()
 	}
-	return d.pool.Snapshot()
+	if d.node != nil {
+		// Fold the federation instrumentation in under its own cluster.*
+		// names (ring membership, remap count, per-peer forward health).
+		cs := d.node.Metrics().Snapshot()
+		if s.Counters == nil && (len(cs.Counters) > 0 || len(cs.Gauges) > 0 || len(cs.Histograms) > 0) {
+			s = metrics.Snapshot{
+				Counters:   map[string]uint64{},
+				Gauges:     map[string]int64{},
+				Histograms: map[string]metrics.HistogramSnapshot{},
+			}
+		}
+		for k, v := range cs.Counters {
+			s.Counters[k] = v
+		}
+		for k, v := range cs.Gauges {
+			s.Gauges[k] = v
+		}
+		for k, v := range cs.Histograms {
+			s.Histograms[k] = v
+		}
+	}
+	return s
 }
 
 // request is one NDJSON input line.
@@ -472,6 +718,25 @@ type request struct {
 	// EndSession closes the named streaming session, releasing its ring
 	// buffer. Requires protocol version 2.
 	EndSession bool `json:"end_session,omitempty"`
+
+	// Snapshot captures the tenant's versioned, checksummed state
+	// envelope (models, thresholds, profile) — served locally or fetched
+	// from the owning peer. Requires protocol version 3.
+	Snapshot bool `json:"snapshot,omitempty"`
+	// Restore activates the envelope's tenant on THIS node
+	// (restore-then-activate: a failed restore leaves any existing
+	// tenant serving). Requires protocol version 3.
+	Restore *cluster.Envelope `json:"restore,omitempty"`
+	// Join adds (or re-addresses) a federation peer; Leave removes one.
+	// Both require protocol version 3 and a federated daemon.
+	Join  *joinSpec `json:"join,omitempty"`
+	Leave string    `json:"leave,omitempty"`
+}
+
+// joinSpec is the body of a v3 join request.
+type joinSpec struct {
+	Node string `json:"node"`
+	Addr string `json:"addr"`
 }
 
 // response is one NDJSON output line.
@@ -505,6 +770,12 @@ type response struct {
 	Status    string   `json:"status,omitempty"`
 	SpotScore *float64 `json:"spot_score,omitempty"`
 	Ended     *bool    `json:"ended,omitempty"`
+
+	// Forwarded marks a line served by another federation node on the
+	// requester's behalf.
+	Forwarded bool `json:"forwarded,omitempty"`
+	// Envelope answers a v3 snapshot request.
+	Envelope *cluster.Envelope `json:"envelope,omitempty"`
 
 	// TraceEnabled acknowledges a {"trace":...} control request.
 	TraceEnabled *bool `json:"trace_enabled,omitempty"`
@@ -602,10 +873,20 @@ func errorKind(err error) string {
 		return "bad_input"
 	case errors.Is(err, serve.ErrNoStream):
 		return "request"
+	case errors.Is(err, cluster.ErrPeerUnavailable):
+		return "peer_unavailable"
+	case errors.Is(err, cluster.ErrSnapshotVersion), errors.Is(err, cluster.ErrSnapshotChecksum), errors.Is(err, cluster.ErrSnapshotCorrupt):
+		return "snapshot"
 	case serve.IsPanic(err):
 		return "panic"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return "deadline"
+	}
+	// A forwarded request the owning peer rejected surfaces the peer's
+	// own error_kind verbatim.
+	var remote *cluster.RemoteError
+	if errors.As(err, &remote) && remote.Kind != "" {
+		return remote.Kind
 	}
 	if _, ok := audio.AsBadInput(err); ok {
 		return "bad_input"
@@ -730,14 +1011,43 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 		})
 		return
 	}
+	if (req.Snapshot || req.Restore != nil || req.Join != nil || req.Leave != "") && v < minClusterVersion {
+		lw.write(response{
+			Type:      "error",
+			ID:        req.ID,
+			Error:     fmt.Sprintf("snapshot/restore/join/leave require protocol version %d (request is version %d)", minClusterVersion, v),
+			ErrorKind: "unsupported_version",
+		})
+		return
+	}
+	if req.Restore != nil || req.Join != nil || req.Leave != "" {
+		d.handleCluster(req, lw)
+		return
+	}
 	t, err := d.tenant(req.Tenant)
 	if err != nil {
+		// A federated daemon serves non-hosted tenants by forwarding to
+		// the ring owner; control verbs stay node-local.
+		if d.node != nil && errors.Is(err, pool.ErrUnknownTenant) && req.Tenant != "" {
+			d.handleForward(req, lw, inflight)
+			return
+		}
 		lw.write(response{Type: "error", ID: req.ID, Error: err.Error(), ErrorKind: errorKind(err)})
 		return
 	}
 	echo := d.echoTenant(t)
 	if req.Health {
 		lw.write(d.healthResponse(t, req.ID))
+		return
+	}
+	if req.Snapshot {
+		spec := d.specs[t.ID()]
+		env, err := cluster.CaptureTenant(t, spec.Device, spec.Room)
+		if err != nil {
+			lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: err.Error(), ErrorKind: errorKind(err)})
+			return
+		}
+		lw.write(response{Type: "snapshot", ID: req.ID, Tenant: echo, Envelope: env})
 		return
 	}
 	if req.Frames != nil || req.EndSession {
@@ -881,6 +1191,160 @@ func (d *daemon) handleStream(req request, t *pool.Tenant, lw *lineWriter) {
 		resp.ReasonSlug = dec.Reason.Slug()
 	}
 	lw.write(resp)
+}
+
+// echoID returns a tenant id for response echoing on paths with no
+// local *pool.Tenant (forwards, restores). Federated daemons always
+// echo — tenant identity is what routing is about.
+func (d *daemon) echoID(id string) string {
+	if d.multiTenant || d.node != nil {
+		return id
+	}
+	return ""
+}
+
+// handleCluster serves the v3 federation control verbs: restore (this
+// node), join and leave (membership).
+func (d *daemon) handleCluster(req request, lw *lineWriter) {
+	switch {
+	case req.Restore != nil:
+		ctx := context.Background()
+		var cancel context.CancelFunc = func() {}
+		if d.opts.Deadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, d.opts.Deadline)
+		}
+		defer cancel()
+		if err := d.restoreEnvelope(ctx, req.Restore); err != nil {
+			lw.write(response{Type: "error", ID: req.ID, Tenant: d.echoID(req.Restore.TenantID), Error: err.Error(), ErrorKind: errorKind(err)})
+			return
+		}
+		lw.write(response{Type: "ok", ID: req.ID, Tenant: d.echoID(req.Restore.TenantID)})
+	case req.Join != nil:
+		if d.node == nil {
+			lw.write(response{Type: "error", ID: req.ID, Error: "this daemon is not part of a federation (start with -node-id)", ErrorKind: "request"})
+			return
+		}
+		if err := d.node.Join(req.Join.Node, req.Join.Addr); err != nil {
+			lw.write(response{Type: "error", ID: req.ID, Error: err.Error(), ErrorKind: "request"})
+			return
+		}
+		lw.write(response{Type: "ok", ID: req.ID})
+	case req.Leave != "":
+		if d.node == nil {
+			lw.write(response{Type: "error", ID: req.ID, Error: "this daemon is not part of a federation (start with -node-id)", ErrorKind: "request"})
+			return
+		}
+		if err := d.node.Leave(req.Leave); err != nil {
+			lw.write(response{Type: "error", ID: req.ID, Error: err.Error(), ErrorKind: "request"})
+			return
+		}
+		lw.write(response{Type: "ok", ID: req.ID})
+	}
+}
+
+// handleForward serves a request for a tenant this node does not host
+// by forwarding it to the ring owner. Forwards run on their own
+// goroutines — never on pool workers — so a slow or dead peer can only
+// ever stall its own caller, not local serving capacity. Control verbs
+// (mode, health, trace) are deliberately not forwarded: they act on
+// node-local state, so clients must address the owning node directly.
+func (d *daemon) handleForward(req request, lw *lineWriter, inflight *sync.WaitGroup) {
+	tid := req.Tenant
+	echo := d.echoID(tid)
+	if req.Health || req.Mode != "" || (req.Trace != nil && req.WAV == "" && req.Condition == nil) {
+		lw.write(response{
+			Type:      "error",
+			ID:        req.ID,
+			Tenant:    echo,
+			Error:     fmt.Sprintf("tenant %q is owned by node %s; control requests are not forwarded", tid, d.node.Owner(tid)),
+			ErrorKind: "request",
+		})
+		return
+	}
+	// The recording is resolved locally (WAV paths and synth conditions
+	// are this node's resources) before the samples cross the wire.
+	var rec *audio.Recording
+	if !req.Snapshot && req.Frames == nil && !req.EndSession {
+		var kind string
+		var err error
+		rec, kind, err = d.loadRecording(req, tenantSpec{})
+		if err != nil {
+			lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: err.Error(), ErrorKind: kind})
+			return
+		}
+	}
+	inflight.Add(1)
+	go func() {
+		defer inflight.Done()
+		ctx := context.Background()
+		var cancel context.CancelFunc = func() {}
+		if d.opts.Deadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, d.opts.Deadline)
+		}
+		defer cancel()
+		sid := req.Session
+		if sid == "" {
+			sid = defaultSessionID
+		}
+		switch {
+		case req.Snapshot:
+			env, _, err := d.node.Snapshot(ctx, tid)
+			if err != nil {
+				lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: err.Error(), ErrorKind: errorKind(err), Forwarded: true})
+				return
+			}
+			lw.write(response{Type: "snapshot", ID: req.ID, Tenant: echo, Envelope: env, Forwarded: true})
+		case req.EndSession:
+			ended, _, err := d.node.EndSession(ctx, tid, sid)
+			if err != nil {
+				lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Session: sid, Error: err.Error(), ErrorKind: errorKind(err), Forwarded: true})
+				return
+			}
+			lw.write(response{Type: "stream", ID: req.ID, Tenant: echo, Session: sid, Ended: &ended, Forwarded: true})
+		case req.Frames != nil:
+			res, _, err := d.node.PushFrames(ctx, tid, sid, req.Frames)
+			if err != nil {
+				lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Session: sid, Error: err.Error(), ErrorKind: errorKind(err), Forwarded: true})
+				return
+			}
+			resp := response{Type: "stream", ID: req.ID, Tenant: echo, Session: sid, Status: res.Status.String(), Forwarded: true}
+			switch res.Status {
+			case stream.StatusNoWake, stream.StatusSpotted, stream.StatusDecided:
+				score := res.SpotScore
+				resp.SpotScore = &score
+			}
+			if dec := res.Decision; dec != nil {
+				resp.Accepted = &dec.Accepted
+				resp.Reason = string(dec.Reason)
+				resp.ReasonSlug = dec.Reason.Slug()
+			}
+			lw.write(resp)
+		default:
+			start := time.Now()
+			dec, _, err := d.node.Decide(ctx, tid, rec)
+			if err != nil {
+				lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: err.Error(), ErrorKind: errorKind(err), Forwarded: true})
+				return
+			}
+			resp := response{
+				Type:       "decision",
+				ID:         req.ID,
+				Tenant:     echo,
+				Accepted:   &dec.Accepted,
+				Reason:     string(dec.Reason),
+				ReasonSlug: dec.Reason.Slug(),
+				TotalUS:    time.Since(start).Microseconds(),
+				Forwarded:  true,
+			}
+			if dec.LiveRan {
+				resp.LiveScore = &dec.LiveScore
+			}
+			if dec.FacingRan {
+				resp.FacingScore = &dec.FacingScore
+			}
+			lw.write(resp)
+		}
+	}()
 }
 
 // ServeStream serves NDJSON requests from r, writing responses to w,
@@ -1079,13 +1543,16 @@ func parseLimit(r *http.Request) int {
 	return n
 }
 
-// ServeListener accepts TCP connections forever, one NDJSON stream
-// per connection.
+// ServeListener accepts TCP connections until the listener closes
+// (or Shutdown closes it), one NDJSON stream per connection.
 func (d *daemon) ServeListener(ln net.Listener) {
+	d.registerListener(ln)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Printf("headtalkd: accept: %v", err)
+			if !d.draining.Load() {
+				log.Printf("headtalkd: accept: %v", err)
+			}
 			return
 		}
 		go func() {

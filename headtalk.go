@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"headtalk/internal/audio"
+	"headtalk/internal/cluster"
 	"headtalk/internal/core"
 	"headtalk/internal/dataset"
 	"headtalk/internal/features"
@@ -198,6 +199,64 @@ type (
 // NewPool returns an empty multi-tenant serving pool; add tenants with
 // AddTenant and route with Decide/Submit.
 func NewPool(cfg PoolConfig) *Pool { return pool.New(cfg) }
+
+// Federated multi-node serving (see internal/cluster): tenants are
+// partitioned across nodes on a consistent-hash ring; each node serves
+// its own tenants locally and forwards everyone else's to the owning
+// peer with deadlines, retries, one hedged attempt and a per-peer
+// circuit breaker. Dead peers are probed out of the ring; tenants move
+// between nodes as versioned, checksummed snapshot envelopes.
+type (
+	// ClusterNode federates one serving pool with its peers.
+	ClusterNode = cluster.Node
+	// ClusterConfig assembles a ClusterNode (identity, peers, timeouts,
+	// retry/hedge policy, breaker sizing).
+	ClusterConfig = cluster.Config
+	// ClusterEnvelope is one tenant's portable serving state: versioned,
+	// checksummed, safe to store and replay into Restore.
+	ClusterEnvelope = cluster.Envelope
+	// ClusterPeerStatus reports one peer's membership view.
+	ClusterPeerStatus = cluster.PeerStatus
+	// ClusterPeerHealth is the probe-driven peer lifecycle state.
+	ClusterPeerHealth = cluster.PeerHealth
+	// ClusterRemoteError is a failure the owning peer reported: the wire
+	// worked, the operation did not. Its Kind mirrors the daemon's
+	// error_kind taxonomy. Never retried, never trips the breaker.
+	ClusterRemoteError = cluster.RemoteError
+)
+
+// Peer lifecycle states (alive → suspect → down).
+const (
+	PeerAlive   = cluster.PeerAlive
+	PeerSuspect = cluster.PeerSuspect
+	PeerDown    = cluster.PeerDown
+)
+
+// ClusterSnapshotVersion is the newest snapshot envelope format.
+const ClusterSnapshotVersion = cluster.SnapshotVersion
+
+var (
+	// ErrPeerUnavailable marks a forward that could not reach a live
+	// owner (dead peer, open breaker, exhausted retries, no candidates).
+	// The tenant's owner may recover; the caller should back off.
+	ErrPeerUnavailable = cluster.ErrPeerUnavailable
+	// ErrSnapshotVersion rejects an envelope from a newer format.
+	ErrSnapshotVersion = cluster.ErrSnapshotVersion
+	// ErrSnapshotChecksum rejects an envelope whose payload does not
+	// match its recorded checksum.
+	ErrSnapshotChecksum = cluster.ErrSnapshotChecksum
+)
+
+// NewClusterNode validates cfg and returns a federation node over the
+// given pool; call Start to begin peer health probing and Close to
+// leave the ring.
+func NewClusterNode(cfg ClusterConfig) (*ClusterNode, error) { return cluster.NewNode(cfg) }
+
+// CaptureTenant snapshots one hosted tenant into a portable envelope
+// (models, thresholds, mode, device/room profile).
+func CaptureTenant(t *PoolTenant, device, room string) (*ClusterEnvelope, error) {
+	return cluster.CaptureTenant(t, device, room)
+}
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }

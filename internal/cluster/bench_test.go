@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkForwardOverhead compares a decision served by the local
+// pool against the same decision forwarded to a peer over loopback
+// TCP — the federation tax: one JSON round trip, conn pool, breaker
+// and semaphore included.
+func BenchmarkForwardOverhead(b *testing.B) {
+	rec := testRecording(1)
+
+	b.Run("local", func(b *testing.B) {
+		c := newTestCluster(b, []string{"n1", "n2"}, clusterOpts{})
+		tenant := c.tenantOwnedBy("n1", "n1")
+		c.addTenant("n1", tenant, plainSystem(b))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.nodes["n1"].Decide(context.Background(), tenant, rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("forwarded", func(b *testing.B) {
+		c := newTestCluster(b, []string{"n1", "n2"}, clusterOpts{})
+		tenant := c.tenantOwnedBy("n1", "n2")
+		c.addTenant("n2", tenant, plainSystem(b))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, forwarded, err := c.nodes["n1"].Decide(context.Background(), tenant, rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !forwarded {
+				b.Fatal("expected a forward")
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"time"
+
+	"headtalk/internal/core"
+	"headtalk/internal/features"
+	"headtalk/internal/liveness"
+	"headtalk/internal/metrics"
+	"headtalk/internal/orientation"
+	"headtalk/internal/pool"
+)
+
+// SnapshotVersion is the envelope format this build reads and writes.
+const SnapshotVersion = 1
+
+// Typed snapshot errors. Restore failures chain to one of these (or to
+// the ml/orientation/liveness load sentinels for blob-level damage) —
+// a hostile or truncated envelope must fail with a matchable error,
+// never a panic, and never a half-activated tenant.
+var (
+	// ErrSnapshotVersion: the envelope's format version is not one this
+	// build reads.
+	ErrSnapshotVersion = errors.New("cluster: unsupported snapshot version")
+	// ErrSnapshotChecksum: the payload bytes do not match the recorded
+	// checksum (truncation or corruption in transit/storage).
+	ErrSnapshotChecksum = errors.New("cluster: snapshot checksum mismatch")
+	// ErrSnapshotCorrupt: the envelope or payload failed to decode or
+	// is internally inconsistent.
+	ErrSnapshotCorrupt = errors.New("cluster: corrupt snapshot")
+)
+
+// Envelope is one tenant's portable state: format version, identity,
+// and a checksummed payload carrying the trained gates, thresholds and
+// profile. The payload stays raw JSON so the checksum is computed over
+// exactly the bytes that cross the wire; model serialization is
+// byte-stable (serialize → deserialize → serialize is identity), so an
+// envelope captured on one node re-captures to the same checksum after
+// a restore on another.
+type Envelope struct {
+	Version  int    `json:"version"`
+	TenantID string `json:"tenant"`
+	// Checksum is the FNV-64a hash of Payload, hex-encoded.
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// snapshotPayload is the envelope body: everything needed to rebuild
+// the tenant's core.System on another node.
+type snapshotPayload struct {
+	SampleRate        float64 `json:"sample_rate"`
+	Mode              string  `json:"mode"`
+	LivenessThreshold float64 `json:"liveness_threshold"`
+	SessionTimeoutMS  int64   `json:"session_timeout_ms"`
+	// Features preserves the GCC lag window and band layout so
+	// decision-time extraction on the restoring node agrees with the
+	// enrolled model's geometry.
+	Features      features.Config `json:"features"`
+	ChannelSubset []int           `json:"channel_subset,omitempty"`
+	MinChannels   int             `json:"min_channels,omitempty"`
+	// Device and Room record the enrollment profile (informational +
+	// used by daemons to rebuild streaming geometry).
+	Device string `json:"device,omitempty"`
+	Room   string `json:"room,omitempty"`
+	// Liveness and Orientation are the trained model documents in
+	// their own versioned formats (ml/orientation serialize).
+	Liveness    json.RawMessage `json:"liveness,omitempty"`
+	Orientation json.RawMessage `json:"orientation,omitempty"`
+	// OrientationByChannels carries the degraded-array fallback models,
+	// keyed by channel count (JSON object keys are strings).
+	OrientationByChannels map[string]json.RawMessage `json:"orientation_by_channels,omitempty"`
+}
+
+// checksum hashes payload bytes with FNV-64a, hex-encoded.
+func checksum(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// CaptureTenant snapshots one tenant into an envelope. device and room
+// record the enrollment profile (pass "" when unknown). The tenant's
+// models are read, not cloned — capture is cheap and safe while the
+// tenant keeps serving.
+func CaptureTenant(t *pool.Tenant, device, room string) (*Envelope, error) {
+	sys := t.System()
+	cfg := sys.Config()
+	p := snapshotPayload{
+		SampleRate:        cfg.SampleRate,
+		Mode:              sys.Mode().String(),
+		LivenessThreshold: cfg.LivenessThreshold,
+		SessionTimeoutMS:  cfg.SessionTimeout.Milliseconds(),
+		Features:          cfg.Features,
+		ChannelSubset:     cfg.ChannelSubset,
+		MinChannels:       cfg.MinChannels,
+		Device:            device,
+		Room:              room,
+	}
+	if cfg.Liveness != nil {
+		var buf bytes.Buffer
+		if err := cfg.Liveness.Save(&buf); err != nil {
+			return nil, fmt.Errorf("cluster: capturing liveness model for %q: %w", t.ID(), err)
+		}
+		p.Liveness = bytes.TrimSpace(buf.Bytes())
+	}
+	if cfg.Orientation != nil {
+		var buf bytes.Buffer
+		if err := cfg.Orientation.Save(&buf); err != nil {
+			return nil, fmt.Errorf("cluster: capturing orientation model for %q: %w", t.ID(), err)
+		}
+		p.Orientation = bytes.TrimSpace(buf.Bytes())
+	}
+	if len(cfg.OrientationByChannels) > 0 {
+		p.OrientationByChannels = make(map[string]json.RawMessage, len(cfg.OrientationByChannels))
+		for n, m := range cfg.OrientationByChannels {
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				return nil, fmt.Errorf("cluster: capturing %d-channel fallback model for %q: %w", n, t.ID(), err)
+			}
+			p.OrientationByChannels[strconv.Itoa(n)] = bytes.TrimSpace(buf.Bytes())
+		}
+	}
+	payload, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding snapshot payload for %q: %w", t.ID(), err)
+	}
+	return &Envelope{
+		Version:  SnapshotVersion,
+		TenantID: t.ID(),
+		Checksum: checksum(payload),
+		Payload:  payload,
+	}, nil
+}
+
+// Verify checks the envelope's format version, identity and payload
+// integrity without decoding the payload.
+func (e *Envelope) Verify() error {
+	if e == nil {
+		return fmt.Errorf("%w: nil envelope", ErrSnapshotCorrupt)
+	}
+	if e.Version != SnapshotVersion {
+		return fmt.Errorf("%w: version %d (want %d)", ErrSnapshotVersion, e.Version, SnapshotVersion)
+	}
+	if e.TenantID == "" {
+		return fmt.Errorf("%w: envelope names no tenant", ErrSnapshotCorrupt)
+	}
+	if len(e.Payload) == 0 {
+		return fmt.Errorf("%w: empty payload", ErrSnapshotCorrupt)
+	}
+	if got := checksum(e.Payload); got != e.Checksum {
+		return fmt.Errorf("%w: payload hashes to %s, envelope says %s", ErrSnapshotChecksum, got, e.Checksum)
+	}
+	return nil
+}
+
+// Profile returns the enrollment profile recorded in the envelope
+// (device, room; empty when the capturing node knew neither).
+func (e *Envelope) Profile() (device, room string, err error) {
+	if err := e.Verify(); err != nil {
+		return "", "", err
+	}
+	var p snapshotPayload
+	if err := json.Unmarshal(e.Payload, &p); err != nil {
+		return "", "", fmt.Errorf("%w: decoding payload: %v", ErrSnapshotCorrupt, err)
+	}
+	return p.Device, p.Room, nil
+}
+
+// parseMode reverses core.Mode.String.
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "normal":
+		return core.ModeNormal, nil
+	case "mute":
+		return core.ModeMute, nil
+	case "headtalk":
+		return core.ModeHeadTalk, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown privacy mode %q", ErrSnapshotCorrupt, s)
+	}
+}
+
+// BuildSystem verifies the envelope and rebuilds the tenant's
+// core.System from it: model blobs are decoded through their typed
+// loaders (corruption and version skew surface as matchable errors),
+// thresholds and feature geometry are restored, and the captured
+// privacy mode is applied. registry may be nil. Nothing is activated
+// here — the caller swaps the system in only after this fully
+// succeeds (restore-then-activate).
+func BuildSystem(e *Envelope, registry *metrics.Registry) (*core.System, error) {
+	if err := e.Verify(); err != nil {
+		return nil, err
+	}
+	var p snapshotPayload
+	if err := json.Unmarshal(e.Payload, &p); err != nil {
+		return nil, fmt.Errorf("%w: decoding payload: %v", ErrSnapshotCorrupt, err)
+	}
+	mode, err := parseMode(p.Mode)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		SampleRate:        p.SampleRate,
+		LivenessThreshold: p.LivenessThreshold,
+		SessionTimeout:    time.Duration(p.SessionTimeoutMS) * time.Millisecond,
+		Features:          p.Features,
+		ChannelSubset:     p.ChannelSubset,
+		MinChannels:       p.MinChannels,
+		Metrics:           registry,
+	}
+	if len(p.Liveness) > 0 {
+		det, err := liveness.Load(bytes.NewReader(p.Liveness))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: snapshot liveness model: %w", err)
+		}
+		cfg.Liveness = det
+	}
+	if len(p.Orientation) > 0 {
+		m, err := orientation.Load(bytes.NewReader(p.Orientation))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: snapshot orientation model: %w", err)
+		}
+		cfg.Orientation = m
+	}
+	if len(p.OrientationByChannels) > 0 {
+		cfg.OrientationByChannels = make(map[int]*orientation.Model, len(p.OrientationByChannels))
+		for key, blob := range p.OrientationByChannels {
+			n, err := strconv.Atoi(key)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("%w: fallback model key %q is not a channel count", ErrSnapshotCorrupt, key)
+			}
+			m, err := orientation.Load(bytes.NewReader(blob))
+			if err != nil {
+				return nil, fmt.Errorf("cluster: snapshot %d-channel fallback model: %w", n, err)
+			}
+			cfg.OrientationByChannels[n] = m
+		}
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuilding system: %v", ErrSnapshotCorrupt, err)
+	}
+	sys.SetMode(mode)
+	return sys, nil
+}

@@ -365,6 +365,13 @@ func (s *System) NewPreprocessor() *Preprocessor {
 	return &Preprocessor{bp: s.bp.Clone(), ins: s.ins}
 }
 
+// Config returns a copy of the system's resolved configuration (every
+// default filled in at NewSystem). The cluster snapshot layer reads it
+// to capture a tenant's trained gates, thresholds and feature geometry
+// for migration; the referenced models are shared, not cloned, and
+// must be treated as read-only.
+func (s *System) Config() Config { return s.cfg }
+
 // Apply runs the paper's fifth-order Butterworth band-pass
 // (100 Hz – 16 kHz) over every channel, returning a new recording.
 func (p *Preprocessor) Apply(rec *audio.Recording) *audio.Recording {

@@ -6,6 +6,13 @@ import (
 	"headtalk/internal/ml"
 )
 
+// Typed load errors, shared with the ml package (the detector document
+// IS a ConvNet document).
+var (
+	ErrUnsupportedVersion = ml.ErrUnsupportedVersion
+	ErrCorruptModel       = ml.ErrCorruptModel
+)
+
 // Save writes the trained detector to w as versioned JSON so a
 // deployment can enroll once and load at boot. The network remains
 // adaptable after a reload (Adapt restarts the optimizer state).

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -14,6 +15,19 @@ import (
 const (
 	svmFormatVersion     = 1
 	convNetFormatVersion = 1
+)
+
+// Typed load errors. Every failure mode of LoadSVM/LoadConvNet chains
+// to one of these — corruption and version skew must surface as
+// matchable errors (never panics), because the cluster snapshot path
+// feeds these decoders bytes that crossed the network.
+var (
+	// ErrUnsupportedVersion: the document's format version is not one
+	// this build reads.
+	ErrUnsupportedVersion = errors.New("ml: unsupported model format version")
+	// ErrCorruptModel: the document failed to decode or is internally
+	// inconsistent (truncated, shape mismatch, unknown kernel, ...).
+	ErrCorruptModel = errors.New("ml: corrupt model document")
 )
 
 // svmDTO is the on-disk form of a trained SVM.
@@ -60,14 +74,14 @@ func SaveSVM(w io.Writer, s *SVM) error {
 func LoadSVM(r io.Reader) (*SVM, error) {
 	var dto svmDTO
 	if err := json.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, fmt.Errorf("ml: decoding SVM: %w", err)
+		return nil, fmt.Errorf("%w: decoding SVM: %v", ErrCorruptModel, err)
 	}
 	if dto.Version != svmFormatVersion {
-		return nil, fmt.Errorf("ml: unsupported SVM format version %d", dto.Version)
+		return nil, fmt.Errorf("%w: SVM version %d (want %d)", ErrUnsupportedVersion, dto.Version, svmFormatVersion)
 	}
 	if len(dto.SupportVectors) != len(dto.Alphas) || len(dto.SupportVectors) != len(dto.SupportLabels) {
-		return nil, fmt.Errorf("ml: inconsistent SVM document (%d vectors, %d alphas, %d labels)",
-			len(dto.SupportVectors), len(dto.Alphas), len(dto.SupportLabels))
+		return nil, fmt.Errorf("%w: inconsistent SVM document (%d vectors, %d alphas, %d labels)",
+			ErrCorruptModel, len(dto.SupportVectors), len(dto.Alphas), len(dto.SupportLabels))
 	}
 	var kernel Kernel
 	switch dto.KernelName {
@@ -76,7 +90,7 @@ func LoadSVM(r io.Reader) (*SVM, error) {
 	case "rbf":
 		kernel = RBFKernel{Gamma: dto.Gamma}
 	default:
-		return nil, fmt.Errorf("ml: unknown kernel %q", dto.KernelName)
+		return nil, fmt.Errorf("%w: unknown kernel %q", ErrCorruptModel, dto.KernelName)
 	}
 	s := NewSVM(dto.C, kernel)
 	s.x = dto.SupportVectors
@@ -86,6 +100,39 @@ func LoadSVM(r io.Reader) (*SVM, error) {
 	s.plattA, s.plattB = dto.PlattA, dto.PlattB
 	s.hasPlatt = dto.HasPlatt
 	return s, nil
+}
+
+// maxConvNetDim caps each architecture dimension a loaded document may
+// request. The budget is checked BEFORE any layer allocation so a
+// hostile document cannot make LoadConvNet allocate gigabytes or hand
+// a negative size to make (which would panic).
+const maxConvNetDim = 1 << 16
+
+// validateConvNetConfig rejects architecture parameters that would
+// make initLayers panic or allocate absurdly.
+func validateConvNetConfig(cfg ConvNetConfig) error {
+	dims := []struct {
+		name string
+		v    int
+	}{
+		{"input_dim", cfg.InputDim},
+		{"kernel_size", cfg.KernelSize},
+		{"hidden_dim", cfg.HiddenDim},
+	}
+	for _, d := range dims {
+		if d.v < 1 || d.v > maxConvNetDim {
+			return fmt.Errorf("%w: ConvNet %s %d out of range [1, %d]", ErrCorruptModel, d.name, d.v, maxConvNetDim)
+		}
+	}
+	if len(cfg.ConvChannels) > 64 {
+		return fmt.Errorf("%w: ConvNet has %d conv layers (max 64)", ErrCorruptModel, len(cfg.ConvChannels))
+	}
+	for i, ch := range cfg.ConvChannels {
+		if ch < 1 || ch > maxConvNetDim {
+			return fmt.Errorf("%w: ConvNet conv layer %d channels %d out of range [1, %d]", ErrCorruptModel, i, ch, maxConvNetDim)
+		}
+	}
+	return nil
 }
 
 // standardizerDTO is the on-disk form of a fitted Standardizer.
@@ -149,14 +196,17 @@ func SaveConvNet(w io.Writer, c *ConvNet) error {
 func LoadConvNet(r io.Reader) (*ConvNet, error) {
 	var dto convNetDTO
 	if err := json.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, fmt.Errorf("ml: decoding ConvNet: %w", err)
+		return nil, fmt.Errorf("%w: decoding ConvNet: %v", ErrCorruptModel, err)
 	}
 	if dto.Version != convNetFormatVersion {
-		return nil, fmt.Errorf("ml: unsupported ConvNet format version %d", dto.Version)
+		return nil, fmt.Errorf("%w: ConvNet version %d (want %d)", ErrUnsupportedVersion, dto.Version, convNetFormatVersion)
 	}
 	if len(dto.Convs) != len(dto.Cfg.ConvChannels) {
-		return nil, fmt.Errorf("ml: ConvNet document has %d conv layers, config wants %d",
-			len(dto.Convs), len(dto.Cfg.ConvChannels))
+		return nil, fmt.Errorf("%w: ConvNet document has %d conv layers, config wants %d",
+			ErrCorruptModel, len(dto.Convs), len(dto.Cfg.ConvChannels))
+	}
+	if err := validateConvNetConfig(dto.Cfg); err != nil {
+		return nil, err
 	}
 	c := NewConvNet(dto.Cfg)
 	// Build layers with the right shapes, then overwrite weights.
@@ -164,13 +214,13 @@ func LoadConvNet(r io.Reader) (*ConvNet, error) {
 	c.initLayers(rng)
 	for i, l := range c.convs {
 		if len(dto.Convs[i].W) != len(l.w) || len(dto.Convs[i].B) != len(l.b) {
-			return nil, fmt.Errorf("ml: conv layer %d shape mismatch", i)
+			return nil, fmt.Errorf("%w: conv layer %d shape mismatch", ErrCorruptModel, i)
 		}
 		copy(l.w, dto.Convs[i].W)
 		copy(l.b, dto.Convs[i].B)
 	}
 	if len(dto.Dense1.W) != len(c.dense1.w) || len(dto.Dense2.W) != len(c.dense2.w) {
-		return nil, fmt.Errorf("ml: dense layer shape mismatch")
+		return nil, fmt.Errorf("%w: dense layer shape mismatch", ErrCorruptModel)
 	}
 	copy(c.dense1.w, dto.Dense1.W)
 	copy(c.dense1.b, dto.Dense1.B)

@@ -11,6 +11,14 @@ import (
 
 const modelFormatVersion = 1
 
+// Typed load errors, shared with the ml package so callers can match
+// version skew vs corruption with one errors.Is regardless of which
+// layer of the document failed.
+var (
+	ErrUnsupportedVersion = ml.ErrUnsupportedVersion
+	ErrCorruptModel       = ml.ErrCorruptModel
+)
+
 // modelDTO is the on-disk form of a trained orientation model. The
 // retained training set is included so incremental retraining
 // (§IV-B9) keeps working after a reload.
@@ -52,10 +60,10 @@ func (m *Model) Save(w io.Writer) error {
 func Load(r io.Reader) (*Model, error) {
 	var dto modelDTO
 	if err := json.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, fmt.Errorf("orientation: decoding model: %w", err)
+		return nil, fmt.Errorf("orientation: decoding model: %w: %v", ErrCorruptModel, err)
 	}
 	if dto.Version != modelFormatVersion {
-		return nil, fmt.Errorf("orientation: unsupported model format version %d", dto.Version)
+		return nil, fmt.Errorf("orientation: %w: model version %d (want %d)", ErrUnsupportedVersion, dto.Version, modelFormatVersion)
 	}
 	svm, err := ml.LoadSVM(bytes.NewReader(dto.SVM))
 	if err != nil {
@@ -63,10 +71,10 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	pipe, err := ml.RestorePipeline(dto.Scaler, svm)
 	if err != nil {
-		return nil, fmt.Errorf("orientation: restoring pipeline: %w", err)
+		return nil, fmt.Errorf("orientation: restoring pipeline: %w: %v", ErrCorruptModel, err)
 	}
 	if len(dto.TrainX) != len(dto.TrainY) {
-		return nil, fmt.Errorf("orientation: inconsistent retained training set (%d vs %d)", len(dto.TrainX), len(dto.TrainY))
+		return nil, fmt.Errorf("orientation: %w: inconsistent retained training set (%d vs %d)", ErrCorruptModel, len(dto.TrainX), len(dto.TrainY))
 	}
 	return &Model{
 		cfg:    dto.Config,

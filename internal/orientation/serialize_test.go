@@ -2,6 +2,7 @@ package orientation
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -61,5 +62,65 @@ func TestLoadRejectsBadDocuments(t *testing.T) {
 	}
 	if _, err := Load(strings.NewReader(`{"version":42}`)); err == nil {
 		t.Error("expected error for unknown version")
+	}
+}
+
+// TestModelRoundTripByteIdentical: serialize → deserialize → serialize
+// must reproduce the exact bytes so snapshot checksums stay stable when
+// a tenant migrates between cluster nodes.
+func TestModelRoundTripByteIdentical(t *testing.T) {
+	x, y := blobs(40, 54)
+	m, err := Train(x, y, ModelConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := m.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("orientation model round trip not byte-identical")
+	}
+}
+
+// TestLoadTypedErrors: every load failure chains to one of the shared
+// sentinels and never panics, even for truncated or hostile documents.
+func TestLoadTypedErrors(t *testing.T) {
+	x, y := blobs(40, 55)
+	m, err := Train(x, y, ModelConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := m.Save(&valid); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		doc  string
+		want error
+	}{
+		{"empty", "", ErrCorruptModel},
+		{"garbage", "][", ErrCorruptModel},
+		{"truncated", valid.String()[:valid.Len()/2], ErrCorruptModel},
+		{"wrong_version", `{"version":42}`, ErrUnsupportedVersion},
+		{"bad_inner_svm", `{"version":1,"config":{},"scaler":{"mean":[],"std":[]},"svm":"bm90IGpzb24=","train_x":[],"train_y":[]}`, ErrCorruptModel},
+		{"trainset_mismatch", strings.Replace(valid.String(), `"train_y":[`, `"train_y":[5,`, 1), ErrCorruptModel},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Load(strings.NewReader(tc.doc))
+			if got != nil || !errors.Is(err, tc.want) {
+				t.Fatalf("Load(%s) = %v, %v; want errors.Is(err, %v)", tc.name, got, err, tc.want)
+			}
+		})
 	}
 }

@@ -67,6 +67,12 @@ type Config struct {
 	// HashReplicas is the virtual-node count per tenant on the ring
 	// (default 64).
 	HashReplicas int
+	// Metrics, when non-nil, receives pool-level instrumentation: the
+	// ring-membership gauge (pool.ring.members) and the remap counter
+	// (pool.ring.remap.total, the probe keys whose owner changed across
+	// AddTenant/RemoveTenant rebuilds) so rebalancing is observable.
+	// Per-tenant serving metrics stay in each tenant's own registry.
+	Metrics *metrics.Registry
 }
 
 // shard is one slice of the tenant map with its own lock.
@@ -85,11 +91,16 @@ type Pool struct {
 	// ringMu guards ring rebuilds; the ring itself is immutable, so
 	// routing loads it with a read lock and searches lock-free.
 	ringMu sync.RWMutex
-	ring   *ring
+	ring   *Ring
 
 	// anon sequences routing keys for keyless anonymous Decide calls,
 	// spreading them over the ring.
 	anon atomic.Uint64
+
+	// ringMembers and ringRemap instrument membership changes (nil
+	// without Config.Metrics).
+	ringMembers *metrics.Gauge
+	ringRemap   *metrics.Counter
 }
 
 // New returns an empty pool.
@@ -100,9 +111,13 @@ func New(cfg Config) *Pool {
 	if cfg.HashReplicas <= 0 {
 		cfg.HashReplicas = defaultHashReplicas
 	}
-	p := &Pool{cfg: cfg, shards: make([]*shard, cfg.Shards), ring: buildRing(nil, cfg.HashReplicas)}
+	p := &Pool{cfg: cfg, shards: make([]*shard, cfg.Shards), ring: BuildRing(nil, cfg.HashReplicas)}
 	for i := range p.shards {
 		p.shards[i] = &shard{tenants: make(map[string]*Tenant)}
+	}
+	if cfg.Metrics != nil {
+		p.ringMembers = cfg.Metrics.Gauge("pool.ring.members")
+		p.ringRemap = cfg.Metrics.Counter("pool.ring.remap.total")
 	}
 	return p
 }
@@ -165,11 +180,22 @@ func (p *Pool) RemoveTenant(ctx context.Context, id string) error {
 
 // rebuildRing reassembles the consistent-hash ring from the current
 // membership. Serialized by ringMu so concurrent add/remove cannot
-// interleave a stale membership snapshot over a fresh one.
+// interleave a stale membership snapshot over a fresh one. With
+// Config.Metrics set it also updates the membership gauge and counts
+// remapped probe keys, making each rebalance observable.
 func (p *Pool) rebuildRing() {
 	p.ringMu.Lock()
 	defer p.ringMu.Unlock()
-	p.ring = buildRing(p.tenantIDs(), p.cfg.HashReplicas)
+	old := p.ring
+	p.ring = BuildRing(p.tenantIDs(), p.cfg.HashReplicas)
+	if p.ringMembers != nil {
+		p.ringMembers.Set(int64(p.ring.Len()))
+	}
+	if p.ringRemap != nil {
+		if n := RemapCount(old, p.ring); n > 0 {
+			p.ringRemap.Add(uint64(n))
+		}
+	}
 }
 
 // tenantIDs snapshots the current membership, sorted.
@@ -225,7 +251,7 @@ func (p *Pool) resolve(tenantID, routeKey string) (*Tenant, error) {
 			routeKey = "anon-" + strconv.FormatUint(p.anon.Add(1), 10)
 		}
 		p.ringMu.RLock()
-		tenantID = p.ring.route(routeKey)
+		tenantID = p.ring.Route(routeKey)
 		p.ringMu.RUnlock()
 		if tenantID == "" {
 			return nil, ErrNoRoute
@@ -246,7 +272,43 @@ func (p *Pool) Route(routeKey string) string {
 	}
 	p.ringMu.RLock()
 	defer p.ringMu.RUnlock()
-	return p.ring.route(routeKey)
+	return p.ring.Route(routeKey)
+}
+
+// ReplaceTenant atomically swaps in a freshly built tenant for
+// cfg.ID: the new serving stack is fully constructed and started
+// BEFORE the old tenant (if any) is unrouted, so a failed build leaves
+// the existing tenant serving untouched — the restore-then-activate
+// contract the cluster snapshot/restore path relies on. The displaced
+// tenant's queued and in-flight work is drained exactly once, bounded
+// by ctx. With no existing tenant it behaves like AddTenant.
+func (p *Pool) ReplaceTenant(ctx context.Context, cfg TenantConfig) (*Tenant, error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	t, err := newTenant(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sh := p.shardFor(t.id)
+	sh.mu.Lock()
+	if p.closed.Load() {
+		// Close raced us; do not leak a running engine into a closed
+		// pool.
+		sh.mu.Unlock()
+		_ = t.engine.Close()
+		return nil, ErrPoolClosed
+	}
+	old := sh.tenants[t.id]
+	sh.tenants[t.id] = t
+	sh.mu.Unlock()
+	p.rebuildRing()
+	if old != nil {
+		if err := old.engine.Drain(ctx); err != nil {
+			return t, fmt.Errorf("pool: draining replaced tenant %q: %w", t.id, err)
+		}
+	}
+	return t, nil
 }
 
 // Decide serves one decision through the named tenant's engine,

@@ -11,6 +11,7 @@ import (
 	"headtalk/internal/audio"
 	"headtalk/internal/core"
 	"headtalk/internal/metrics"
+	"headtalk/internal/serve"
 )
 
 // testRecording returns a short 4-channel noise burst — enough to run
@@ -262,13 +263,92 @@ func TestPoolSnapshotPrefixesTenants(t *testing.T) {
 }
 
 func TestRingEmptyAndSingle(t *testing.T) {
-	if got := buildRing(nil, 0).route("k"); got != "" {
+	if got := BuildRing(nil, 0).Route("k"); got != "" {
 		t.Fatalf("empty ring routed to %q", got)
 	}
-	r := buildRing([]string{"only"}, 4)
+	r := BuildRing([]string{"only"}, 4)
 	for _, k := range []string{"a", "b", "c"} {
-		if got := r.route(k); got != "only" {
+		if got := r.Route(k); got != "only" {
 			t.Fatalf("single-tenant ring routed %q to %q", k, got)
 		}
+	}
+}
+
+func TestRingRouteN(t *testing.T) {
+	r := BuildRing([]string{"a", "b", "c"}, 16)
+	for _, k := range []string{"k1", "k2", "k3", "k4"} {
+		got := r.RouteN(k, 2)
+		if len(got) != 2 {
+			t.Fatalf("RouteN(%q, 2) = %v", k, got)
+		}
+		if got[0] != r.Route(k) {
+			t.Fatalf("RouteN first entry %q != owner %q", got[0], r.Route(k))
+		}
+		if got[1] == got[0] {
+			t.Fatalf("RouteN successor duplicates owner: %v", got)
+		}
+	}
+	if got := r.RouteN("k", 10); len(got) != 3 {
+		t.Fatalf("RouteN capped at member count: %v", got)
+	}
+	if got := (*Ring)(nil).RouteN("k", 2); got != nil {
+		t.Fatalf("nil ring RouteN = %v", got)
+	}
+}
+
+func TestRingMembershipMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := New(Config{Metrics: reg})
+	t.Cleanup(func() { _ = p.Close() })
+	if _, err := p.AddTenant(testTenantConfig(t, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddTenant(testTenantConfig(t, "b")); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Gauges["pool.ring.members"]; got != 2 {
+		t.Fatalf("pool.ring.members = %d, want 2", got)
+	}
+	afterAdds := s.Counters["pool.ring.remap.total"]
+	if afterAdds == 0 {
+		t.Fatal("pool.ring.remap.total stayed zero across two adds")
+	}
+	if err := p.RemoveTenant(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	s = reg.Snapshot()
+	if got := s.Gauges["pool.ring.members"]; got != 1 {
+		t.Fatalf("pool.ring.members after remove = %d, want 1", got)
+	}
+	if got := s.Counters["pool.ring.remap.total"]; got <= afterAdds {
+		t.Fatalf("remap counter did not advance on remove: %d <= %d", got, afterAdds)
+	}
+}
+
+func TestReplaceTenantSwapsAtomically(t *testing.T) {
+	p := newTestPool(t, Config{}, "x")
+	oldT, _ := p.Tenant("x")
+	newT, err := p.ReplaceTenant(context.Background(), testTenantConfig(t, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Tenant("x"); got != newT {
+		t.Fatalf("pool still routes to the old tenant")
+	}
+	// The displaced engine is drained: new submissions fail closed.
+	if _, err := oldT.Engine().Decide(context.Background(), testRecording(1)); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("old engine not drained: %v", err)
+	}
+	// The replacement serves.
+	if _, err := p.Decide(context.Background(), "x", testRecording(2)); err != nil {
+		t.Fatalf("replacement tenant decide: %v", err)
+	}
+	// A failed build must leave the current tenant serving.
+	if _, err := p.ReplaceTenant(context.Background(), TenantConfig{ID: "x"}); err == nil {
+		t.Fatal("ReplaceTenant with no System should fail")
+	}
+	if _, err := p.Decide(context.Background(), "x", testRecording(3)); err != nil {
+		t.Fatalf("tenant lost after failed replace: %v", err)
 	}
 }

@@ -37,14 +37,16 @@ func (s BreakerState) String() string {
 	}
 }
 
-// breaker is a consecutive-failure circuit breaker shared by all
-// workers of an engine. Pipeline failures (errors and panics — not
-// per-request bad input, deadline expiries or full-queue rejections)
-// increment a consecutive counter; at threshold the breaker opens and
-// the engine rejects fast. After cooldown one probe request is let
-// through half-open: success closes the breaker, failure re-opens it
-// for another cooldown.
-type breaker struct {
+// Breaker is a consecutive-failure circuit breaker. The serving
+// engine shares one across all its workers: pipeline failures (errors
+// and panics — not per-request bad input, deadline expiries or
+// full-queue rejections) increment a consecutive counter; at threshold
+// the breaker opens and the engine rejects fast. After cooldown one
+// probe request is let through half-open: success closes the breaker,
+// failure re-opens it for another cooldown. The cluster layer reuses
+// the same breaker per peer, where "failure" means a transport-level
+// forward failure. All methods are safe for concurrent use.
+type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 	clock     func() time.Time
@@ -56,19 +58,19 @@ type breaker struct {
 	openedAt    time.Time
 }
 
-func newBreaker(threshold int, cooldown time.Duration, clock func() time.Time, gauge *metrics.Gauge) *breaker {
+func NewBreaker(threshold int, cooldown time.Duration, clock func() time.Time, gauge *metrics.Gauge) *Breaker {
 	if clock == nil {
 		clock = time.Now
 	}
-	b := &breaker{threshold: threshold, cooldown: cooldown, clock: clock, gauge: gauge}
+	b := &Breaker{threshold: threshold, cooldown: cooldown, clock: clock, gauge: gauge}
 	b.setStateLocked(BreakerClosed)
 	return b
 }
 
 // disabled reports whether the breaker never trips (threshold < 0).
-func (b *breaker) disabled() bool { return b.threshold < 0 }
+func (b *Breaker) Disabled() bool { return b.threshold < 0 }
 
-func (b *breaker) setStateLocked(s BreakerState) {
+func (b *Breaker) setStateLocked(s BreakerState) {
 	b.state = s
 	if b.gauge != nil {
 		b.gauge.Set(int64(s))
@@ -78,8 +80,8 @@ func (b *breaker) setStateLocked(s BreakerState) {
 // allow reports whether a request may run the pipeline. probe is true
 // when this request is the half-open probe; its outcome must be fed
 // back via record(probe=true).
-func (b *breaker) allow() (ok, probe bool) {
-	if b.disabled() {
+func (b *Breaker) Allow() (ok, probe bool) {
+	if b.Disabled() {
 		return true, false
 	}
 	b.mu.Lock()
@@ -102,8 +104,8 @@ func (b *breaker) allow() (ok, probe bool) {
 
 // record feeds one pipeline outcome back. probe must be the value
 // returned by the matching allow call.
-func (b *breaker) record(success, probe bool) {
-	if b.disabled() {
+func (b *Breaker) Record(success, probe bool) {
+	if b.Disabled() {
 		return
 	}
 	b.mu.Lock()
@@ -138,8 +140,8 @@ func (b *breaker) record(success, probe bool) {
 // forceOpen trips the breaker as if the threshold had just been
 // crossed (the cooldown starts now). Used by the operational
 // TripBreaker control; no-op when disabled.
-func (b *breaker) forceOpen() {
-	if b.disabled() {
+func (b *Breaker) ForceOpen() {
+	if b.Disabled() {
 		return
 	}
 	b.mu.Lock()
@@ -150,8 +152,8 @@ func (b *breaker) forceOpen() {
 
 // forceClose closes the breaker and clears the failure streak. Used by
 // the operational ResetBreaker control; no-op when disabled.
-func (b *breaker) forceClose() {
-	if b.disabled() {
+func (b *Breaker) ForceClose() {
+	if b.Disabled() {
 		return
 	}
 	b.mu.Lock()
@@ -161,8 +163,8 @@ func (b *breaker) forceClose() {
 }
 
 // snapshot returns the current state and consecutive-failure count.
-func (b *breaker) snapshot() (BreakerState, int) {
-	if b.disabled() {
+func (b *Breaker) Snapshot() (BreakerState, int) {
+	if b.Disabled() {
 		return BreakerClosed, 0
 	}
 	b.mu.Lock()

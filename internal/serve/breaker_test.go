@@ -38,104 +38,104 @@ func (c *fakeClock) Advance(d time.Duration) {
 
 func TestBreakerTripsAtThreshold(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(3, time.Second, clk.Now, nil)
+	b := NewBreaker(3, time.Second, clk.Now, nil)
 	for i := 0; i < 2; i++ {
-		if ok, _ := b.allow(); !ok {
+		if ok, _ := b.Allow(); !ok {
 			t.Fatalf("breaker closed prematurely after %d failures", i)
 		}
-		b.record(false, false)
+		b.Record(false, false)
 	}
-	if s, n := b.snapshot(); s != BreakerClosed || n != 2 {
+	if s, n := b.Snapshot(); s != BreakerClosed || n != 2 {
 		t.Fatalf("state = %s/%d, want closed/2", s, n)
 	}
-	if ok, _ := b.allow(); !ok {
+	if ok, _ := b.Allow(); !ok {
 		t.Fatal("third request should still be allowed")
 	}
-	b.record(false, false)
-	if s, _ := b.snapshot(); s != BreakerOpen {
+	b.Record(false, false)
+	if s, _ := b.Snapshot(); s != BreakerOpen {
 		t.Fatalf("state after threshold = %s, want open", s)
 	}
-	if ok, _ := b.allow(); ok {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("open breaker must reject")
 	}
 }
 
 func TestBreakerSuccessResetsStreak(t *testing.T) {
-	b := newBreaker(2, time.Second, newFakeClock().Now, nil)
-	b.record(false, false)
-	b.record(true, false) // success resets the streak
-	b.record(false, false)
-	if s, n := b.snapshot(); s != BreakerClosed || n != 1 {
+	b := NewBreaker(2, time.Second, newFakeClock().Now, nil)
+	b.Record(false, false)
+	b.Record(true, false) // success resets the streak
+	b.Record(false, false)
+	if s, n := b.Snapshot(); s != BreakerClosed || n != 1 {
 		t.Fatalf("state = %s/%d after non-consecutive failures, want closed/1", s, n)
 	}
-	b.record(false, false)
-	if s, _ := b.snapshot(); s != BreakerOpen {
+	b.Record(false, false)
+	if s, _ := b.Snapshot(); s != BreakerOpen {
 		t.Fatal("two consecutive failures should trip threshold-2 breaker")
 	}
 }
 
 func TestBreakerHalfOpenProbe(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(1, time.Second, clk.Now, nil)
-	b.record(false, false)
-	if s, _ := b.snapshot(); s != BreakerOpen {
+	b := NewBreaker(1, time.Second, clk.Now, nil)
+	b.Record(false, false)
+	if s, _ := b.Snapshot(); s != BreakerOpen {
 		t.Fatal("threshold-1 breaker should open on first failure")
 	}
-	if ok, _ := b.allow(); ok {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("breaker must reject before cooldown")
 	}
 	clk.Advance(time.Second)
-	ok, probe := b.allow()
+	ok, probe := b.Allow()
 	if !ok || !probe {
 		t.Fatalf("after cooldown allow = (%v, %v), want probe", ok, probe)
 	}
 	// While the probe is in flight everything else is rejected.
-	if ok, _ := b.allow(); ok {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("half-open breaker must admit only the probe")
 	}
 	// Probe failure re-opens for another cooldown.
-	b.record(false, true)
-	if s, _ := b.snapshot(); s != BreakerOpen {
+	b.Record(false, true)
+	if s, _ := b.Snapshot(); s != BreakerOpen {
 		t.Fatal("failed probe should re-open the breaker")
 	}
-	if ok, _ := b.allow(); ok {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("re-opened breaker must reject until the next cooldown")
 	}
 	clk.Advance(time.Second)
-	if ok, probe := b.allow(); !ok || !probe {
+	if ok, probe := b.Allow(); !ok || !probe {
 		t.Fatal("second cooldown should admit a new probe")
 	}
-	b.record(true, true)
-	if s, n := b.snapshot(); s != BreakerClosed || n != 0 {
+	b.Record(true, true)
+	if s, n := b.Snapshot(); s != BreakerClosed || n != 0 {
 		t.Fatalf("after successful probe state = %s/%d, want closed/0", s, n)
 	}
 }
 
 func TestBreakerLateResultWhileOpenIgnored(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(1, time.Minute, clk.Now, nil)
-	okA, probeA := b.allow() // in-flight non-probe task
+	b := NewBreaker(1, time.Minute, clk.Now, nil)
+	okA, probeA := b.Allow() // in-flight non-probe task
 	if !okA || probeA {
 		t.Fatal("first allow should be a plain admit")
 	}
-	b.record(false, false) // trips the breaker
+	b.Record(false, false) // trips the breaker
 	// The earlier task finishes successfully while the breaker is open;
 	// only a probe may close it.
-	b.record(true, false)
-	if s, _ := b.snapshot(); s != BreakerOpen {
+	b.Record(true, false)
+	if s, _ := b.Snapshot(); s != BreakerOpen {
 		t.Fatal("late non-probe success must not close an open breaker")
 	}
 }
 
 func TestBreakerDisabled(t *testing.T) {
-	b := newBreaker(-1, time.Second, newFakeClock().Now, nil)
+	b := NewBreaker(-1, time.Second, newFakeClock().Now, nil)
 	for i := 0; i < 100; i++ {
-		b.record(false, false)
+		b.Record(false, false)
 	}
-	if ok, probe := b.allow(); !ok || probe {
+	if ok, probe := b.Allow(); !ok || probe {
 		t.Fatal("disabled breaker must always admit")
 	}
-	if s, n := b.snapshot(); s != BreakerClosed || n != 0 {
+	if s, n := b.Snapshot(); s != BreakerClosed || n != 0 {
 		t.Fatalf("disabled breaker snapshot = %s/%d", s, n)
 	}
 }

@@ -172,7 +172,7 @@ type Engine struct {
 	cfg     Config
 	queue   chan *task
 	wg      sync.WaitGroup
-	breaker *breaker
+	breaker *Breaker
 	streams *stream.Manager
 
 	// mu guards state. Submitters hold it shared (RLock) while
@@ -242,7 +242,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			decisionLat:  r.Histogram("serve.decision.latency", nil),
 		},
 	}
-	e.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock, e.ins.breakerState)
+	e.breaker = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock, e.ins.breakerState)
 	if cfg.Streaming != nil {
 		if err := e.buildStreams(); err != nil {
 			return nil, err
@@ -306,7 +306,7 @@ func (e *Engine) worker() {
 			e.ins.expired.Inc()
 			tr.SetOutcome("", false, "expired")
 		default:
-			allowed, probe := e.breaker.allow()
+			allowed, probe := e.breaker.Allow()
 			if !allowed {
 				// Breaker open: fail closed without touching the
 				// pipeline.
@@ -332,7 +332,7 @@ func (e *Engine) worker() {
 				p = e.cfg.System.NewPreprocessor()
 				tr.SetOutcome("", false, core.ReasonPanic.Slug())
 			}
-			e.breaker.record(!breakerFailure(err), probe)
+			e.breaker.Record(!breakerFailure(err), probe)
 		}
 		if tr != nil {
 			ft := tr.Finish()
@@ -415,7 +415,7 @@ func (e *Engine) HealthSnapshot() Health {
 		depth = len(e.queue)
 	}
 	e.mu.RUnlock()
-	bs, streak := e.breaker.snapshot()
+	bs, streak := e.breaker.Snapshot()
 	h := Health{
 		Workers:             e.cfg.Workers,
 		QueueDepth:          depth,
@@ -556,12 +556,12 @@ func (e *Engine) ProcessWake(ctx context.Context, rec *audio.Recording) (core.De
 // pool or daemon uses it to put one tenant into reject-fast
 // maintenance without touching the others. No-op when the breaker is
 // disabled.
-func (e *Engine) TripBreaker() { e.breaker.forceOpen() }
+func (e *Engine) TripBreaker() { e.breaker.ForceOpen() }
 
 // ResetBreaker closes the circuit breaker and clears its failure
 // streak, immediately restoring normal serving. No-op when the breaker
 // is disabled.
-func (e *Engine) ResetBreaker() { e.breaker.forceClose() }
+func (e *Engine) ResetBreaker() { e.breaker.ForceClose() }
 
 // Drain stops accepting new submissions and waits for every queued
 // and in-flight request to finish, bounded by ctx. Already-accepted

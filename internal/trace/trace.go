@@ -45,6 +45,12 @@ const (
 	// streamed decision: incremental STFT hops plus sliding-window
 	// template scoring, accumulated like StageIngest.
 	StageSpot
+	// StageForward is the cross-node round trip for a decision the
+	// local node did not own: serialization, the pooled-client network
+	// exchange (including any retries and the hedged attempt) and
+	// response decoding. It replaces the local pipeline stages when a
+	// request is served by a federation peer.
+	StageForward
 	// StageQueueWait is the time a served request spent in the
 	// submission queue before a worker dequeued it.
 	StageQueueWait
@@ -80,6 +86,8 @@ func (s Stage) String() string {
 		return "ingest"
 	case StageSpot:
 		return "spot"
+	case StageForward:
+		return "forward"
 	case StageQueueWait:
 		return "queue_wait"
 	case StagePickup:
