@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench chaos check staticcheck
+.PHONY: all build test race vet bench bench-compare alloc-regression chaos check staticcheck
 
 all: check
 
@@ -34,12 +34,13 @@ vet:
 
 # Fault-injection chaos suite, run twice under the race detector:
 # exactly-once delivery and fail-closed decisions while the injector
-# corrupts frames, drops channels, stalls stages and induces panics,
-# plus streaming-session isolation (a stalled session must not starve
-# pushes or eviction for other sessions), plus federation isolation
-# (dead, black-hole and slow-drip peers must fail fast with typed
-# errors and leave locally-owned tenants' latency and error rate
-# untouched).
+# corrupts frames, drops channels, stalls stages and induces panics —
+# on both the sequential worker and the batch collector (a mid-batch
+# panic fails the whole batch closed) — plus streaming-session
+# isolation (a stalled session must not starve pushes or eviction for
+# other sessions), plus federation isolation (dead, black-hole and
+# slow-drip peers must fail fast with typed errors and leave
+# locally-owned tenants' latency and error rate untouched).
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Breaker|Panic|FaultInject' ./internal/serve ./internal/stream
 	$(GO) test -race -count=2 ./internal/faultinject
@@ -59,8 +60,8 @@ chaos:
 # streaming-vs-batch decision cost on identical audio, and
 # ForwardOverhead records the federation tax (local vs peer-forwarded
 # decision over loopback TCP).
-BENCH_JSON ?= BENCH_pr7.json
-BENCH_TAG  ?= pr7
+BENCH_JSON ?= BENCH_pr8.json
+BENCH_TAG  ?= pr8
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput|BenchmarkRuntime|BenchmarkPipelineStages|BenchmarkStreamEndToEnd' -benchmem -benchtime 50x . \
@@ -69,5 +70,23 @@ bench:
 		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)
 	$(GO) test -run xxx -bench 'BenchmarkForwardOverhead' -benchmem -benchtime 50x ./internal/cluster \
 		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)
+
+# Per-benchmark delta table between two recorded tags, e.g.
+#   make bench-compare BENCH_COMPARE=pr8-pre,pr8
+# Negative ns/op deltas are improvements; within one tag the last
+# appended record per benchmark wins.
+BENCH_COMPARE ?= pr8-pre,pr8
+
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(BENCH_COMPARE) -out $(BENCH_JSON)
+
+# Allocation-regression gate: the AllocsPerRun pins that hold the
+# steady-state serving path at zero allocations — the whole
+# ProcessWake (session shortcut, full orientation path, batched path)
+# plus the per-layer workspaces it is built from. -count=2 repeats
+# each pin so a warm-up-dependent regression cannot hide behind test
+# caching.
+alloc-regression:
+	$(GO) test -count=2 -run 'AllocFree|Allocs|ZeroAlloc' ./internal/core ./internal/features ./internal/ml ./internal/srp ./internal/dsp ./internal/stream ./internal/trace ./internal/va
 
 check: build vet test race

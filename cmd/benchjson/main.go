@@ -12,6 +12,13 @@
 // Records carry the benchmark name (CPU-count suffix stripped), the
 // enclosing package, iterations, ns/op, -benchmem's B/op and allocs/op
 // when present, and any custom b.ReportMetric units.
+//
+// With -compare tagA,tagB it instead reads the -out file and prints a
+// per-benchmark delta table between the two tags (ns/op and allocs/op,
+// negative deltas are improvements), using the last record per
+// (pkg, name, tag) so re-runs supersede earlier appends:
+//
+//	benchjson -compare pr8-pre,pr8 -out BENCH_pr8.json
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 type record struct {
@@ -39,10 +47,18 @@ func main() {
 	out := flag.String("out", "", "JSON Lines output file (required)")
 	tag := flag.String("tag", "", "tag stored on every record (e.g. pr3, pr3-baseline)")
 	appendOut := flag.Bool("append", false, "append to -out instead of truncating")
+	compare := flag.String("compare", "", "tagA,tagB: diff two tags in the -out file instead of recording")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
 		os.Exit(2)
+	}
+	if *compare != "" {
+		if err := runCompare(*out, *compare); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	mode := os.O_CREATE | os.O_WRONLY
@@ -121,6 +137,90 @@ func parseBenchLine(line string) (record, bool) {
 		}
 	}
 	return rec, sawNs
+}
+
+// runCompare prints a per-benchmark delta table between two tags in a
+// JSON Lines record file. Within one (pkg, name, tag) the last record
+// wins, so an appended re-run supersedes earlier results.
+func runCompare(path, spec string) error {
+	tagA, tagB, ok := strings.Cut(spec, ",")
+	if !ok || tagA == "" || tagB == "" {
+		return fmt.Errorf("-compare wants tagA,tagB, got %q", spec)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	type key struct{ pkg, name string }
+	byTag := map[string]map[key]record{tagA: {}, tagB: {}}
+	var order []key
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return fmt.Errorf("parsing %s: %v", path, err)
+		}
+		m, want := byTag[rec.Tag]
+		if !want {
+			continue
+		}
+		k := key{rec.Pkg, rec.Name}
+		if _, seen := m[k]; !seen {
+			if _, other := byTag[otherTag(rec.Tag, tagA, tagB)][k]; !other {
+				order = append(order, k)
+			}
+		}
+		m[k] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(byTag[tagA]) == 0 {
+		return fmt.Errorf("no records tagged %q in %s", tagA, path)
+	}
+	if len(byTag[tagB]) == 0 {
+		return fmt.Errorf("no records tagged %q in %s", tagB, path)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\t%s ns/op\t%s ns/op\tdelta\tallocs %s\tallocs %s\n", tagA, tagB, tagA, tagB)
+	for _, k := range order {
+		a, okA := byTag[tagA][k]
+		b, okB := byTag[tagB][k]
+		name := strings.TrimPrefix(k.name, "Benchmark")
+		switch {
+		case okA && okB:
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\t%s\n",
+				name, a.NsPerOp, b.NsPerOp, 100*(b.NsPerOp-a.NsPerOp)/a.NsPerOp,
+				allocStr(a.AllocsPerOp), allocStr(b.AllocsPerOp))
+		case okA:
+			fmt.Fprintf(w, "%s\t%.0f\t-\t(only in %s)\t%s\t-\n", name, a.NsPerOp, tagA, allocStr(a.AllocsPerOp))
+		default:
+			fmt.Fprintf(w, "%s\t-\t%.0f\t(only in %s)\t-\t%s\n", name, b.NsPerOp, tagB, allocStr(b.AllocsPerOp))
+		}
+	}
+	return w.Flush()
+}
+
+func otherTag(tag, a, b string) string {
+	if tag == a {
+		return b
+	}
+	return a
+}
+
+func allocStr(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	return strconv.FormatFloat(*v, 'f', -1, 64)
 }
 
 // stripCPUSuffix removes the trailing -GOMAXPROCS from a benchmark

@@ -8,9 +8,18 @@
 // Usage:
 //
 //	headtalkd [-listen addr] [-workers N] [-queue N] [-mode M]
+//	          [-batch N] [-batch-gather D]
 //	          [-tenants spec] [-deadline D] [-metrics-every D]
 //	          [-no-enroll] [-seed N] [-trace] [-trace-capacity N]
 //	          [-slow-threshold D] [-debug-addr addr]
+//
+// With -batch N (N > 1) each tenant's workers gather up to N queued
+// requests (waiting at most -batch-gather after the first) and run
+// them through the batched DSP path: one cache-friendly forward-FFT +
+// PHAT-whitening sweep over the shared plan instead of per-request
+// passes. Batch occupancy is observable as the serve.batch.size
+// histogram and serve.batch.occupancy gauge, summarized under
+// "batches" in metrics lines.
 //
 // With -tenants the daemon hosts several isolated device profiles at
 // once, each with its own trained system, queue, circuit breaker and
@@ -111,6 +120,8 @@ func main() {
 		listen       = flag.String("listen", "", "TCP listen address (empty: serve stdin/stdout)")
 		workers      = flag.Int("workers", 0, "per-tenant engine worker count (0: NumCPU)")
 		queueSize    = flag.Int("queue", 64, "per-tenant bounded submission queue size")
+		maxBatch     = flag.Int("batch", 0, "requests per DSP batch (<=1: per-request serving)")
+		batchGather  = flag.Duration("batch-gather", 0, "how long a worker waits to fill a batch after the first request (0: 2ms)")
 		mode         = flag.String("mode", "headtalk", "initial privacy mode: normal|mute|headtalk")
 		tenants      = flag.String("tenants", "", "comma-separated tenant specs id:DEVICE@ROOM (empty: one anonymous tenant)")
 		deadline     = flag.Duration("deadline", 0, "per-request deadline (0: none)")
@@ -129,6 +140,7 @@ func main() {
 		peersFlag    = flag.String("peers", "", "comma-separated federation peers id=host:port")
 		peerListen   = flag.String("peer-listen", "", "TCP listen address for node-to-node traffic (required with -node-id and peers)")
 		forwardTO    = flag.Duration("forward-timeout", 0, "end-to-end deadline for one forwarded request (0: 2s)")
+		jsonPeerWire = flag.Bool("json-peer-wire", false, "pin node-to-node forwards to NDJSON (no binary frame negotiation)")
 		drainTO      = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for draining in-flight decisions")
 	)
 	flag.Parse()
@@ -151,26 +163,29 @@ func main() {
 		log.Fatalf("headtalkd: -peer-listen requires -node-id")
 	}
 	d, err := newDaemon(daemonOptions{
-		Workers:          *workers,
-		QueueSize:        *queueSize,
-		Mode:             *mode,
-		Tenants:          specs,
-		Deadline:         *deadline,
-		MetricsEvery:     *metricsEvery,
-		Enroll:           !*noEnroll,
-		Seed:             *seed,
-		OrientReps:       *orientReps,
-		LivePairs:        *livePairs,
-		BreakerThreshold: *breakerN,
-		BreakerCooldown:  *breakerWait,
-		Trace:            *traceOn,
-		TraceCapacity:    *traceCap,
-		SlowThreshold:    *slowThresh,
-		Progress:         os.Stderr,
-		NodeID:           *nodeID,
-		Peers:            peers,
-		ForwardTimeout:   *forwardTO,
-		DrainTimeout:     *drainTO,
+		Workers:           *workers,
+		QueueSize:         *queueSize,
+		MaxBatch:          *maxBatch,
+		GatherDelay:       *batchGather,
+		Mode:              *mode,
+		Tenants:           specs,
+		Deadline:          *deadline,
+		MetricsEvery:      *metricsEvery,
+		Enroll:            !*noEnroll,
+		Seed:              *seed,
+		OrientReps:        *orientReps,
+		LivePairs:         *livePairs,
+		BreakerThreshold:  *breakerN,
+		BreakerCooldown:   *breakerWait,
+		Trace:             *traceOn,
+		TraceCapacity:     *traceCap,
+		SlowThreshold:     *slowThresh,
+		Progress:          os.Stderr,
+		NodeID:            *nodeID,
+		Peers:             peers,
+		ForwardTimeout:    *forwardTO,
+		DisableBinaryWire: *jsonPeerWire,
+		DrainTimeout:      *drainTO,
 	})
 	if err != nil {
 		log.Fatalf("headtalkd: %v", err)
@@ -311,7 +326,13 @@ func parseTenantSpecs(s string) ([]tenantSpec, error) {
 type daemonOptions struct {
 	Workers   int
 	QueueSize int
-	Mode      string
+	// MaxBatch > 1 turns on the per-tenant batch collector: workers
+	// gather up to MaxBatch queued requests (waiting at most
+	// GatherDelay after the first) and run them through the batched
+	// DSP path. See serve.Config.MaxBatch.
+	MaxBatch    int
+	GatherDelay time.Duration
+	Mode        string
 	// Tenants lists the hosted device profiles. Empty hosts one
 	// anonymous tenant (single-tenant mode: responses and metrics keep
 	// their historical, label-free shape).
@@ -340,6 +361,9 @@ type daemonOptions struct {
 	// ForwardTimeout bounds one forwarded request end to end (0: the
 	// cluster default, 2s).
 	ForwardTimeout time.Duration
+	// DisableBinaryWire pins node-to-node forwards to NDJSON: this
+	// node neither sends binary peer frames nor invites peers to.
+	DisableBinaryWire bool
 	// DrainTimeout bounds graceful shutdown's pool drain (0: 10s).
 	DrainTimeout time.Duration
 }
@@ -445,12 +469,13 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 
 	if opts.NodeID != "" {
 		node, err := cluster.NewNode(cluster.Config{
-			NodeID:         opts.NodeID,
-			Pool:           d.pool,
-			Peers:          opts.Peers,
-			Metrics:        metrics.NewRegistry(),
-			ForwardTimeout: opts.ForwardTimeout,
-			TenantBuilder:  d.restoredTenantConfig,
+			NodeID:            opts.NodeID,
+			Pool:              d.pool,
+			Peers:             opts.Peers,
+			Metrics:           metrics.NewRegistry(),
+			ForwardTimeout:    opts.ForwardTimeout,
+			DisableBinaryWire: opts.DisableBinaryWire,
+			TenantBuilder:     d.restoredTenantConfig,
 			Profile: func(tenantID string) (string, string) {
 				spec := d.specs[tenantID]
 				return spec.Device, spec.Room
@@ -531,6 +556,8 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 			System:           sys,
 			Workers:          opts.Workers,
 			QueueSize:        opts.QueueSize,
+			MaxBatch:         opts.MaxBatch,
+			GatherDelay:      opts.GatherDelay,
 			Metrics:          registry,
 			BreakerThreshold: opts.BreakerThreshold,
 			BreakerCooldown:  opts.BreakerCooldown,
@@ -575,6 +602,8 @@ func (d *daemon) restoredTenantConfig(env *cluster.Envelope, sys *core.System, r
 		System:           sys,
 		Workers:          d.opts.Workers,
 		QueueSize:        d.opts.QueueSize,
+		MaxBatch:         d.opts.MaxBatch,
+		GatherDelay:      d.opts.GatherDelay,
 		Metrics:          registry,
 		BreakerThreshold: d.opts.BreakerThreshold,
 		BreakerCooldown:  d.opts.BreakerCooldown,
@@ -791,6 +820,9 @@ type response struct {
 	Counters  map[string]uint64         `json:"counters,omitempty"`
 	Gauges    map[string]int64          `json:"gauges,omitempty"`
 	Latencies map[string]latencySummary `json:"latencies,omitempty"`
+	// Batches summarizes the serve.batch.size histograms (requests per
+	// dispatched batch — counts, not latencies) when batching is on.
+	Batches map[string]batchSummary `json:"batches,omitempty"`
 }
 
 // healthInfo is the body of a health line: one tenant's serving
@@ -904,6 +936,24 @@ type latencySummary struct {
 	MaxUS  int64  `json:"max_us"`
 }
 
+// batchSummary renders one serve.batch.size histogram: how full
+// dispatched batches ran, in requests rather than seconds.
+type batchSummary struct {
+	// Batches is how many batches were dispatched; Requests how many
+	// requests rode them (Requests/Batches = mean occupancy).
+	Batches  uint64  `json:"batches"`
+	Requests uint64  `json:"requests"`
+	Mean     float64 `json:"mean"`
+	P50      float64 `json:"p50"`
+	Max      float64 `json:"max"`
+}
+
+// isBatchSizeMetric spots the serve.batch.size histogram under any
+// tenant prefix; its samples are batch occupancies, not durations.
+func isBatchSizeMetric(name string) bool {
+	return strings.HasSuffix(name, "serve.batch.size")
+}
+
 func metricsResponse(s metrics.Snapshot) response {
 	resp := response{
 		Type:      "metrics",
@@ -913,6 +963,19 @@ func metricsResponse(s metrics.Snapshot) response {
 	}
 	us := func(sec float64) int64 { return int64(sec * 1e6) }
 	for name, h := range s.Histograms {
+		if isBatchSizeMetric(name) {
+			if resp.Batches == nil {
+				resp.Batches = map[string]batchSummary{}
+			}
+			resp.Batches[name] = batchSummary{
+				Batches:  h.Count,
+				Requests: uint64(h.Sum),
+				Mean:     h.Mean(),
+				P50:      h.Quantile(0.5),
+				Max:      h.Max,
+			}
+			continue
+		}
 		resp.Latencies[name] = latencySummary{
 			Count:  h.Count,
 			MeanUS: us(h.Mean()),

@@ -115,21 +115,34 @@ func (r *Recording) Select(idx []int) (*Recording, error) {
 // Mono returns the average of all channels as a fresh slice; useful
 // for single-channel analyses such as liveness detection.
 func (r *Recording) Mono() []float64 {
+	return r.MonoInto(make([]float64, r.Len()))
+}
+
+// MonoInto averages all channels into dst (grown if needed) and
+// returns dst[:r.Len()]. With a caller-reused dst of sufficient
+// capacity it performs no allocation.
+func (r *Recording) MonoInto(dst []float64) []float64 {
 	n := r.Len()
-	out := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
 	if len(r.Channels) == 0 {
-		return out
+		return dst
 	}
 	for _, ch := range r.Channels {
 		for i, v := range ch {
-			out[i] += v
+			dst[i] += v
 		}
 	}
 	inv := 1 / float64(len(r.Channels))
-	for i := range out {
-		out[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return out
+	return dst
 }
 
 // Clone returns a deep copy of the recording.

@@ -1,0 +1,148 @@
+package cluster
+
+// The binary peer frame: a length-prefixed request encoding for the
+// two sample-bearing operations (decide, frames), negotiated per peer
+// with the hello op and falling back to NDJSON against peers that do
+// not speak it. Marshaling multichannel float64 audio through JSON
+// costs a decimal render and re-parse per sample and dominates the
+// forwarded-decision round trip; the binary frame moves the bulk
+// samples as raw IEEE-754 bits and keeps only the small metadata
+// header in JSON, so the wire stays extensible where it is cheap and
+// flat where it is hot.
+//
+// Frame layout (all integers and float bits little-endian):
+//
+//	0xB1 | u32 headerLen | header JSON | u32 nch | nch × (u32 n | n × f64)
+//
+// The header is the peerRequest with its Channels/Frames stripped; the
+// payload re-attaches to the field the op implies. Responses are always
+// NDJSON lines — they carry no sample data, and one response shape
+// keeps error reporting uniform across both request encodings. A
+// server tells the encodings apart by the first byte of each request:
+// 0xB1 opens a binary frame, anything else (in practice '{') is a JSON
+// line, so both kinds interleave freely on one connection.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// binaryMagic opens every binary peer frame. It can never begin an
+// NDJSON request, which starts with '{' (0x7B) or whitespace.
+const binaryMagic = 0xB1
+
+// Binary frame bounds, mirroring maxPeerLine's role on the JSON wire.
+const (
+	maxBinaryHeader   = 1 << 20 // metadata JSON, sans samples
+	maxBinaryChannels = 4096
+)
+
+// errBinaryFrame reports a malformed or over-limit binary frame.
+// Unlike an oversized JSON line, the remaining frame length cannot be
+// trusted, so the connection must be dropped after answering.
+var errBinaryFrame = fmt.Errorf("cluster: malformed binary peer frame")
+
+// appendBinaryRequest appends req's binary frame encoding to buf
+// (reused across calls for an allocation-free steady state) and
+// returns the extended slice. Only sample-bearing ops encode.
+func appendBinaryRequest(buf []byte, req *peerRequest) ([]byte, error) {
+	var payload [][]float64
+	switch req.Op {
+	case opDecide:
+		payload = req.Channels
+	case opFrames:
+		payload = req.Frames
+	default:
+		return nil, fmt.Errorf("cluster: op %q has no binary frame encoding", req.Op)
+	}
+	header := *req
+	header.Channels = nil
+	header.Frames = nil
+	hdr, err := json.Marshal(&header)
+	if err != nil {
+		return nil, err
+	}
+	if len(hdr) > maxBinaryHeader || len(payload) > maxBinaryChannels {
+		return nil, errBinaryFrame
+	}
+	buf = append(buf, binaryMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	for _, ch := range payload {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ch)))
+		for _, v := range ch {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// readBinaryRequest decodes one binary frame into req. The caller has
+// already consumed the magic byte. Any error leaves the stream
+// position unknown; the connection must not be reused.
+func readBinaryRequest(br *bufio.Reader, req *peerRequest) error {
+	hlen, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	if hlen > maxBinaryHeader {
+		return fmt.Errorf("%w: header %d bytes", errBinaryFrame, hlen)
+	}
+	hdr := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(hdr, req); err != nil {
+		return fmt.Errorf("%w: %v", errBinaryFrame, err)
+	}
+	nch, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	if nch > maxBinaryChannels {
+		return fmt.Errorf("%w: %d channels", errBinaryFrame, nch)
+	}
+	var total uint64
+	payload := make([][]float64, nch)
+	for i := range payload {
+		n, err := readU32(br)
+		if err != nil {
+			return err
+		}
+		total += uint64(n) * 8
+		if total > maxPeerLine {
+			return fmt.Errorf("%w: %d payload bytes", errBinaryFrame, total)
+		}
+		ch := make([]float64, n)
+		raw := make([]byte, 8*int(n))
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return err
+		}
+		for j := range ch {
+			ch[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[j*8:]))
+		}
+		payload[i] = ch
+	}
+	switch req.Op {
+	case opDecide:
+		req.Channels = payload
+	case opFrames:
+		req.Frames = payload
+	default:
+		return fmt.Errorf("%w: op %q carries a sample payload", errBinaryFrame, req.Op)
+	}
+	return nil
+}
+
+func readU32(br *bufio.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(br, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}

@@ -18,6 +18,25 @@ import (
 // connections are closed rather than cached.
 const maxIdleConns = 4
 
+// Peer wire encodings, negotiated once per peer with the hello op and
+// cached on the client (wireUnknown until the first sample-bearing
+// forward triggers negotiation).
+const (
+	wireUnknown int32 = iota
+	wireBinary
+	wireJSON
+)
+
+// peerConn is one pooled peer connection with its read buffer and
+// encode scratch, which live and die with the connection — pooling
+// them together keeps repeat round trips free of the 64 KiB reader
+// and frame-buffer allocations.
+type peerConn struct {
+	net.Conn
+	br  *bufio.Reader
+	buf []byte
+}
+
 // peerClient is the forwarding path to one peer: a small pool of
 // reused TCP connections, an in-flight semaphore bounding concurrent
 // forwards, capped exponential backoff with jitter between retries,
@@ -30,9 +49,12 @@ type peerClient struct {
 	cfg  *Config
 
 	breaker  *serve.Breaker
-	conns    chan net.Conn
+	conns    chan *peerConn
 	inflight chan struct{}
 	closed   atomic.Bool
+	// wire caches the hello-negotiated request encoding for this peer
+	// (wireUnknown / wireBinary / wireJSON).
+	wire atomic.Int32
 
 	latency *metrics.Histogram // round-trip latency, successful attempts
 	retries *metrics.Counter   // re-attempts after a transport failure
@@ -45,7 +67,7 @@ func newPeerClient(id, addr string, cfg *Config, reg *metrics.Registry) *peerCli
 		addr:     addr,
 		cfg:      cfg,
 		breaker:  serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil, reg.Gauge(prefix+"breaker.state")),
-		conns:    make(chan net.Conn, maxIdleConns),
+		conns:    make(chan *peerConn, maxIdleConns),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		latency:  reg.Histogram(prefix+"forward.latency", nil),
 		retries:  reg.Counter(prefix + "retries.total"),
@@ -87,6 +109,9 @@ func (c *peerClient) call(ctx context.Context, req peerRequest, retry bool) (*pe
 			lastErr = fmt.Errorf("%w: peer %s: breaker open", ErrPeerUnavailable, c.id)
 			continue
 		}
+		// Negotiate the wire encoding behind the breaker gate, so an
+		// open breaker still fails fast without touching the network.
+		c.maybeNegotiate(ctx, req.Op)
 		start := time.Now()
 		resp, err := c.roundTrip(ctx, req)
 		c.breaker.Record(err == nil, probe)
@@ -106,12 +131,39 @@ func (c *peerClient) call(ctx context.Context, req peerRequest, retry bool) (*pe
 	return nil, lastErr
 }
 
-// roundTrip writes one request line and reads one response line on a
-// pooled (or freshly dialed) connection, with every byte bounded by the
-// context deadline. Any failure closes the connection — a conn whose
-// stream alignment is unknown must never return to the pool.
+// maybeNegotiate settles the peer's request encoding before the first
+// sample-bearing forward: one hello round trip asks whether the peer
+// accepts binary frames. A negative or error answer (an older peer
+// rejects the unknown op) selects JSON; only a transport failure
+// leaves the encoding unknown so a later call retries. Ops without a
+// binary form never trigger negotiation.
+func (c *peerClient) maybeNegotiate(ctx context.Context, op string) {
+	if op != opDecide && op != opFrames || c.wire.Load() != wireUnknown {
+		return
+	}
+	if c.cfg.DisableBinaryWire {
+		c.wire.Store(wireJSON)
+		return
+	}
+	resp, err := c.roundTrip(ctx, peerRequest{Op: opHello, Binary: true})
+	if err != nil {
+		return
+	}
+	if resp.OK && resp.Binary {
+		c.wire.Store(wireBinary)
+	} else {
+		c.wire.Store(wireJSON)
+	}
+}
+
+// roundTrip writes one request — a binary frame for negotiated
+// sample-bearing ops, an NDJSON line otherwise — and reads one NDJSON
+// response line on a pooled (or freshly dialed) connection, with every
+// byte bounded by the context deadline. Any failure closes the
+// connection — a conn whose stream alignment is unknown must never
+// return to the pool.
 func (c *peerClient) roundTrip(ctx context.Context, req peerRequest) (*peerResponse, error) {
-	conn, err := c.getConn(ctx)
+	pc, err := c.getConn(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -119,62 +171,72 @@ func (c *peerClient) roundTrip(ctx context.Context, req peerRequest) (*peerRespo
 	if !ok {
 		deadline = time.Now().Add(c.cfg.ForwardTimeout)
 	}
-	if err := conn.SetDeadline(deadline); err != nil {
-		conn.Close()
+	if err := pc.SetDeadline(deadline); err != nil {
+		pc.Close()
 		return nil, err
 	}
-	data, err := json.Marshal(req)
+	if c.wire.Load() == wireBinary && (req.Op == opDecide || req.Op == opFrames) {
+		pc.buf, err = appendBinaryRequest(pc.buf[:0], &req)
+	} else {
+		var data []byte
+		if data, err = json.Marshal(req); err == nil {
+			pc.buf = append(append(pc.buf[:0], data...), '\n')
+		}
+	}
 	if err != nil {
-		conn.Close()
+		pc.Close()
 		return nil, err
 	}
-	if _, err := conn.Write(append(data, '\n')); err != nil {
-		conn.Close()
+	if _, err := pc.Write(pc.buf); err != nil {
+		pc.Close()
 		return nil, err
 	}
-	br := bufio.NewReaderSize(conn, 64*1024)
-	line, err := readBoundedLine(br, maxPeerLine)
+	line, err := readBoundedLine(pc.br, maxPeerLine)
 	if err != nil {
-		conn.Close()
+		pc.Close()
 		return nil, err
 	}
-	// The bufio reader may have buffered bytes past the response line;
-	// with the strict one-response-per-request protocol there are none,
-	// so the raw conn can be pooled.
-	if br.Buffered() > 0 {
-		conn.Close()
-		return nil, fmt.Errorf("peer %s sent %d unexpected trailing bytes", c.id, br.Buffered())
+	// The reader may have buffered bytes past the response line; with
+	// the strict one-response-per-request protocol there are none, so
+	// the conn can be pooled.
+	if pc.br.Buffered() > 0 {
+		pc.Close()
+		return nil, fmt.Errorf("peer %s sent %d unexpected trailing bytes", c.id, pc.br.Buffered())
 	}
 	var resp peerResponse
 	if err := json.Unmarshal(line, &resp); err != nil {
-		conn.Close()
+		pc.Close()
 		return nil, fmt.Errorf("decoding peer response: %w", err)
 	}
-	_ = conn.SetDeadline(time.Time{})
-	c.putConn(conn)
+	_ = pc.SetDeadline(time.Time{})
+	c.putConn(pc)
 	return &resp, nil
 }
 
-func (c *peerClient) getConn(ctx context.Context) (net.Conn, error) {
+func (c *peerClient) getConn(ctx context.Context) (*peerConn, error) {
 	select {
-	case conn := <-c.conns:
-		return conn, nil
+	case pc := <-c.conns:
+		return pc, nil
 	default:
 	}
 	dialCtx, cancel := context.WithTimeout(ctx, c.cfg.DialTimeout)
 	defer cancel()
-	return c.cfg.Dialer(dialCtx, c.addr)
+	conn, err := c.cfg.Dialer(dialCtx, c.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &peerConn{Conn: conn, br: bufio.NewReaderSize(conn, 64*1024)}, nil
 }
 
-func (c *peerClient) putConn(conn net.Conn) {
+func (c *peerClient) putConn(pc *peerConn) {
 	if c.closed.Load() {
-		conn.Close()
+		pc.Close()
 		return
 	}
 	select {
-	case c.conns <- conn:
+	case c.conns <- pc:
 	default:
-		conn.Close()
+		pc.Close()
 	}
 }
 
@@ -186,8 +248,8 @@ func (c *peerClient) close() {
 	}
 	for {
 		select {
-		case conn := <-c.conns:
-			conn.Close()
+		case pc := <-c.conns:
+			pc.Close()
 		default:
 			return
 		}

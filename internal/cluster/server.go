@@ -44,6 +44,31 @@ func (n *Node) servePeerConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64*1024)
 	enc := json.NewEncoder(conn)
 	for {
+		// Dispatch on the first byte: 0xB1 opens a binary frame, anything
+		// else is an NDJSON line. Responses are NDJSON either way.
+		first, err := br.Peek(1)
+		if err != nil {
+			return // EOF, peer hangup, or transport damage: drop the conn
+		}
+		var req peerRequest
+		resp := peerResponse{OK: true, Node: n.cfg.NodeID}
+		if first[0] == binaryMagic {
+			_, _ = br.ReadByte()
+			if err := readBinaryRequest(br, &req); err != nil {
+				// A bad binary frame leaves the stream position unknown:
+				// answer, then drop the connection rather than misparse
+				// whatever follows.
+				_ = enc.Encode(peerResponse{OK: false, ErrorKind: "bad_input", Error: fmt.Sprintf("decoding binary peer frame: %v", err)})
+				return
+			}
+			if err := n.handlePeer(&req, &resp); err != nil {
+				resp = peerResponse{OK: false, Node: n.cfg.NodeID, ErrorKind: kindOf(err), Error: err.Error()}
+			}
+			if err := enc.Encode(resp); err != nil {
+				return
+			}
+			continue
+		}
 		line, err := readBoundedLine(br, maxPeerLine)
 		if err != nil {
 			if errors.Is(err, errLineTooLong) {
@@ -51,13 +76,11 @@ func (n *Node) servePeerConn(conn net.Conn) {
 				_ = enc.Encode(peerResponse{OK: false, ErrorKind: "bad_input", Error: errLineTooLong.Error()})
 				continue
 			}
-			return // EOF, peer hangup, or transport damage: drop the conn
+			return
 		}
 		if len(line) == 0 {
 			continue
 		}
-		var req peerRequest
-		resp := peerResponse{OK: true, Node: n.cfg.NodeID}
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = peerResponse{OK: false, ErrorKind: "bad_input", Error: fmt.Sprintf("decoding peer request: %v", err)}
 		} else if err := n.handlePeer(&req, &resp); err != nil {
@@ -76,6 +99,9 @@ func (n *Node) handlePeer(req *peerRequest, resp *peerResponse) error {
 	defer cancel()
 	switch req.Op {
 	case opPing:
+		return nil
+	case opHello:
+		resp.Binary = !n.cfg.DisableBinaryWire
 		return nil
 	case opDecide:
 		t, ok := n.cfg.Pool.Tenant(req.Tenant)

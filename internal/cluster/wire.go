@@ -31,6 +31,7 @@ import (
 // reused sequentially.
 const (
 	opPing       = "ping"
+	opHello      = "hello"
 	opDecide     = "decide"
 	opFrames     = "frames"
 	opEndSession = "end_session"
@@ -67,6 +68,9 @@ type peerRequest struct {
 	Frames  [][]float64 `json:"frames,omitempty"`
 	// Envelope is the snapshot document for restore.
 	Envelope *Envelope `json:"envelope,omitempty"`
+	// Binary advertises, on a hello request, that the sender can emit
+	// binary peer frames (see binwire.go).
+	Binary bool `json:"binary,omitempty"`
 }
 
 // peerDecision is the wire form of a core.Decision.
@@ -129,6 +133,9 @@ type peerResponse struct {
 	Ended          *bool         `json:"ended,omitempty"`
 	// Envelope answers snapshot.
 	Envelope *Envelope `json:"envelope,omitempty"`
+	// Binary answers hello: the responder accepts binary peer frames on
+	// this and future connections.
+	Binary bool `json:"binary,omitempty"`
 }
 
 // RemoteError is an application-level failure reported by the owning

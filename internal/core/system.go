@@ -350,13 +350,31 @@ func NewSystem(cfg Config) (*System, error) {
 }
 
 // Preprocessor owns the per-goroutine DSP state (the band-pass biquad
-// cascade) for the paper's preprocessing stage. Each serving worker
-// holds its own Preprocessor so concurrent decisions never contend on
-// filter state or a lock. A Preprocessor must not be used from more
-// than one goroutine at a time.
+// cascade) and the scratch arena for the paper's preprocessing stage
+// and downstream feature path. Each serving worker holds its own
+// Preprocessor so concurrent decisions never contend on filter state
+// or a lock, and so a warm worker's steady-state ProcessWake allocates
+// nothing: the band-passed samples, channel-health scoring, channel
+// plan, GCC/SRP workspace, feature vectors and standardized classifier
+// input all live in buffers the Preprocessor reuses. A Preprocessor
+// must not be used from more than one goroutine at a time.
 type Preprocessor struct {
 	bp  *dsp.IIRFilter
 	ins *instruments
+
+	// Arena: single-decision scratch.
+	plan      planScratch
+	preBack   []float64
+	preChans  [][]float64
+	preRec    audio.Recording
+	selChans  [][]float64
+	selRec    audio.Recording
+	mono      []float64
+	feats     features.Workspace
+	mlScratch []float64
+
+	// Arena: batch scratch (ProcessWakeBatchWith).
+	batch batchScratch
 }
 
 // NewPreprocessor clones the system's designed band-pass into an
@@ -378,12 +396,56 @@ func (p *Preprocessor) Apply(rec *audio.Recording) *audio.Recording {
 	start := time.Now()
 	out := audio.NewRecording(rec.SampleRate, len(rec.Channels), rec.Len())
 	for i, ch := range rec.Channels {
-		copy(out.Channels[i], p.bp.Apply(ch))
+		p.bp.ApplyTo(out.Channels[i], ch)
 	}
 	if p.ins != nil {
 		p.ins.preprocess.ObserveDuration(time.Since(start))
 	}
 	return out
+}
+
+// applyInto is Apply writing into the preprocessor's arena. The
+// returned recording aliases p's backing store and is valid until the
+// next applyInto call; a warm arena makes it allocation-free.
+func (p *Preprocessor) applyInto(rec *audio.Recording) *audio.Recording {
+	start := time.Now()
+	n := rec.Len()
+	nch := len(rec.Channels)
+	if cap(p.preBack) < n*nch {
+		p.preBack = make([]float64, n*nch)
+	}
+	if cap(p.preChans) < nch {
+		p.preChans = make([][]float64, nch)
+	}
+	p.preChans = p.preChans[:nch]
+	for i, ch := range rec.Channels {
+		dst := p.preBack[i*n : (i+1)*n : (i+1)*n]
+		p.bp.ApplyTo(dst, ch)
+		p.preChans[i] = dst
+	}
+	p.preRec = audio.Recording{SampleRate: rec.SampleRate, Channels: p.preChans}
+	if p.ins != nil {
+		p.ins.preprocess.ObserveDuration(time.Since(start))
+	}
+	return &p.preRec
+}
+
+// selectInto mirrors audio.Recording.Select on arena-backed channel
+// headers: the returned recording aliases p and the source channels and
+// is valid until the next selectInto call.
+func (p *Preprocessor) selectInto(src *audio.Recording, idx []int) (*audio.Recording, error) {
+	if cap(p.selChans) < len(idx) {
+		p.selChans = make([][]float64, 0, len(idx))
+	}
+	p.selChans = p.selChans[:0]
+	for _, i := range idx {
+		if i < 0 || i >= len(src.Channels) {
+			return nil, fmt.Errorf("audio: channel %d out of range (have %d)", i, len(src.Channels))
+		}
+		p.selChans = append(p.selChans, src.Channels[i])
+	}
+	p.selRec = audio.Recording{SampleRate: src.SampleRate, Channels: p.selChans}
+	return &p.selRec, nil
 }
 
 // Preprocess applies the band-pass preprocessing stage using a pooled
@@ -394,21 +456,6 @@ func (s *System) Preprocess(rec *audio.Recording) (*audio.Recording, error) {
 	p := s.prePool.Get().(*Preprocessor)
 	defer s.prePool.Put(p)
 	return p.Apply(rec), nil
-}
-
-// orientationFeatures extracts the facing/non-facing feature vector
-// from a preprocessed recording over the given channel subset (nil =
-// all channels).
-func (s *System) orientationFeatures(pre *audio.Recording, subset []int) ([]float64, error) {
-	rec := pre
-	if len(subset) > 0 {
-		sel, err := pre.Select(subset)
-		if err != nil {
-			return nil, err
-		}
-		rec = sel
-	}
-	return features.Extract(rec, s.cfg.Features)
 }
 
 // validateInput runs the input-hardening stage: validate, optionally
@@ -459,6 +506,16 @@ type channelPlan struct {
 	model *orientation.Model
 }
 
+// planScratch holds the channel-plan working set (health assessment,
+// membership flags, the active list) so a per-worker arena can run the
+// degraded-array policy without allocating.
+type planScratch struct {
+	health     mic.ArrayHealth
+	healthySet []bool
+	used       []bool
+	active     []int
+}
+
 // planChannels scores channel health on the raw capture (band-passing
 // would hide DC-stuck channels) and assembles the orientation channel
 // set from healthy channels only. When a channel of the configured
@@ -467,10 +524,19 @@ type channelPlan struct {
 // trained on — is preserved. Only when too few healthy channels remain
 // does the plan fall back to a smaller per-count model, or fail closed.
 func (s *System) planChannels(rec *audio.Recording) channelPlan {
+	var scratch planScratch
+	return s.planChannelsInto(&scratch, rec)
+}
+
+// planChannelsInto is planChannels running on caller-owned scratch.
+// The returned plan's active and healthy slices alias the scratch and
+// are valid until its next use.
+func (s *System) planChannelsInto(ps *planScratch, rec *audio.Recording) channelPlan {
 	if s.cfg.DisableChannelHealth {
 		return channelPlan{active: s.cfg.ChannelSubset, ok: true, model: s.cfg.Orientation}
 	}
-	h := mic.AssessHealth(rec, s.cfg.ChannelHealth)
+	mic.AssessHealthInto(&ps.health, rec, s.cfg.ChannelHealth)
+	h := &ps.health
 	plan := channelPlan{healthy: h.Healthy, degraded: h.Degraded()}
 
 	// Target count = the feature dimensionality the primary model
@@ -480,15 +546,24 @@ func (s *System) planChannels(rec *audio.Recording) channelPlan {
 	if len(preferred) > 0 {
 		target = len(preferred)
 	}
-	healthySet := make(map[int]bool, len(h.Healthy))
+	nch := len(rec.Channels)
+	if cap(ps.healthySet) < nch {
+		ps.healthySet = make([]bool, nch)
+		ps.used = make([]bool, nch)
+	}
+	healthySet := ps.healthySet[:nch]
+	used := ps.used[:nch]
+	for i := range healthySet {
+		healthySet[i] = false
+		used[i] = false
+	}
 	for _, i := range h.Healthy {
 		healthySet[i] = true
 	}
-	var active []int
-	used := make(map[int]bool, target)
+	active := ps.active[:0]
 	if len(preferred) > 0 {
 		for _, i := range preferred {
-			if healthySet[i] && !used[i] {
+			if i >= 0 && i < nch && healthySet[i] && !used[i] {
 				active = append(active, i)
 				used[i] = true
 			}
@@ -504,6 +579,7 @@ func (s *System) planChannels(rec *audio.Recording) channelPlan {
 		}
 	}
 	sort.Ints(active)
+	ps.active = active
 	plan.active = active
 
 	switch {
@@ -643,14 +719,24 @@ func (s *System) ProcessWakeWithCtx(ctx context.Context, p *Preprocessor, rec *a
 }
 
 func (s *System) headTalkDecision(tr *trace.Recorder, p *Preprocessor, rec *audio.Recording) (Decision, error) {
-	var d Decision
-
 	// Degraded-array policy first: channels the health check distrusts
 	// must not feed either gate, and with too few survivors the
 	// decision fails closed before any feature is computed.
 	planStart := tr.Begin()
-	plan := s.planChannels(rec)
+	plan := s.planChannelsInto(&p.plan, rec)
 	tr.End(trace.StageChannelPlan, planStart)
+	return s.decideWithPlan(tr, p, rec, plan, nil, nil)
+}
+
+// decideWithPlan runs the liveness and orientation gates for one
+// already-planned recording. pre and feats, when non-nil, are the
+// band-passed recording and orientation feature vector the batch path
+// precomputed for this item (ProcessWakeBatchWith); they are used in
+// place of recomputation, so a batch item's OrientationLatency covers
+// only feature checking and classifier scoring — the shared extraction
+// sweep is traced by the serving layer's batch span instead.
+func (s *System) decideWithPlan(tr *trace.Recorder, p *Preprocessor, rec *audio.Recording, plan channelPlan, pre *audio.Recording, feats []float64) (Decision, error) {
+	var d Decision
 	tr.SetPlan(plan.active, plan.degraded)
 	d.DegradedChannels = plan.degraded
 	if s.ins != nil && !s.cfg.DisableChannelHealth {
@@ -669,23 +755,34 @@ func (s *System) headTalkDecision(tr *trace.Recorder, p *Preprocessor, rec *audi
 	// so a replay can't ride an open session.
 	sessionActive := s.SessionActive()
 
-	preStart := tr.Begin()
-	pre := p.Apply(rec)
-	tr.End(trace.StagePreprocess, preStart)
+	// The band-pass is computed lazily: a session-shortcut decision
+	// with no liveness gate never consumes the preprocessed samples, so
+	// the steady state of an open session skips the filter sweep (and
+	// its arena write) entirely.
+	preprocess := func() *audio.Recording {
+		if pre == nil {
+			preStart := tr.Begin()
+			pre = p.applyInto(rec)
+			tr.End(trace.StagePreprocess, preStart)
+		}
+		return pre
+	}
 
 	if s.cfg.Liveness != nil {
 		// Liveness mixes down every *healthy* channel — a dead channel
 		// would dilute the mono mix by its share.
-		monoSrc := pre
-		if len(plan.healthy) > 0 && len(plan.healthy) < len(pre.Channels) {
-			sel, serr := pre.Select(plan.healthy)
+		monoSrc := preprocess()
+		if len(plan.healthy) > 0 && len(plan.healthy) < len(monoSrc.Channels) {
+			sel, serr := p.selectInto(monoSrc, plan.healthy)
 			if serr != nil {
 				return d, fmt.Errorf("core: selecting healthy channels: %w", serr)
 			}
 			monoSrc = sel
 		}
 		start := time.Now()
-		score, lerr := s.cfg.Liveness.Score(monoSrc.Mono(), pre.SampleRate)
+		mono := monoSrc.MonoInto(p.mono)
+		p.mono = mono
+		score, lerr := s.cfg.Liveness.Score(mono, rec.SampleRate)
 		d.LivenessLatency = time.Since(start)
 		tr.Observe(trace.StageLiveness, d.LivenessLatency)
 		if s.ins != nil {
@@ -713,18 +810,36 @@ func (s *System) headTalkDecision(tr *trace.Recorder, p *Preprocessor, rec *audi
 		d.Reason = ReasonNoOrientation
 		return d, nil
 	}
+	// Band-pass and channel selection happen outside the orientation
+	// timing window (matching the eager pipeline's stage attribution);
+	// feature extraction and scoring are the gate's latency.
+	var src *audio.Recording
+	if feats == nil {
+		src = preprocess()
+		if len(plan.active) > 0 {
+			sel, serr := p.selectInto(src, plan.active)
+			if serr != nil {
+				return d, fmt.Errorf("core: orientation features: %w", serr)
+			}
+			src = sel
+		}
+	}
 	start := time.Now()
-	feats, ferr := s.orientationFeatures(pre, plan.active)
-	if ferr != nil {
-		return d, fmt.Errorf("core: orientation features: %w", ferr)
+	if feats == nil {
+		var ferr error
+		feats, ferr = p.feats.Extract(src, s.cfg.Features)
+		if ferr != nil {
+			return d, fmt.Errorf("core: orientation features: %w", ferr)
+		}
 	}
 	// A vector the model cannot score (dim mismatch after degradation,
 	// non-finite feature from a DSP fault) must reject, not gamble.
 	if cerr := plan.model.CheckFeatures(feats); cerr != nil {
 		return d, fmt.Errorf("core: orientation features: %w", cerr)
 	}
-	pred := plan.model.Predict(feats)
-	d.FacingScore = plan.model.Score(feats)
+	pred, score, scratch := plan.model.PredictScore(feats, p.mlScratch)
+	p.mlScratch = scratch
+	d.FacingScore = score
 	d.OrientationLatency = time.Since(start)
 	tr.Observe(trace.StageOrientation, d.OrientationLatency)
 	if s.ins != nil {

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/orientation"
+	"headtalk/internal/trace"
+)
+
+// BatchRequest couples one wake-word recording with its request
+// context (which may carry a per-request trace.Recorder).
+type BatchRequest struct {
+	Ctx context.Context
+	Rec *audio.Recording
+}
+
+// BatchResult is the per-item outcome of a batch: exactly what
+// ProcessWake would have returned for the same recording.
+type BatchResult struct {
+	Decision Decision
+	Err      error
+}
+
+// batchScratch is the per-worker arena for ProcessWakeBatchWith: the
+// per-item bookkeeping, the band-passed samples of every item that
+// reaches feature extraction, and the channel/subset headers fed to
+// the batched GCC sweep. Slice contents are valid for one batch.
+type batchScratch struct {
+	items []batchItem
+	// ints backs per-item copies of the channel plans' active/healthy
+	// lists (the planning scratch is reused item to item, so the plans
+	// must not alias it). Items store offsets because ints may be
+	// regrown mid-phase.
+	ints []int
+	// Preprocessed samples and recording headers for extraction-
+	// eligible items.
+	preBack   []float64
+	chanHeads [][]float64
+	preRecs   []audio.Recording
+	selHeads  [][]float64
+	selRecs   []audio.Recording
+	extract   []*audio.Recording
+}
+
+// batchItem carries one request through the batch phases.
+type batchItem struct {
+	mode     Mode
+	rec      *audio.Recording // validated (possibly repaired) input
+	repaired int
+	done     bool // decision finalized in phase one
+	d        Decision
+	err      error
+
+	// Channel plan with active/healthy stored as ints-arena offsets.
+	planOK       bool
+	planDegraded int
+	model        *orientation.Model
+	activeOff    int
+	activeLen    int
+	healthyOff   int
+	healthyLen   int
+
+	// Precomputed by the extraction phase (extraction-eligible items
+	// only). extractIdx maps the item to its slot in the batched
+	// feature sweep (-1 = not swept).
+	pre        *audio.Recording
+	feats      []float64
+	extractIdx int
+}
+
+// ProcessWakeBatch runs the decision pipeline over several wake-word
+// recordings with one pooled Preprocessor. See ProcessWakeBatchWith.
+func (s *System) ProcessWakeBatch(reqs []BatchRequest, results []BatchResult) []BatchResult {
+	p := s.prePool.Get().(*Preprocessor)
+	defer s.prePool.Put(p)
+	return s.ProcessWakeBatchWith(p, reqs, results)
+}
+
+// ProcessWakeBatchWith processes a batch of wake-word recordings with
+// shared per-worker state, appending one BatchResult per request to
+// results (reused if its capacity allows). Per-item decisions are
+// identical to calling ProcessWakeWith once per request in order —
+// including the session semantics: an accepted facing decision opens
+// the session for the items after it.
+//
+// What batching buys is the DSP schedule: when several items need
+// orientation features, every channel of every same-FFT-size item is
+// forward-transformed and PHAT-whitened back to back over one shared
+// plan (the features workspace's batched sweep) instead of
+// interleaving transforms with scoring item by item. Items whose
+// decision never consumes the features (a session opened mid-batch by
+// an earlier item) waste their share of the sweep but still decide
+// exactly as the sequential path would.
+//
+// Batches fall back to plain sequential processing when there is
+// nothing to share: a single item, an already-open session (the
+// steady state, which skips feature extraction entirely), or a
+// configured liveness gate (whose reject would make speculative
+// extraction pure waste).
+func (s *System) ProcessWakeBatchWith(p *Preprocessor, reqs []BatchRequest, results []BatchResult) []BatchResult {
+	results = results[:0]
+	if len(reqs) <= 1 || s.cfg.Liveness != nil || s.SessionActive() {
+		for _, rq := range reqs {
+			d, err := s.ProcessWakeWith(rq.Ctx, p, rq.Rec)
+			results = append(results, BatchResult{Decision: d, Err: err})
+		}
+		return results
+	}
+
+	b := &p.batch
+	if cap(b.items) < len(reqs) {
+		b.items = make([]batchItem, len(reqs))
+	}
+	b.items = b.items[:len(reqs)]
+	b.ints = b.ints[:0]
+
+	// Phase one: per-item input hardening, mode dispatch and channel
+	// planning, in request order.
+	for i, rq := range reqs {
+		it := &b.items[i]
+		*it = batchItem{extractIdx: -1}
+		tr := trace.FromContext(rq.Ctx)
+		s.mu.Lock()
+		it.mode = s.mode
+		s.mu.Unlock()
+		it.rec = rq.Rec
+		if !s.cfg.DisableInputValidation {
+			vStart := tr.Begin()
+			clean, n, err := s.validateInput(rq.Rec)
+			tr.End(trace.StageValidate, vStart)
+			if err != nil {
+				it.d = Decision{Reason: ReasonBadInput}
+				it.err = err
+				it.done = true
+				continue
+			}
+			it.rec = clean
+			it.repaired = n
+		}
+		switch it.mode {
+		case ModeMute:
+			it.d = Decision{Accepted: false, Reason: ReasonMuted}
+			it.done = true
+		case ModeNormal:
+			it.d = Decision{Accepted: true, Reason: ReasonNormalMode}
+			it.done = true
+		case ModeHeadTalk:
+			planStart := tr.Begin()
+			plan := s.planChannelsInto(&p.plan, it.rec)
+			tr.End(trace.StageChannelPlan, planStart)
+			it.planOK = plan.ok
+			it.planDegraded = plan.degraded
+			it.model = plan.model
+			it.activeOff, it.activeLen = len(b.ints), len(plan.active)
+			b.ints = append(b.ints, plan.active...)
+			it.healthyOff, it.healthyLen = len(b.ints), len(plan.healthy)
+			b.ints = append(b.ints, plan.healthy...)
+		}
+	}
+
+	// Phase two: band-pass every extraction-eligible item into the
+	// batch arena and run one batched feature sweep across all of them.
+	s.extractBatch(p, reqs)
+
+	// Phase three: per-item decisions, in request order, exactly as the
+	// sequential path would make them.
+	for i := range b.items {
+		it := &b.items[i]
+		tr := trace.FromContext(reqs[i].Ctx)
+		if it.done {
+			if it.err != nil {
+				s.logEvent(it.mode, it.d)
+				tr.SetOutcome(it.mode.String(), false, it.d.Reason.Slug())
+				results = append(results, BatchResult{Decision: it.d, Err: it.err})
+				continue
+			}
+			it.d.RepairedSamples = it.repaired
+			s.logEvent(it.mode, it.d)
+			tr.SetGates(it.d.LiveScore, it.d.LiveRan, it.d.FacingScore, it.d.FacingRan)
+			tr.SetOutcome(it.mode.String(), it.d.Accepted, it.d.Reason.Slug())
+			results = append(results, BatchResult{Decision: it.d})
+			continue
+		}
+		plan := channelPlan{
+			ok:       it.planOK,
+			degraded: it.planDegraded,
+			model:    it.model,
+			active:   b.ints[it.activeOff : it.activeOff+it.activeLen],
+			healthy:  b.ints[it.healthyOff : it.healthyOff+it.healthyLen],
+		}
+		d, err := s.decideWithPlan(tr, p, it.rec, plan, it.pre, it.feats)
+		if err != nil {
+			s.logEvent(it.mode, Decision{Reason: ReasonProcessingFail})
+			tr.SetGates(d.LiveScore, d.LiveRan, d.FacingScore, d.FacingRan)
+			tr.SetOutcome(it.mode.String(), false, ReasonProcessingFail.Slug())
+			results = append(results, BatchResult{Decision: Decision{Reason: ReasonProcessingFail}, Err: err})
+			continue
+		}
+		d.RepairedSamples = it.repaired
+		s.logEvent(it.mode, d)
+		tr.SetGates(d.LiveScore, d.LiveRan, d.FacingScore, d.FacingRan)
+		tr.SetOutcome(it.mode.String(), d.Accepted, d.Reason.Slug())
+		results = append(results, BatchResult{Decision: d})
+	}
+	return results
+}
+
+// extractBatch band-passes every extraction-eligible item of the
+// current batch into the batch arena and computes their orientation
+// feature vectors with one batched GCC/FFT sweep. On a sweep error the
+// items are left without precomputed features and the decision phase
+// falls back to per-item extraction, reproducing the error with the
+// sequential path's wrapping.
+func (s *System) extractBatch(p *Preprocessor, reqs []BatchRequest) {
+	b := &p.batch
+	// Eligibility and sizing pass. Only plans that can reach the
+	// orientation gate extract: a failed plan rejects as degraded and a
+	// nil model rejects as unenrolled, both before features.
+	nEligible, totalSamples, totalChans, totalSel := 0, 0, 0, 0
+	for i := range b.items {
+		it := &b.items[i]
+		if it.done || !it.planOK || it.model == nil {
+			continue
+		}
+		nEligible++
+		totalSamples += it.rec.Len() * len(it.rec.Channels)
+		totalChans += len(it.rec.Channels)
+		totalSel += it.activeLen
+	}
+	if nEligible == 0 {
+		return
+	}
+	if cap(b.preBack) < totalSamples {
+		b.preBack = make([]float64, totalSamples)
+	}
+	if cap(b.chanHeads) < totalChans {
+		b.chanHeads = make([][]float64, totalChans)
+	}
+	if cap(b.preRecs) < nEligible {
+		b.preRecs = make([]audio.Recording, nEligible)
+	}
+	if cap(b.selHeads) < totalSel {
+		b.selHeads = make([][]float64, totalSel)
+	}
+	if cap(b.selRecs) < nEligible {
+		b.selRecs = make([]audio.Recording, nEligible)
+	}
+	if cap(b.extract) < nEligible {
+		b.extract = make([]*audio.Recording, nEligible)
+	}
+	b.preRecs = b.preRecs[:nEligible]
+	b.selRecs = b.selRecs[:nEligible]
+	b.extract = b.extract[:0]
+
+	sampleAt, chanAt, selAt, recAt := 0, 0, 0, 0
+	for i := range b.items {
+		it := &b.items[i]
+		if it.done || !it.planOK || it.model == nil {
+			continue
+		}
+		tr := trace.FromContext(reqs[i].Ctx)
+		n := it.rec.Len()
+		preStart := tr.Begin()
+		start := time.Now()
+		chans := b.chanHeads[chanAt : chanAt : chanAt+len(it.rec.Channels)]
+		for _, ch := range it.rec.Channels {
+			dst := b.preBack[sampleAt : sampleAt+n : sampleAt+n]
+			p.bp.ApplyTo(dst, ch)
+			chans = append(chans, dst)
+			sampleAt += n
+		}
+		chanAt += len(it.rec.Channels)
+		if p.ins != nil {
+			p.ins.preprocess.ObserveDuration(time.Since(start))
+		}
+		tr.End(trace.StagePreprocess, preStart)
+
+		b.preRecs[recAt] = audio.Recording{SampleRate: it.rec.SampleRate, Channels: chans}
+		it.pre = &b.preRecs[recAt]
+		src := it.pre
+		if it.activeLen > 0 {
+			active := b.ints[it.activeOff : it.activeOff+it.activeLen]
+			sel := b.selHeads[selAt : selAt : selAt+it.activeLen]
+			valid := true
+			for _, ci := range active {
+				if ci < 0 || ci >= len(chans) {
+					valid = false
+					break
+				}
+				sel = append(sel, chans[ci])
+			}
+			if !valid {
+				// Leave feats nil: the decision phase reproduces the
+				// out-of-range error through the sequential path.
+				recAt++
+				continue
+			}
+			selAt += it.activeLen
+			b.selRecs[recAt] = audio.Recording{SampleRate: it.rec.SampleRate, Channels: sel}
+			src = &b.selRecs[recAt]
+		}
+		it.extractIdx = len(b.extract)
+		b.extract = append(b.extract, src)
+		recAt++
+	}
+	if len(b.extract) == 0 {
+		return
+	}
+	vecs, err := p.feats.ExtractBatch(b.extract, s.cfg.Features)
+	if err != nil {
+		return
+	}
+	for i := range b.items {
+		it := &b.items[i]
+		if it.extractIdx >= 0 {
+			it.feats = vecs[it.extractIdx]
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/features"
+)
+
+// decisionsEqual compares everything about two decisions except the
+// measured latencies (which are wall-clock and cannot match).
+func decisionsEqual(t *testing.T, label string, want, got Decision) {
+	t.Helper()
+	if want.Accepted != got.Accepted || want.Reason != got.Reason ||
+		want.LiveScore != got.LiveScore || want.LiveRan != got.LiveRan ||
+		want.FacingScore != got.FacingScore || want.FacingRan != got.FacingRan ||
+		want.DegradedChannels != got.DegradedChannels ||
+		want.RepairedSamples != got.RepairedSamples {
+		t.Fatalf("%s: sequential %+v, batch %+v", label, want, got)
+	}
+}
+
+// A batch must decide every item exactly as back-to-back ProcessWake
+// calls would — including session state evolving mid-batch when an
+// accepted facing decision opens the session for the items after it.
+func TestProcessWakeBatchMatchesSequential(t *testing.T) {
+	recs := []*audio.Recording{
+		markedRecording(false, 21),
+		markedRecording(true, 22), // facing: opens the session mid-batch
+		markedRecording(false, 23),
+		markedRecording(true, 24),
+	}
+
+	clockA := &fakeClock{now: time.Unix(1000, 0)}
+	seq := testSystem(t, clockA)
+	seq.SetMode(ModeHeadTalk)
+	clockB := &fakeClock{now: time.Unix(1000, 0)}
+	bat := testSystem(t, clockB)
+	bat.SetMode(ModeHeadTalk)
+
+	var want []Decision
+	for _, rec := range recs {
+		d, err := seq.ProcessWake(context.Background(), rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, d)
+	}
+
+	reqs := make([]BatchRequest, len(recs))
+	for i, rec := range recs {
+		reqs[i] = BatchRequest{Ctx: context.Background(), Rec: rec}
+	}
+	results := bat.ProcessWakeBatch(reqs, nil)
+	if len(results) != len(recs) {
+		t.Fatalf("result count: want %d, got %d", len(recs), len(results))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("item %d: %v", i, res.Err)
+		}
+		decisionsEqual(t, "item", want[i], res.Decision)
+	}
+	// The facing accept at index 1 must have opened the session for the
+	// non-facing follow-up at index 2, in the batch just as sequentially.
+	if results[2].Decision.Reason != ReasonSessionActive {
+		t.Fatalf("item 2 reason %q, want session shortcut", results[2].Decision.Reason)
+	}
+	if seq.SessionActive() != bat.SessionActive() {
+		t.Fatal("session state diverged")
+	}
+}
+
+// Mixed batches: bad input, muted mode and plain decisions all keep
+// their per-item semantics.
+func TestProcessWakeBatchMixedOutcomes(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	sys := testSystem(t, clock)
+	sys.SetMode(ModeHeadTalk)
+
+	badRec := markedRecording(false, 31)
+	badRec.Channels[0][10] = math.Inf(1) // fails validation
+
+	reqs := []BatchRequest{
+		{Ctx: context.Background(), Rec: badRec},
+		{Ctx: context.Background(), Rec: markedRecording(false, 32)},
+		{Ctx: context.Background(), Rec: markedRecording(true, 33)},
+	}
+	results := sys.ProcessWakeBatch(reqs, nil)
+	if results[0].Err == nil || results[0].Decision.Reason != ReasonBadInput {
+		t.Fatalf("bad input item: %+v", results[0])
+	}
+	if results[1].Err != nil || results[1].Decision.Reason != ReasonNotFacing {
+		t.Fatalf("non-facing item: %+v", results[1])
+	}
+	if results[2].Err != nil || !results[2].Decision.Accepted {
+		t.Fatalf("facing item: %+v", results[2])
+	}
+	if len(sys.History()) != 3 {
+		t.Fatalf("history %d events, want 3", len(sys.History()))
+	}
+
+	sys.SetMode(ModeMute)
+	results = sys.ProcessWakeBatch(reqs[1:], results)
+	for i, res := range results {
+		if res.Decision.Reason != ReasonMuted {
+			t.Fatalf("muted item %d: %+v", i, res)
+		}
+	}
+}
+
+// An empty batch is a no-op.
+func TestProcessWakeBatchEmpty(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	sys := testSystem(t, clock)
+	if got := sys.ProcessWakeBatch(nil, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// Steady-state ProcessWake — an open session, warm per-worker arena —
+// must not allocate at all. This is the pin the serving throughput
+// work rests on: the validate + health + session bookkeeping path runs
+// allocation-free end to end.
+func TestProcessWakeSessionSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; pin holds in normal builds")
+	}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	sys := testSystem(t, clock)
+	sys.SetMode(ModeHeadTalk)
+	p := sys.NewPreprocessor()
+	ctx := context.Background()
+
+	// Open the session with a facing decision, then warm the arena.
+	rec := markedRecording(true, 41)
+	d, err := sys.ProcessWakeWith(ctx, p, rec)
+	if err != nil || !d.Accepted {
+		t.Fatalf("warm-up decision %+v, %v", d, err)
+	}
+	follow := markedRecording(false, 42)
+	if d, err = sys.ProcessWakeWith(ctx, p, follow); err != nil || d.Reason != ReasonSessionActive {
+		t.Fatalf("session follow-up %+v, %v", d, err)
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		d, err := sys.ProcessWakeWith(ctx, p, follow)
+		if err != nil || d.Reason != ReasonSessionActive {
+			t.Fatalf("steady-state decision %+v, %v", d, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ProcessWake allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// The full orientation path — band-pass, GCC/SRP features, SVM scoring
+// — must also be allocation-free once the arena is warm. Sessions are
+// disabled (negative timeout) so every decision runs the whole gate.
+func TestProcessWakeOrientationPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; pin holds in normal builds")
+	}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	featCfg := features.DefaultConfig(13, 48000)
+	sys, err := NewSystem(Config{
+		SessionTimeout: -time.Second, // sessions expire instantly
+		Clock:          clock.Now,
+		Features:       featCfg,
+		Orientation:    trainedOrientation(t, featCfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetMode(ModeHeadTalk)
+	p := sys.NewPreprocessor()
+	ctx := context.Background()
+
+	rec := markedRecording(true, 43)
+	d, perr := sys.ProcessWakeWith(ctx, p, rec) // warm-up
+	if perr != nil || !d.FacingRan {
+		t.Fatalf("warm-up decision %+v, %v", d, perr)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		d, err := sys.ProcessWakeWith(ctx, p, rec)
+		if err != nil || !d.FacingRan {
+			t.Fatalf("orientation decision %+v, %v", d, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("orientation-path ProcessWake allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// The batched path reuses its arena too: after a warm-up batch, a
+// repeat batch of the same shape must not allocate (beyond the
+// session-state variance handled by disabling sessions).
+func TestProcessWakeBatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; pin holds in normal builds")
+	}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	featCfg := features.DefaultConfig(13, 48000)
+	sys, err := NewSystem(Config{
+		SessionTimeout: -time.Second,
+		Clock:          clock.Now,
+		Features:       featCfg,
+		Orientation:    trainedOrientation(t, featCfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetMode(ModeHeadTalk)
+	p := sys.NewPreprocessor()
+
+	reqs := []BatchRequest{
+		{Ctx: context.Background(), Rec: markedRecording(true, 51)},
+		{Ctx: context.Background(), Rec: markedRecording(false, 52)},
+		{Ctx: context.Background(), Rec: markedRecording(true, 53)},
+	}
+	results := sys.ProcessWakeBatchWith(p, reqs, nil) // warm-up
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("warm-up item %d: %v", i, res.Err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		results = sys.ProcessWakeBatchWith(p, reqs, results)
+		if len(results) != len(reqs) {
+			t.Fatal("short batch")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm batch allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -63,12 +63,39 @@ func (f *IIRFilter) Process(x float64) float64 {
 
 // Apply resets the filter and runs x through it, returning a new slice.
 func (f *IIRFilter) Apply(x []float64) []float64 {
+	return f.ApplyTo(make([]float64, len(x)), x)
+}
+
+// ApplyTo resets the filter and runs x through it into dst, which must
+// be at least len(x) long. It returns dst[:len(x)] and performs no
+// allocation, so a caller-owned arena makes repeated filtering free.
+//
+// The cascade is evaluated section-by-section over the whole signal
+// rather than sample-by-sample through all sections. Each section's
+// output at sample n depends only on the previous section's output up
+// to n and its own state, so the arithmetic — and therefore the result,
+// bit for bit — is identical to Process-per-sample; but one section's
+// five coefficients and two state variables stay in registers for an
+// entire pass instead of being reloaded from the section slice on every
+// sample.
+func (f *IIRFilter) ApplyTo(dst, x []float64) []float64 {
 	f.Reset()
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = f.Process(v)
+	dst = dst[:len(x)]
+	copy(dst, x)
+	for i := range f.sections {
+		s := &f.sections[i]
+		b0, b1, b2 := s.B0, s.B1, s.B2
+		a1, a2 := s.A1, s.A2
+		z1, z2 := s.z1, s.z2
+		for n, v := range dst {
+			y := b0*v + z1
+			z1 = b1*v - a1*y + z2
+			z2 = b2*v - a2*y
+			dst[n] = y
+		}
+		s.z1, s.z2 = z1, z2
 	}
-	return out
+	return dst
 }
 
 // FiltFilt applies the filter forward and then backward, yielding a

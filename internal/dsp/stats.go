@@ -246,13 +246,33 @@ type Peak struct {
 // neighbors; plateau edges and the first/last samples are not
 // considered.
 func TopPeaks(x []float64, k int) []Peak {
-	var peaks []Peak
+	return TopPeaksInto(nil, x, k)
+}
+
+// TopPeaksInto is TopPeaks writing into scratch (grown as needed and
+// returned truncated to the result). With a caller-reused scratch whose
+// capacity covers the peak count it performs no allocation: the sort is
+// an in-place insertion sort rather than sort.Slice, whose closure and
+// interface boxing allocate.
+func TopPeaksInto(scratch []Peak, x []float64, k int) []Peak {
+	peaks := scratch[:0]
 	for i := 1; i < len(x)-1; i++ {
 		if x[i] > x[i-1] && x[i] > x[i+1] {
 			peaks = append(peaks, Peak{Index: i, Value: x[i]})
 		}
 	}
-	sort.Slice(peaks, func(a, b int) bool { return peaks[a].Value > peaks[b].Value })
+	// Insertion sort by descending value. Stable, like sort.Slice is
+	// not, but ties in Value keep ascending-index order either way
+	// because candidates are appended in index order.
+	for i := 1; i < len(peaks); i++ {
+		p := peaks[i]
+		j := i - 1
+		for j >= 0 && peaks[j].Value < p.Value {
+			peaks[j+1] = peaks[j]
+			j--
+		}
+		peaks[j+1] = p
+	}
 	if len(peaks) > k {
 		peaks = peaks[:k]
 	}

@@ -1,0 +1,277 @@
+package features
+
+import (
+	"fmt"
+
+	"headtalk/internal/audio"
+	"headtalk/internal/dsp"
+	"headtalk/internal/srp"
+)
+
+// Workspace owns every scratch buffer orientation feature extraction
+// needs — the focus-window headers, the GCC/SRP workspace, the
+// directivity spectra and the feature vectors themselves — so a warm
+// workspace extracts with zero steady-state allocation. Results alias
+// workspace memory and are valid until the next call; a Workspace is
+// not safe for concurrent use (one per serving worker).
+type Workspace struct {
+	srpWS srp.Workspace
+
+	// Focus-window channel headers: per item, subslices of the input
+	// channels (no samples are copied).
+	items     [][][]float64
+	chanHeads [][]float64
+
+	mono   []float64
+	scaled []float64
+	spec   []complex128
+	mag    []float64
+	peaks  []dsp.Peak
+
+	vecBack []float64
+	vecs    [][]float64
+	starts  []int
+
+	oneRec [1]*audio.Recording
+}
+
+// Extract is features.Extract running entirely on workspace scratch.
+// The returned vector is valid until the next call on the same
+// workspace.
+func (ws *Workspace) Extract(rec *audio.Recording, cfg Config) ([]float64, error) {
+	ws.oneRec[0] = rec
+	vecs, err := ws.ExtractBatch(ws.oneRec[:], cfg)
+	if err != nil {
+		return nil, err
+	}
+	return vecs[0], nil
+}
+
+// ExtractBatch extracts orientation features for several recordings in
+// one batched sweep: every capture's focus window is located first,
+// then every channel of every same-FFT-size capture is transformed and
+// PHAT-whitened back to back over one shared plan (srp.Workspace's
+// batch path), and only then do the per-capture pair inverses and
+// feature assembly run. Amortizing the forward transforms this way is
+// what the serving engine's batch collector buys: the plan's tables
+// stay cache-hot across the whole batch.
+//
+// The returned vectors alias workspace memory: valid until the next
+// workspace call.
+func (ws *Workspace) ExtractBatch(recs []*audio.Recording, cfg Config) ([][]float64, error) {
+	if cfg.MaxLag <= 0 {
+		return nil, fmt.Errorf("features: MaxLag must be positive, got %d", cfg.MaxLag)
+	}
+	for _, rec := range recs {
+		if len(rec.Channels) < 2 {
+			return nil, fmt.Errorf("features: need >= 2 channels, have %d", len(rec.Channels))
+		}
+	}
+
+	// Phase one: focus windows. Channel headers only — no samples move.
+	totalChans := 0
+	for _, rec := range recs {
+		totalChans += len(rec.Channels)
+	}
+	if cap(ws.items) < len(recs) {
+		ws.items = make([][][]float64, len(recs))
+	}
+	ws.items = ws.items[:len(recs)]
+	if cap(ws.chanHeads) < totalChans {
+		ws.chanHeads = make([][]float64, totalChans)
+	}
+	ws.chanHeads = ws.chanHeads[:totalChans]
+	at := 0
+	for k, rec := range recs {
+		start, length := ws.focusBounds(rec, cfg.AnalysisWindow)
+		item := ws.chanHeads[at : at : at+len(rec.Channels)]
+		for _, ch := range rec.Channels {
+			item = append(item, ch[start:start+length])
+		}
+		at += len(rec.Channels)
+		ws.items[k] = item
+	}
+
+	// Phase two: the batched GCC forward sweep.
+	var sets [][]srp.PairGCC
+	if !cfg.DisableReverbFeatures {
+		var err error
+		sets, err = ws.srpWS.AllPairsBatch(ws.items, srp.PairOptions{
+			MaxLag:     cfg.MaxLag,
+			PHAT:       cfg.UsePHAT,
+			SampleRate: cfg.SampleRate,
+			BandLo:     cfg.GCCBandLo,
+			BandHi:     cfg.GCCBandHi,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("features: computing GCCs: %w", err)
+		}
+	}
+
+	// Phase three: per-capture feature assembly into one backing array.
+	if cap(ws.starts) < len(recs)+1 {
+		ws.starts = make([]int, len(recs)+1)
+	}
+	ws.starts = ws.starts[:len(recs)+1]
+	buf := ws.vecBack[:0]
+	for k, rec := range recs {
+		ws.starts[k] = len(buf)
+		var err error
+		buf, err = ws.assemble(buf, rec.SampleRate, ws.items[k], setFor(sets, k), cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ws.starts[len(recs)] = len(buf)
+	ws.vecBack = buf
+
+	if cap(ws.vecs) < len(recs) {
+		ws.vecs = make([][]float64, len(recs))
+	}
+	ws.vecs = ws.vecs[:len(recs)]
+	for k := range recs {
+		lo, hi := ws.starts[k], ws.starts[k+1]
+		ws.vecs[k] = buf[lo:hi:hi]
+	}
+	return ws.vecs, nil
+}
+
+func setFor(sets [][]srp.PairGCC, k int) []srp.PairGCC {
+	if sets == nil {
+		return nil
+	}
+	return sets[k]
+}
+
+// focusBounds locates the highest-energy window of the requested
+// length on the channel mean with a coarse 1024-sample hop — the same
+// search Extract has always run, minus the allocations. It returns the
+// window's start and length (the whole recording when it already fits).
+func (ws *Workspace) focusBounds(rec *audio.Recording, window int) (int, int) {
+	n := rec.Len()
+	if window < 0 {
+		return 0, n
+	}
+	if window == 0 {
+		window = 32768
+	}
+	if n <= window {
+		return 0, n
+	}
+	mono := rec.MonoInto(ws.mono)
+	ws.mono = mono
+	const hop = 1024
+	bestStart, bestEnergy := 0, -1.0
+	for start := 0; start+window <= n; start += hop {
+		var acc float64
+		for i := start; i < start+window; i += 4 { // stride-4 estimate
+			acc += mono[i] * mono[i]
+		}
+		if acc > bestEnergy {
+			bestEnergy = acc
+			bestStart = start
+		}
+	}
+	return bestStart, window
+}
+
+// assemble appends one capture's feature vector to buf: the
+// reverberation group (pair GCC windows, TDoAs, statistics, SRP peaks
+// and statistics) followed by the directivity group (HLBR and the
+// low-band chunk statistics).
+func (ws *Workspace) assemble(buf []float64, sampleRate float64, channels [][]float64, pairs []srp.PairGCC, cfg Config) ([]float64, error) {
+	startLen := len(buf)
+
+	if !cfg.DisableReverbFeatures {
+		for _, p := range pairs {
+			buf = append(buf, p.R...)
+			buf = append(buf, float64(p.TDoA))
+		}
+		if !cfg.GCCOnly {
+			for _, p := range pairs {
+				buf = appendStats(buf, p.R)
+			}
+			curve := ws.srpWS.SRP(pairs)
+			ws.peaks = dsp.TopPeaksInto(ws.peaks, curve, 3)
+			for i := 0; i < 3; i++ {
+				if i < len(ws.peaks) {
+					buf = append(buf, ws.peaks[i].Value)
+				} else {
+					buf = append(buf, 0)
+				}
+			}
+			buf = appendStats(buf, curve)
+		}
+	}
+
+	if !cfg.DisableDirectivityFeatures && !cfg.GCCOnly {
+		buf = ws.appendDirectivity(buf, sampleRate, channels, cfg)
+	}
+
+	if len(buf) == startLen {
+		return nil, fmt.Errorf("features: all feature groups disabled")
+	}
+	return buf, nil
+}
+
+// appendStats appends the paper's five curve statistics — kurtosis,
+// skewness, maximum, mean absolute deviation, standard deviation.
+func appendStats(buf, x []float64) []float64 {
+	return append(buf, dsp.Kurtosis(x), dsp.Skewness(x), dsp.Max(x), dsp.MAD(x), dsp.Std(x))
+}
+
+// appendDirectivity appends HLBR and the low-band chunk statistics,
+// computed from the unit-RMS-normalized channel mean (§IV-B12: the
+// features must describe spectral shape, not absolute loudness).
+func (ws *Workspace) appendDirectivity(buf []float64, sampleRate float64, channels [][]float64, cfg Config) []float64 {
+	hdr := audio.Recording{SampleRate: sampleRate, Channels: channels}
+	mono := hdr.MonoInto(ws.mono)
+	ws.mono = mono
+	if r := dsp.RMS(mono); r > 0 {
+		if cap(ws.scaled) < len(mono) {
+			ws.scaled = make([]float64, len(mono))
+		}
+		scaled := ws.scaled[:len(mono)]
+		for i, v := range mono {
+			scaled[i] = v / r
+		}
+		mono = scaled
+	}
+	n := len(mono)
+	spec := dsp.RFFT(ws.spec, mono)
+	ws.spec = spec
+	fs := cfg.SampleRate
+	if fs == 0 {
+		fs = sampleRate
+	}
+
+	low := dsp.BandEnergy(spec, n, fs, cfg.LowBandLo, cfg.LowBandHi)
+	high := dsp.BandEnergy(spec, n, fs, cfg.HighBandLo, cfg.HighBandHi)
+	hlbr := 0.0
+	if low > 0 {
+		hlbr = high / low
+	}
+	buf = append(buf, hlbr)
+
+	chunks := cfg.LowBandChunks
+	if chunks <= 0 {
+		chunks = 20
+	}
+	width := (cfg.LowBandHi - cfg.LowBandLo) / float64(chunks)
+	for c := 0; c < chunks; c++ {
+		lo := cfg.LowBandLo + float64(c)*width
+		hi := lo + width
+		loBin := dsp.FreqBin(lo, n, fs)
+		hiBin := dsp.FreqBin(hi, n, fs)
+		if hiBin >= len(spec) {
+			hiBin = len(spec) - 1
+		}
+		var mags []float64
+		if hiBin >= loBin {
+			mags = dsp.MagnitudeInto(ws.mag[:0], spec[loBin:hiBin+1])
+			ws.mag = mags
+		}
+		buf = append(buf, dsp.Mean(mags), dsp.RMS(mags), dsp.Std(mags))
+	}
+	return buf
+}

@@ -96,6 +96,8 @@ type ArrayHealth struct {
 	Channels []ChannelHealth
 	// Healthy lists the indices of ChannelOK channels, ascending.
 	Healthy []int
+	// live is reused scratch for the low-SNR median (AssessHealthInto).
+	live []float64
 }
 
 // Degraded returns the number of non-OK channels.
@@ -120,8 +122,22 @@ func (h ArrayHealth) String() string {
 // those recordings anyway; health scoring must not propagate NaN into
 // its own statistics).
 func AssessHealth(rec *audio.Recording, cfg HealthConfig) ArrayHealth {
+	var h ArrayHealth
+	AssessHealthInto(&h, rec, cfg)
+	return h
+}
+
+// AssessHealthInto is AssessHealth writing into h, reusing its slices.
+// With a caller-owned h whose capacities cover the channel count it
+// performs no allocation — the shape the serving path's per-worker
+// arenas rely on, since health runs on every wake-word decision.
+func AssessHealthInto(h *ArrayHealth, rec *audio.Recording, cfg HealthConfig) {
 	cfg = cfg.withDefaults()
-	h := ArrayHealth{Channels: make([]ChannelHealth, len(rec.Channels))}
+	if cap(h.Channels) < len(rec.Channels) {
+		h.Channels = make([]ChannelHealth, len(rec.Channels))
+	}
+	h.Channels = h.Channels[:len(rec.Channels)]
+	h.Healthy = h.Healthy[:0]
 	for i, ch := range rec.Channels {
 		h.Channels[i] = assessChannel(i, ch, cfg)
 	}
@@ -130,12 +146,13 @@ func AssessHealth(rec *audio.Recording, cfg HealthConfig) ArrayHealth {
 	// pass, so one loud channel cannot mask a quiet one and one dead
 	// channel cannot drag the reference down.
 	if cfg.LowSNRRatio > 0 {
-		var live []float64
+		live := h.live[:0]
 		for _, c := range h.Channels {
 			if c.State == ChannelOK {
 				live = append(live, c.RMS)
 			}
 		}
+		h.live = live
 		if len(live) >= 2 {
 			sort.Float64s(live)
 			median := live[len(live)/2]
@@ -152,7 +169,6 @@ func AssessHealth(rec *audio.Recording, cfg HealthConfig) ArrayHealth {
 			h.Healthy = append(h.Healthy, c.Index)
 		}
 	}
-	return h
 }
 
 // assessChannel computes one channel's mean, range and AC RMS in a
@@ -163,10 +179,66 @@ func assessChannel(idx int, ch []float64, cfg HealthConfig) ChannelHealth {
 		out.State = ChannelDead
 		return out
 	}
+	// Both passes run four samples at a time: a block whose sum is
+	// finite provably contains only finite samples (NaN and ±Inf are
+	// absorbing under addition), so the common all-clean case skips the
+	// per-sample finiteness checks. Suspect blocks — and the tail — fall
+	// back to the exact per-sample scan. The running accumulators are
+	// updated in sample order either way, so the statistics are bit
+	// identical to the one-sample-at-a-time loop.
 	lo, hi := math.Inf(1), math.Inf(-1)
 	var sum float64
 	finite := 0
-	for _, v := range ch {
+	i := 0
+	for ; i+4 <= len(ch); i += 4 {
+		v0, v1, v2, v3 := ch[i], ch[i+1], ch[i+2], ch[i+3]
+		if s := v0 + v1 + v2 + v3; s-s == 0 {
+			finite += 4
+			sum += v0
+			sum += v1
+			sum += v2
+			sum += v3
+			if v0 < lo {
+				lo = v0
+			}
+			if v0 > hi {
+				hi = v0
+			}
+			if v1 < lo {
+				lo = v1
+			}
+			if v1 > hi {
+				hi = v1
+			}
+			if v2 < lo {
+				lo = v2
+			}
+			if v2 > hi {
+				hi = v2
+			}
+			if v3 < lo {
+				lo = v3
+			}
+			if v3 > hi {
+				hi = v3
+			}
+			continue
+		}
+		for _, v := range ch[i : i+4] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			finite++
+			sum += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	for _, v := range ch[i:] {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			continue
 		}
@@ -185,7 +257,26 @@ func assessChannel(idx int, ch []float64, cfg HealthConfig) ChannelHealth {
 	}
 	mean := sum / float64(finite)
 	var acc float64
-	for _, v := range ch {
+	i = 0
+	for ; i+4 <= len(ch); i += 4 {
+		v0, v1, v2, v3 := ch[i], ch[i+1], ch[i+2], ch[i+3]
+		if s := v0 + v1 + v2 + v3; s-s == 0 {
+			d0, d1, d2, d3 := v0-mean, v1-mean, v2-mean, v3-mean
+			acc += d0 * d0
+			acc += d1 * d1
+			acc += d2 * d2
+			acc += d3 * d3
+			continue
+		}
+		for _, v := range ch[i : i+4] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			d := v - mean
+			acc += d * d
+		}
+	}
+	for _, v := range ch[i:] {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			continue
 		}

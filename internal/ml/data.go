@@ -70,15 +70,25 @@ func (s *Standardizer) Fit(x [][]float64) error {
 // Transform returns a standardized copy of one feature vector.
 // Features beyond the fitted dimensionality are dropped.
 func (s *Standardizer) Transform(x []float64) []float64 {
+	return s.TransformInto(nil, x)
+}
+
+// TransformInto standardizes x into dst (grown if needed) and returns
+// it. With a caller-reused dst of sufficient capacity it performs no
+// allocation. Features beyond the fitted dimensionality are dropped.
+func (s *Standardizer) TransformInto(dst, x []float64) []float64 {
 	d := len(s.mean)
 	if len(x) < d {
 		d = len(x)
 	}
-	out := make([]float64, d)
-	for j := 0; j < d; j++ {
-		out[j] = (x[j] - s.mean[j]) / s.std[j]
+	if cap(dst) < d {
+		dst = make([]float64, d)
 	}
-	return out
+	dst = dst[:d]
+	for j := 0; j < d; j++ {
+		dst[j] = (x[j] - s.mean[j]) / s.std[j]
+	}
+	return dst
 }
 
 // TransformAll standardizes a full matrix.
@@ -126,6 +136,31 @@ func (p *Pipeline) Score(x []float64) float64 {
 		return s.Score(p.scaler.Transform(x))
 	}
 	return float64(p.clf.Predict(p.scaler.Transform(x)))
+}
+
+// PredictScore returns the label and the continuous class-1 score from
+// a single standardization pass, writing the standardized vector into
+// scratch (grown if needed; the grown slice is returned for reuse).
+// It is exactly Predict followed by Score, minus the duplicate
+// standardization and — for an SVM inner classifier — the duplicate
+// kernel sweep over the support set. With a warm scratch it performs no
+// allocation, which is what the serving path's per-worker arenas rely
+// on.
+func (p *Pipeline) PredictScore(x, scratch []float64) (label int, score float64, z []float64) {
+	z = p.scaler.TransformInto(scratch, x)
+	if svm, ok := p.clf.(*SVM); ok {
+		score = svm.Score(z)
+		if score >= 0 {
+			label = 1
+		}
+		return label, score, z
+	}
+	label = p.clf.Predict(z)
+	score = float64(label)
+	if s, ok := p.clf.(Scorer); ok {
+		score = s.Score(z)
+	}
+	return label, score, z
 }
 
 // Inner returns the wrapped classifier (for inspection in tests).

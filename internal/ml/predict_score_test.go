@@ -1,0 +1,126 @@
+package ml
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func trainedPipeline(t *testing.T) (*Pipeline, [][]float64) {
+	t.Helper()
+	r := rand.New(rand.NewPCG(2, 0))
+	const n, d = 60, 8
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		shift := 0.0
+		if i%2 == 1 {
+			shift = 1.5
+			y[i] = 1
+		}
+		for j := range x[i] {
+			x[i][j] = r.NormFloat64() + shift
+		}
+	}
+	p := NewPipeline(NewSVM(1, RBFKernel{Gamma: 1.0 / d}))
+	if err := p.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return p, x
+}
+
+func TestTransformIntoMatchesTransform(t *testing.T) {
+	p, x := trainedPipeline(t)
+	scratch := make([]float64, 0, len(x[0]))
+	for _, xi := range x {
+		want := p.scaler.Transform(xi)
+		got := p.scaler.TransformInto(scratch, xi)
+		if len(want) != len(got) {
+			t.Fatalf("length: want %d, got %d", len(want), len(got))
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("feature %d: want %g, got %g", j, want[j], got[j])
+			}
+		}
+	}
+	// Short vectors are truncated to the fitted dimensionality either way.
+	short := x[0][:3]
+	if got := p.scaler.TransformInto(nil, short); len(got) != 3 {
+		t.Fatalf("short vector: want 3 features, got %d", len(got))
+	}
+}
+
+// PredictScore must agree exactly with the two-call path it replaces.
+func TestPredictScoreMatchesPredictAndScore(t *testing.T) {
+	p, x := trainedPipeline(t)
+	var scratch []float64
+	for i, xi := range x {
+		wantLabel := p.Predict(xi)
+		wantScore := p.Score(xi)
+		var gotLabel int
+		var gotScore float64
+		gotLabel, gotScore, scratch = p.PredictScore(xi, scratch)
+		if gotLabel != wantLabel || gotScore != wantScore {
+			t.Fatalf("sample %d: want (%d, %g), got (%d, %g)", i, wantLabel, wantScore, gotLabel, gotScore)
+		}
+	}
+}
+
+// thresholdClf is a minimal Classifier with no Score method, to
+// exercise PredictScore's non-Scorer fallback.
+type thresholdClf struct{}
+
+func (thresholdClf) Fit(x [][]float64, y []int) error { return nil }
+func (thresholdClf) Predict(x []float64) int {
+	if len(x) > 0 && x[0] >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// A non-Scorer inner classifier falls back to the predicted label as
+// the score, matching Score's own fallback.
+func TestPredictScoreNonScorer(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 0))
+	const n, d = 40, 5
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		if i%2 == 1 {
+			y[i] = 1
+		}
+		for j := range x[i] {
+			x[i][j] = r.NormFloat64() + 2*float64(y[i])
+		}
+	}
+	p := NewPipeline(thresholdClf{})
+	if err := p.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, xi := range x {
+		wantLabel := p.Predict(xi)
+		wantScore := p.Score(xi)
+		gotLabel, gotScore, _ := p.PredictScore(xi, nil)
+		if gotLabel != wantLabel || gotScore != wantScore {
+			t.Fatalf("want (%d, %g), got (%d, %g)", wantLabel, wantScore, gotLabel, gotScore)
+		}
+	}
+}
+
+// Warm-scratch PredictScore must not allocate: the serving arenas pin
+// the whole decision path at zero.
+func TestPredictScoreAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; pin holds in normal builds")
+	}
+	p, x := trainedPipeline(t)
+	_, _, scratch := p.PredictScore(x[0], nil) // warm-up
+	allocs := testing.AllocsPerRun(10, func() {
+		_, _, scratch = p.PredictScore(x[1], scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm PredictScore allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ml
+
+const raceEnabled = false

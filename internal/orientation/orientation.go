@@ -190,6 +190,14 @@ func (m *Model) Predict(x []float64) int { return m.pipe.Predict(x) }
 // probability).
 func (m *Model) Score(x []float64) float64 { return m.pipe.Score(x) }
 
+// PredictScore returns Predict and Score from one standardization pass,
+// writing the standardized vector into scratch (grown if needed and
+// returned for reuse). Bit-identical to calling Predict then Score;
+// alloc-free with a warm scratch.
+func (m *Model) PredictScore(x, scratch []float64) (int, float64, []float64) {
+	return m.pipe.PredictScore(x, scratch)
+}
+
 // Confidence returns the calibrated probability that x is facing, used
 // by the incremental-learning confidence filter. For non-SVM
 // classifiers it falls back to the raw score clipped to [0, 1].

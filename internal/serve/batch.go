@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"runtime/debug"
+	"time"
+
+	"headtalk/internal/core"
+	"headtalk/internal/trace"
+)
+
+// batchGather is the per-worker scratch of the batch collector. All
+// slices are reused batch to batch so a warm collector allocates
+// nothing while gathering and dispatching.
+type batchGather struct {
+	tasks []*task
+	waits []time.Duration
+
+	// Admitted subset (past deadline and breaker checks), with the
+	// parallel bookkeeping the post-run accounting needs.
+	admitted []*task
+	adWaits  []time.Duration
+	adGather []time.Duration
+	probes   []bool
+	reqs     []core.BatchRequest
+	outs     []core.BatchResult
+}
+
+// batchWorker drains the queue in gathered batches: after dequeuing one
+// task it collects up to MaxBatch-1 more, waiting at most GatherDelay
+// for stragglers, then dispatches the batch through the core pipeline's
+// batched DSP schedule. Per-task admission (deadline expiry, breaker)
+// and delivery semantics are identical to the sequential worker's.
+func (e *Engine) batchWorker(p *core.Preprocessor) {
+	var g batchGather
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for t := range e.queue {
+		e.ins.queueDepth.Add(-1)
+		g.tasks = append(g.tasks[:0], t)
+		g.waits = append(g.waits[:0], time.Since(t.enqueued))
+		timer.Reset(e.cfg.GatherDelay)
+		fired := false
+	gather:
+		for len(g.tasks) < e.cfg.MaxBatch {
+			select {
+			case t2, ok := <-e.queue:
+				if !ok {
+					// Queue closed mid-gather: serve what we have; the
+					// outer range loop exits on its next receive.
+					break gather
+				}
+				e.ins.queueDepth.Add(-1)
+				g.tasks = append(g.tasks, t2)
+				g.waits = append(g.waits, time.Since(t2.enqueued))
+			case <-timer.C:
+				fired = true
+				break gather
+			}
+		}
+		if !fired && !timer.Stop() {
+			<-timer.C
+		}
+		p = e.processBatch(p, &g)
+	}
+}
+
+// processBatch admits, runs and delivers one gathered batch. It returns
+// the preprocessor to keep using — a fresh one when the batched
+// pipeline panicked (the biquad cascade may have been interrupted
+// mid-update).
+func (e *Engine) processBatch(p *core.Preprocessor, g *batchGather) *core.Preprocessor {
+	e.ins.batchSize.Observe(float64(len(g.tasks)))
+	e.ins.batchFill.Set(int64(len(g.tasks)))
+
+	// Admission, exactly as the sequential worker decides it per task:
+	// a lapsed deadline is delivered without burning pipeline time, an
+	// open breaker fails closed, everything else enters the batch run.
+	gatherEnd := time.Now()
+	g.admitted = g.admitted[:0]
+	g.adWaits = g.adWaits[:0]
+	g.adGather = g.adGather[:0]
+	g.probes = g.probes[:0]
+	g.reqs = g.reqs[:0]
+	for i, t := range g.tasks {
+		wait := g.waits[i]
+		e.ins.queueWait.ObserveDuration(wait)
+		tr := trace.FromContext(t.ctx)
+		tr.Observe(trace.StageQueueWait, wait)
+		gather := gatherEnd.Sub(t.enqueued) - wait
+		if gather < 0 {
+			gather = 0
+		}
+		tr.Observe(trace.StageBatchGather, gather)
+		pickup := tr.Begin()
+		if t.ctx.Err() != nil {
+			res := Result{ID: t.req.ID, QueueWait: wait, Err: t.ctx.Err()}
+			e.ins.expired.Inc()
+			tr.SetOutcome("", false, "expired")
+			e.deliver(t, res)
+			continue
+		}
+		allowed, probe := e.breaker.Allow()
+		if !allowed {
+			res := Result{
+				ID:        t.req.ID,
+				QueueWait: wait,
+				Decision:  core.Decision{Accepted: false, Reason: core.ReasonUnhealthy},
+				Err:       ErrBreakerOpen,
+			}
+			e.ins.breakerFast.Inc()
+			tr.SetOutcome("", false, core.ReasonUnhealthy.Slug())
+			e.deliver(t, res)
+			continue
+		}
+		tr.End(trace.StagePickup, pickup)
+		g.admitted = append(g.admitted, t)
+		g.adWaits = append(g.adWaits, wait)
+		g.adGather = append(g.adGather, gather)
+		g.probes = append(g.probes, probe)
+		g.reqs = append(g.reqs, core.BatchRequest{Ctx: t.ctx, Rec: t.req.Recording})
+	}
+	if len(g.admitted) == 0 {
+		return p
+	}
+
+	start := time.Now()
+	results, panicked := e.runBatchPipeline(p, g)
+	batchDur := time.Since(start)
+	if panicked {
+		p = e.cfg.System.NewPreprocessor()
+	}
+	for i, t := range g.admitted {
+		br := results[i]
+		res := Result{
+			ID:        t.req.ID,
+			Decision:  br.Decision,
+			Err:       br.Err,
+			QueueWait: g.adWaits[i],
+			Total:     g.adWaits[i] + g.adGather[i] + batchDur,
+		}
+		e.ins.decisionLat.ObserveDuration(res.Total)
+		if br.Err != nil {
+			e.ins.failed.Inc()
+		}
+		if panicked {
+			trace.FromContext(t.ctx).SetOutcome("", false, core.ReasonPanic.Slug())
+		}
+		e.breaker.Record(!breakerFailure(br.Err), g.probes[i])
+		e.deliver(t, res)
+	}
+	return p
+}
+
+// runBatchPipeline executes one admitted batch with panic isolation. A
+// recovered panic — from a fault hook or anywhere in the batched
+// pipeline — fails every request of the batch closed with the same
+// *ErrPipelinePanic; the worker survives, as in the sequential path,
+// but a mid-batch panic costs the whole batch rather than one
+// submission (per-item completion cannot be distinguished after the
+// stack unwinds).
+func (e *Engine) runBatchPipeline(p *core.Preprocessor, g *batchGather) (res []core.BatchResult, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr := &ErrPipelinePanic{Value: r, Stack: string(debug.Stack())}
+			res = g.outs[:0]
+			for range g.reqs {
+				res = append(res, core.BatchResult{
+					Decision: core.Decision{Accepted: false, Reason: core.ReasonPanic},
+					Err:      perr,
+				})
+			}
+			g.outs = res
+			panicked = true
+			e.ins.panics.Inc()
+		}
+	}()
+	if e.cfg.FaultHook != nil {
+		for i := range g.reqs {
+			g.reqs[i].Rec = e.cfg.FaultHook(g.reqs[i].Rec)
+		}
+	}
+	g.outs = e.cfg.System.ProcessWakeBatchWith(p, g.reqs, g.outs)
+	return g.outs, false
+}

@@ -1,0 +1,263 @@
+package serve
+
+// Tests for the batch collector (Config.MaxBatch): gathered dispatch
+// through the core pipeline's batched DSP schedule with unchanged
+// per-request semantics — exactly-once delivery, deadlines, breaker
+// admission, tracing and fail-closed panic isolation.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"headtalk/internal/core"
+	"headtalk/internal/faultinject"
+	"headtalk/internal/metrics"
+	"headtalk/internal/trace"
+)
+
+// newBatchEngine builds a started engine with the batch collector on.
+func newBatchEngine(t *testing.T, mode core.Mode, workers, maxBatch int) (*Engine, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	sys, err := core.NewSystem(core.Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetMode(mode)
+	eng, err := NewEngine(Config{
+		System: sys, Workers: workers, QueueSize: 64, Metrics: reg,
+		MaxBatch: maxBatch, GatherDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	return eng, reg
+}
+
+// A batching engine serves a burst with exactly-once delivery and
+// accounts every request in the serve.batch.size histogram.
+func TestBatchEngineServesBurst(t *testing.T) {
+	eng, reg := newBatchEngine(t, core.ModeNormal, 1, 4)
+
+	const n = 24
+	var (
+		mu        sync.Mutex
+		delivered = map[string]Result{}
+	)
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		id := string(rune('a' + i))
+		_, err := eng.Submit(context.Background(), Request{
+			ID:        id,
+			Recording: testRecording(uint64(i)),
+			Callback: func(res Result) {
+				mu.Lock()
+				if _, dup := delivered[res.ID]; dup {
+					t.Errorf("result for %s delivered twice", res.ID)
+				}
+				delivered[res.ID] = res
+				mu.Unlock()
+				done <- struct{}{}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("delivery stalled at %d of %d", i, n)
+		}
+	}
+	for id, res := range delivered {
+		if res.Err != nil || !res.Decision.Accepted || res.Decision.Reason != core.ReasonNormalMode {
+			t.Fatalf("%s: %+v", id, res)
+		}
+		if res.Total < res.QueueWait {
+			t.Fatalf("%s: total %v < queue wait %v", id, res.Total, res.QueueWait)
+		}
+	}
+
+	snap := reg.Snapshot()
+	h := snap.Histograms["serve.batch.size"]
+	if h.Count == 0 {
+		t.Fatal("serve.batch.size never observed")
+	}
+	if int(h.Sum) != n {
+		t.Fatalf("batch sizes sum to %.0f requests, want %d", h.Sum, n)
+	}
+	if snap.Counters["serve.completed.total"] != n {
+		t.Fatalf("completed %d, want %d", snap.Counters["serve.completed.total"], n)
+	}
+}
+
+// A lone request must not wait out the gather deadline forever: the
+// timer dispatches an under-full batch.
+func TestBatchSingleRequestDispatches(t *testing.T) {
+	eng, reg := newBatchEngine(t, core.ModeHeadTalk, 1, 8)
+	d, err := eng.Decide(context.Background(), testRecording(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepted || d.Reason != core.ReasonNoOrientation {
+		t.Fatalf("decision %+v", d)
+	}
+	h := reg.Snapshot().Histograms["serve.batch.size"]
+	if h.Count != 1 || h.Sum != 1 {
+		t.Fatalf("batch.size count=%d sum=%.0f, want a single 1-item batch", h.Count, h.Sum)
+	}
+}
+
+// Batched requests carry the batch_gather span between pickup and the
+// pipeline stages when traced.
+func TestBatchTraceGatherSpan(t *testing.T) {
+	sys, err := core.NewSystem(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := trace.NewStore(16, trace.DefaultSlowThreshold)
+	store.SetEnabled(true)
+	eng, err := NewEngine(Config{
+		System: sys, Workers: 1, QueueSize: 8, Traces: store,
+		MaxBatch: 4, GatherDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+
+	ch, err := eng.Submit(context.Background(), Request{ID: "g", Recording: testRecording(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-ch
+	if res.Err != nil || res.Trace == nil {
+		t.Fatalf("result %+v", res)
+	}
+	if _, ok := res.Trace.Span(trace.StageBatchGather); !ok {
+		t.Fatalf("batch_gather span missing: %+v", res.Trace.Spans())
+	}
+	for _, st := range []trace.Stage{trace.StageQueueWait, trace.StagePickup, trace.StageValidate} {
+		if _, ok := res.Trace.Span(st); !ok {
+			t.Fatalf("%s span missing: %+v", st, res.Trace.Spans())
+		}
+	}
+}
+
+// A request whose deadline lapses during the gather is delivered with
+// its context error and never enters the pipeline.
+func TestBatchExpiredInGather(t *testing.T) {
+	eng, _ := newBatchEngine(t, core.ModeNormal, 1, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before any worker can pick it up
+	ch, err := eng.Submit(ctx, Request{ID: "x", Recording: testRecording(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-ch
+	if res.Err != context.Canceled {
+		t.Fatalf("expired result %+v", res)
+	}
+}
+
+// Chaos: a panic inside a batched pipeline run fails every request of
+// that batch closed with ErrPipelinePanic; the worker rebuilds its
+// preprocessor and keeps serving, and service recovers when the storm
+// passes.
+func TestChaosBatchPanicFailsClosed(t *testing.T) {
+	inj := faultinject.New(faultinject.Config{PanicEvery: 3})
+	reg := metrics.NewRegistry()
+	sys, err := core.NewSystem(core.Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetMode(core.ModeHeadTalk)
+	eng, err := NewEngine(Config{
+		System: sys, Workers: 2, QueueSize: 64, Metrics: reg,
+		BreakerThreshold: -1,
+		MaxBatch:         4, GatherDelay: time.Millisecond,
+		FaultHook: inj.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+
+	const n = 40
+	var (
+		mu        sync.Mutex
+		delivered = map[string]Result{}
+	)
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		id := string(rune('A' + i))
+		_, err := eng.Submit(context.Background(), Request{
+			ID:        id,
+			Recording: testRecording(uint64(100 + i)),
+			Callback: func(res Result) {
+				mu.Lock()
+				if _, dup := delivered[res.ID]; dup {
+					t.Errorf("result for %s delivered twice", res.ID)
+				}
+				delivered[res.ID] = res
+				mu.Unlock()
+				done <- struct{}{}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("delivery stalled at %d of %d", i, n)
+		}
+	}
+
+	var panicked int
+	for id, res := range delivered {
+		if res.Decision.Accepted {
+			t.Fatalf("FAIL-CLOSED VIOLATION: %s accepted under faults: %+v", id, res.Decision)
+		}
+		switch {
+		case IsPanic(res.Err):
+			if res.Decision.Reason != core.ReasonPanic {
+				t.Fatalf("%s: panic result carries reason %q", id, res.Decision.Reason)
+			}
+			panicked++
+		case res.Err == nil && res.Decision.Reason == core.ReasonNoOrientation:
+		default:
+			t.Fatalf("%s: unexpected outcome %+v", id, res)
+		}
+	}
+	// Every induced panic fails its whole batch, so panic results must
+	// cover at least the induced count.
+	if stats := inj.Stats(); uint64(panicked) < stats.Panics || stats.Panics == 0 {
+		t.Fatalf("panic results %d, induced %d", panicked, stats.Panics)
+	}
+
+	inj.SetEnabled(false)
+	d, err := eng.Decide(context.Background(), testRecording(999))
+	if err != nil || d.Reason != core.ReasonNoOrientation {
+		t.Fatalf("post-chaos decision %+v, err %v", d, err)
+	}
+	if h := eng.HealthSnapshot(); !h.Healthy {
+		t.Fatalf("post-chaos health %+v", h)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package srp
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package srp
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation allocates on paths that are allocation-free in a
+// normal build; the AllocsPerRun pins skip themselves under it.
+const raceEnabled = true

@@ -57,6 +57,11 @@ const (
 	// StagePickup is the worker's dispatch overhead between dequeuing
 	// the request and starting the pipeline (breaker check, plumbing).
 	StagePickup
+	// StageBatchGather is the time a dequeued request waited for the
+	// serving engine's batch collector to fill (or give up on) its
+	// batch before the pipeline started. Zero-length batches and
+	// unbatched engines never record it.
+	StageBatchGather
 	// StageValidate is the input-hardening stage (audio.Validate and
 	// optional repair).
 	StageValidate
@@ -92,6 +97,8 @@ func (s Stage) String() string {
 		return "queue_wait"
 	case StagePickup:
 		return "pickup"
+	case StageBatchGather:
+		return "batch_gather"
 	case StageValidate:
 		return "validate"
 	case StageChannelPlan:
