@@ -15,13 +15,15 @@ test:
 	$(GO) test ./...
 
 # Race-detect the packages with real concurrency: the serving engine
-# (including its chaos suite), the core controller it hammers, the
-# assistant/listener layer, the fault-tolerance layers (channel
-# health, pair recomputation, fault injection), the DSP layer now
-# that it holds the shared FFT plan cache and scratch pools, and the
-# streaming-ingest session manager (concurrent push/evict).
+# (including its chaos suite and the fan-out fused decision), the core
+# controller it hammers, the assistant/listener layer, the
+# fault-tolerance layers (channel health, pair recomputation, fault
+# injection), the DSP layer now that it holds the shared FFT plan
+# cache and scratch pools, the streaming-ingest session manager
+# (concurrent push/evict plus speaker tracking), and the multi-array
+# fusion vote the fan-out feeds.
 race:
-	$(GO) test -race ./internal/serve ./internal/pool ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp ./internal/trace ./internal/stream ./internal/cluster
+	$(GO) test -race ./internal/serve ./internal/pool ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp ./internal/trace ./internal/stream ./internal/cluster ./internal/fusion
 
 # Static analysis beyond go vet. staticcheck is not vendored; this
 # target expects it on PATH (CI installs it with `go install`). Keep it
@@ -40,7 +42,10 @@ vet:
 # isolation (a stalled session must not starve pushes or eviction for
 # other sessions), plus federation isolation (dead, black-hole and
 # slow-drip peers must fail fast with typed errors and leave
-# locally-owned tenants' latency and error rate untouched).
+# locally-owned tenants' latency and error rate untouched). The stream
+# pattern also covers the evicted-session push race and the
+# at-capacity single-sweep contention tests added with speaker
+# tracking.
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Breaker|Panic|FaultInject' ./internal/serve ./internal/stream
 	$(GO) test -race -count=2 ./internal/faultinject
@@ -60,8 +65,8 @@ chaos:
 # streaming-vs-batch decision cost on identical audio, and
 # ForwardOverhead records the federation tax (local vs peer-forwarded
 # decision over loopback TCP).
-BENCH_JSON ?= BENCH_pr8.json
-BENCH_TAG  ?= pr8
+BENCH_JSON ?= BENCH_pr9.json
+BENCH_TAG  ?= pr9
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput|BenchmarkRuntime|BenchmarkPipelineStages|BenchmarkStreamEndToEnd' -benchmem -benchtime 50x . \
@@ -69,6 +74,8 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkRFFT|BenchmarkFFTPlan|BenchmarkBluestein|BenchmarkSTFT|BenchmarkWelchPSD|BenchmarkGCCAllPairs|BenchmarkGCCPHATBand' -benchmem ./internal/dsp ./internal/srp \
 		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)
 	$(GO) test -run xxx -bench 'BenchmarkForwardOverhead' -benchmem -benchtime 50x ./internal/cluster \
+		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)
+	$(GO) test -run xxx -bench 'BenchmarkDecideFused' -benchmem -benchtime 50x ./internal/serve \
 		| $(GO) run ./cmd/benchjson -tag $(BENCH_TAG) -append -out $(BENCH_JSON)
 
 # Per-benchmark delta table between two recorded tags, e.g.

@@ -93,8 +93,11 @@ func BenchmarkAblationFeatureGroups(b *testing.B) { benchExperiment(b, "ablation
 
 // --- extension experiments ---
 
-func BenchmarkExtMovingSpeaker(b *testing.B)   { benchExperiment(b, "moving") }
-func BenchmarkExtDeviceSelection(b *testing.B) { benchExperiment(b, "deviceselect") }
+func BenchmarkExtMovingSpeaker(b *testing.B)      { benchExperiment(b, "moving") }
+func BenchmarkExtDeviceSelection(b *testing.B)    { benchExperiment(b, "deviceselect") }
+func BenchmarkExtOverlappingTalkers(b *testing.B) { benchExperiment(b, "overlap") }
+func BenchmarkExtTrajectories(b *testing.B)       { benchExperiment(b, "trajectory") }
+func BenchmarkExtArrayFusion(b *testing.B)        { benchExperiment(b, "fusion") }
 
 // BenchmarkAblationSimImageOrder measures capture cost at image orders
 // 1 and 2 (the simulator-fidelity tradeoff DESIGN.md calls out).

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFusedRequestRoundTrip drives a v4 two-array request end to end:
+// both captures decide, the response is a single "fused" line carrying
+// the room decision plus the per-array breakdown.
+func TestFusedRequestRoundTrip(t *testing.T) {
+	d := testDaemon(t, "normal")
+	resps := runStream(t, d,
+		`{"v":4,"id":"f","arrays":[{"id":"near","condition":{"Distance":1}},{"id":"far","condition":{"Distance":3.5}}]}`+"\n")
+	m := byID(resps)
+	r, ok := m["f"]
+	if !ok {
+		t.Fatalf("no response: %+v", resps)
+	}
+	if r.Type != "fused" || r.Accepted == nil || !*r.Accepted {
+		t.Fatalf("fused response %+v", r)
+	}
+	// Normal mode: the per-array policy outcome carries through.
+	if r.ReasonSlug != "normal_mode" {
+		t.Errorf("reason %q", r.ReasonSlug)
+	}
+	if len(r.Arrays) != 2 {
+		t.Fatalf("%d array line items, want 2", len(r.Arrays))
+	}
+	seen := map[string]bool{}
+	for _, a := range r.Arrays {
+		seen[a.ID] = true
+		if a.Error != "" || a.Accepted == nil || !*a.Accepted {
+			t.Errorf("array %s: %+v", a.ID, a)
+		}
+	}
+	if !seen["near"] || !seen["far"] {
+		t.Errorf("array ids %v", seen)
+	}
+}
+
+// TestFusedRequestBadArray: a fused request whose array spec cannot be
+// resolved fails as one typed error naming the array.
+func TestFusedRequestBadArray(t *testing.T) {
+	d := testDaemon(t, "normal")
+	resps := runStream(t, d,
+		`{"v":4,"id":"bad","arrays":[{"id":"x","wav":"/nonexistent.wav"}]}`+"\n"+
+			`{"v":4,"id":"empty","arrays":[{"id":"y"}]}`+"\n")
+	m := byID(resps)
+	if r := m["bad"]; r.Type != "error" || r.ErrorKind != "wav" || !strings.Contains(r.Error, "array x") {
+		t.Fatalf("bad wav response %+v", r)
+	}
+	if r := m["empty"]; r.Type != "error" || r.ErrorKind != "request" {
+		t.Fatalf("empty spec response %+v", r)
+	}
+}

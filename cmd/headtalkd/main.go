@@ -58,6 +58,17 @@
 // device spec). "frames" and "end_session" on a v1 request are
 // rejected with error_kind "unsupported_version".
 //
+// Protocol version 4 adds multi-array fused decisions: several arrays'
+// captures of the same utterance run the pipeline and the per-array
+// posteriors are fused (health-weighted) into one room-level
+// accept/reject:
+//
+//	{"v":4,"id":"10","arrays":[{"id":"near","condition":{"Distance":1}},
+//	                           {"id":"far","condition":{"Distance":4}}]}
+//
+// The "fused" response line carries the room decision plus a per-array
+// breakdown (accepted, reason_slug, facing/live scores, errors).
+//
 // Control requests honor "tenant" too: mode, health, trace, frames and
 // end_session all act on the named tenant only.
 //
@@ -105,6 +116,7 @@ import (
 	"headtalk/internal/core"
 	"headtalk/internal/dataset"
 	"headtalk/internal/features"
+	"headtalk/internal/fusion"
 	"headtalk/internal/metrics"
 	"headtalk/internal/mic"
 	"headtalk/internal/pool"
@@ -376,7 +388,7 @@ const defaultTenantID = "default"
 // Requests may carry "v"; absent means version 1. Every version from 1
 // through protocolVersion is accepted; anything else is rejected with
 // error_kind "unsupported_version".
-const protocolVersion = 3
+const protocolVersion = 4
 
 // minStreamVersion gates the continuous-ingest request fields: frames
 // and end_session require at least protocol version 2.
@@ -385,6 +397,10 @@ const minStreamVersion = 2
 // minClusterVersion gates the federation request fields: snapshot,
 // restore, join and leave require at least protocol version 3.
 const minClusterVersion = 3
+
+// minFusedVersion gates multi-array fused decisions: the arrays
+// request field requires at least protocol version 4.
+const minFusedVersion = 4
 
 // defaultSessionID names the streaming session used when a frames or
 // end_session request carries no "session" field.
@@ -567,11 +583,15 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 			// The continuous-ingest front end: every tenant accepts v2
 			// frames pushes. The stream manager reuses the tenant's
 			// registry, so its session gauges and early-exit counters
-			// surface in metrics lines and Prometheus exposition.
+			// surface in metrics lines and Prometheus exposition. The
+			// default tracker attributes every spotted candidate to a
+			// speaker by TDoA signature; spotted/decided stream lines
+			// echo the attribution.
 			Streaming: &stream.Config{
 				SampleRate: 48000,
 				Channels:   streamChannels,
 				Spotter:    spotter,
+				Speakers:   &stream.TrackerConfig{},
 			},
 		})
 		if terr != nil {
@@ -614,6 +634,7 @@ func (d *daemon) restoredTenantConfig(env *cluster.Envelope, sys *core.System, r
 			SampleRate: 48000,
 			Channels:   streamChannels,
 			Spotter:    d.spotter,
+			Speakers:   &stream.TrackerConfig{},
 		},
 	}
 }
@@ -760,12 +781,32 @@ type request struct {
 	// Both require protocol version 3 and a federated daemon.
 	Join  *joinSpec `json:"join,omitempty"`
 	Leave string    `json:"leave,omitempty"`
+
+	// Arrays requests a multi-array fused decision: every array's
+	// capture of the same utterance runs the tenant's pipeline and the
+	// per-array posteriors are fused (health-weighted) into one
+	// room-level accept/reject. Requires protocol version 4.
+	Arrays []arraySpec `json:"arrays,omitempty"`
 }
 
 // joinSpec is the body of a v3 join request.
 type joinSpec struct {
 	Node string `json:"node"`
 	Addr string `json:"addr"`
+}
+
+// arraySpec is one array's capture inside a v4 fused request. Exactly
+// one of WAV or Condition must be set (matching single-array requests).
+type arraySpec struct {
+	// ID names the array in the fused response ("kitchen", ...).
+	ID string `json:"id,omitempty"`
+	// WAV names a multi-channel utterance file on disk.
+	WAV string `json:"wav,omitempty"`
+	// Condition synthesizes the capture (zero values default to the
+	// tenant's device/room).
+	Condition *dataset.Condition `json:"condition,omitempty"`
+	// Weight overrides the health-derived fusion weight when > 0.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // response is one NDJSON output line.
@@ -799,6 +840,17 @@ type response struct {
 	Status    string   `json:"status,omitempty"`
 	SpotScore *float64 `json:"spot_score,omitempty"`
 	Ended     *bool    `json:"ended,omitempty"`
+	// Speaker attributes a spotted/decided chunk to a tracked speaker
+	// (TDoA-signature clustering across utterances).
+	Speaker *speakerEcho `json:"speaker,omitempty"`
+
+	// Arrays carries the per-array breakdown of a v4 fused decision;
+	// BestArray names the used array with the strongest facing margin
+	// and ArraysUsed/ArraysDropped count how many contributed evidence.
+	Arrays        []arrayResult `json:"arrays,omitempty"`
+	BestArray     string        `json:"best_array,omitempty"`
+	ArraysUsed    int           `json:"arrays_used,omitempty"`
+	ArraysDropped int           `json:"arrays_dropped,omitempty"`
 
 	// Forwarded marks a line served by another federation node on the
 	// requester's behalf.
@@ -823,6 +875,26 @@ type response struct {
 	// Batches summarizes the serve.batch.size histograms (requests per
 	// dispatched batch — counts, not latencies) when batching is on.
 	Batches map[string]batchSummary `json:"batches,omitempty"`
+}
+
+// speakerEcho is the per-speaker attribution on a stream line: the
+// tracker-assigned identity, how many utterances it has produced, and
+// its cross-utterance mean facing margin (zero until an orientation
+// gate has run for this speaker).
+type speakerEcho struct {
+	ID         string  `json:"id"`
+	Utterances int     `json:"utterances"`
+	MeanFacing float64 `json:"mean_facing"`
+}
+
+// arrayResult is one array's line item inside a fused response.
+type arrayResult struct {
+	ID          string   `json:"id"`
+	Accepted    *bool    `json:"accepted,omitempty"`
+	ReasonSlug  string   `json:"reason_slug,omitempty"`
+	LiveScore   *float64 `json:"live_score,omitempty"`
+	FacingScore *float64 `json:"facing_score,omitempty"`
+	Error       string   `json:"error,omitempty"`
 }
 
 // healthInfo is the body of a health line: one tenant's serving
@@ -1074,6 +1146,15 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 		})
 		return
 	}
+	if len(req.Arrays) > 0 && v < minFusedVersion {
+		lw.write(response{
+			Type:      "error",
+			ID:        req.ID,
+			Error:     fmt.Sprintf("arrays require protocol version %d (request is version %d)", minFusedVersion, v),
+			ErrorKind: "unsupported_version",
+		})
+		return
+	}
 	if (req.Snapshot || req.Restore != nil || req.Join != nil || req.Leave != "") && v < minClusterVersion {
 		lw.write(response{
 			Type:      "error",
@@ -1115,6 +1196,10 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 	}
 	if req.Frames != nil || req.EndSession {
 		d.handleStream(req, t, lw)
+		return
+	}
+	if len(req.Arrays) > 0 {
+		d.handleFused(req, t, lw)
 		return
 	}
 	if req.Trace != nil && req.WAV == "" && req.Condition == nil && req.Mode == "" {
@@ -1203,6 +1288,80 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 	}
 }
 
+// handleFused serves a protocol-v4 multi-array decision: every array's
+// capture is resolved like a single-array request, the tenant's engine
+// decides each through its normal serving path, and the fused
+// room-level outcome plus the per-array breakdown is written as one
+// "fused" line. Pushes run synchronously — the per-array decisions ride
+// the engine's blocking Decide path concurrently.
+func (d *daemon) handleFused(req request, t *pool.Tenant, lw *lineWriter) {
+	echo := d.echoTenant(t)
+	spec := d.specs[t.ID()]
+	inputs := make([]serve.ArrayInput, len(req.Arrays))
+	for i, a := range req.Arrays {
+		id := a.ID
+		if id == "" {
+			id = fmt.Sprintf("array-%d", i)
+		}
+		rec, kind, err := d.loadRecording(request{WAV: a.WAV, Condition: a.Condition}, spec)
+		if err != nil {
+			lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: fmt.Sprintf("array %s: %v", id, err), ErrorKind: kind})
+			return
+		}
+		inputs[i] = serve.ArrayInput{ArrayID: id, Recording: rec, Weight: a.Weight}
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if d.opts.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d.opts.Deadline)
+	}
+	defer cancel()
+	room, reports, err := t.Engine().DecideFused(ctx, inputs, fusion.Config{})
+	if err != nil {
+		lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: err.Error(), ErrorKind: errorKind(err)})
+		return
+	}
+	resp := response{
+		Type:          "fused",
+		ID:            req.ID,
+		Tenant:        echo,
+		Accepted:      &room.Accepted,
+		Reason:        string(room.Reason),
+		ReasonSlug:    room.Reason.Slug(),
+		BestArray:     room.BestArray,
+		ArraysUsed:    room.ArraysUsed,
+		ArraysDropped: room.ArraysDropped,
+	}
+	if room.LiveRan {
+		resp.LiveScore = &room.FusedLive
+	}
+	if room.FacingRan {
+		resp.FacingScore = &room.FusedFacing
+	}
+	resp.Arrays = make([]arrayResult, len(reports))
+	for i := range reports {
+		r := &reports[i]
+		ar := arrayResult{ID: r.ArrayID}
+		if r.Err != nil {
+			ar.Error = r.Err.Error()
+		} else {
+			acc := r.Decision.Accepted
+			ar.Accepted = &acc
+			ar.ReasonSlug = r.Decision.Reason.Slug()
+			if r.Decision.LiveRan {
+				ls := r.Decision.LiveScore
+				ar.LiveScore = &ls
+			}
+			if r.Decision.FacingRan {
+				fs := r.Decision.FacingScore
+				ar.FacingScore = &fs
+			}
+		}
+		resp.Arrays[i] = ar
+	}
+	lw.write(resp)
+}
+
 // handleStream serves protocol-v2 frames and end_session requests.
 // Pushes run synchronously: the early-exit cascade answers most chunks
 // in microseconds, and a spotted candidate rides the engine's normal
@@ -1247,6 +1406,9 @@ func (d *daemon) handleStream(req request, t *pool.Tenant, lw *lineWriter) {
 	case stream.StatusNoWake, stream.StatusSpotted, stream.StatusDecided:
 		score := res.SpotScore
 		resp.SpotScore = &score
+	}
+	if spk := res.Speaker; spk != nil {
+		resp.Speaker = &speakerEcho{ID: spk.ID, Utterances: spk.Utterances, MeanFacing: spk.MeanFacing}
 	}
 	if dec := res.Decision; dec != nil {
 		resp.Accepted = &dec.Accepted

@@ -57,18 +57,20 @@ func TestStreamProtocolVersionGate(t *testing.T) {
 		mustJSON(t, request{ID: "f-nov", Frames: silent})+"\n"+
 			mustJSON(t, request{V: v(1), ID: "f-v1", Frames: silent})+"\n"+
 			mustJSON(t, request{V: v(1), ID: "e-v1", EndSession: true})+"\n"+
-			`{"v":4,"id":"v4","condition":{}}`+"\n"+
+			`{"v":3,"id":"a-v3","arrays":[{"condition":{}}]}`+"\n"+
+			`{"v":5,"id":"v5","condition":{}}`+"\n"+
+			`{"v":4,"id":"ok4","condition":{}}`+"\n"+
 			`{"v":3,"id":"ok3","condition":{}}`+"\n"+
 			`{"v":2,"id":"ok2","condition":{}}`+"\n"+
 			`{"v":1,"id":"ok1","condition":{}}`+"\n")
 	m := byID(resps)
-	for _, id := range []string{"f-nov", "f-v1", "e-v1", "v4"} {
+	for _, id := range []string{"f-nov", "f-v1", "e-v1", "a-v3", "v5"} {
 		r := m[id]
 		if r.Type != "error" || r.ErrorKind != "unsupported_version" {
 			t.Fatalf("response %q = %+v, want unsupported_version error", id, r)
 		}
 	}
-	for _, id := range []string{"ok3", "ok2", "ok1"} {
+	for _, id := range []string{"ok4", "ok3", "ok2", "ok1"} {
 		r := m[id]
 		if r.Type != "decision" || r.Accepted == nil || !*r.Accepted {
 			t.Fatalf("response %q = %+v, want accepted decision", id, r)
@@ -119,6 +121,11 @@ func TestStreamFramesEndToEnd(t *testing.T) {
 	if decided.SpotScore == nil || *decided.SpotScore <= 0 {
 		t.Fatalf("decided line without spot score: %+v", decided)
 	}
+	// The candidate was attributed to a tracked speaker and the
+	// attribution rode back on the decided line.
+	if decided.Speaker == nil || decided.Speaker.ID == "" || decided.Speaker.Utterances < 1 {
+		t.Fatalf("decided line without speaker attribution: %+v", decided)
+	}
 	if statuses["decided"] != 1 {
 		t.Fatalf("decided %d times, want 1 (statuses %v)", statuses["decided"], statuses)
 	}
@@ -146,6 +153,9 @@ func TestStreamFramesEndToEnd(t *testing.T) {
 	}
 	if got := last.Counters["stream.candidates"]; got != 1 {
 		t.Fatalf("stream.candidates=%d, want 1", got)
+	}
+	if got := last.Counters["stream.speakers.created"]; got != 1 {
+		t.Fatalf("stream.speakers.created=%d, want 1 (one candidate, one track)", got)
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 	"headtalk/internal/core"
 	"headtalk/internal/dataset"
 	"headtalk/internal/features"
+	"headtalk/internal/fusion"
 	"headtalk/internal/liveness"
 	"headtalk/internal/metrics"
 	"headtalk/internal/mic"
@@ -112,7 +113,44 @@ type (
 	// StreamPushResult reports how far one pushed chunk got through the
 	// early-exit cascade (Engine.PushFrames).
 	StreamPushResult = stream.PushResult
+	// SpeakerTrackerConfig enables cross-utterance speaker tracking on
+	// a stream manager (StreamConfig.Speakers): spotted candidates are
+	// clustered into speaker tracks by TDoA signature, carrying
+	// orientation history and facing state across utterances.
+	SpeakerTrackerConfig = stream.TrackerConfig
+	// SpeakerInfo is the tracked-speaker snapshot attached to spotted
+	// and decided push results.
+	SpeakerInfo = stream.SpeakerInfo
 )
+
+// Multi-array decision fusion (see internal/fusion): several arrays
+// hear the same utterance and each reports a signed orientation margin
+// and live score; fusing them health-weighted into one room-level
+// accept/reject beats any single array. Engine.DecideFused and
+// Pool.DecideFused serve the fused path.
+type (
+	// FusionArrayInput is one array's capture for Engine.DecideFused.
+	FusionArrayInput = serve.ArrayInput
+	// FusionArrayReport is one array's per-decision contribution.
+	FusionArrayReport = fusion.ArrayReport
+	// FusionConfig tunes the fusion vote thresholds.
+	FusionConfig = fusion.Config
+	// RoomDecision is the fused room-level outcome.
+	RoomDecision = fusion.RoomDecision
+	// ArrayHealth is a per-channel health assessment (mic.AssessHealth);
+	// FusionHealthWeight turns one into a fusion vote weight.
+	ArrayHealth = mic.ArrayHealth
+)
+
+// Fuse combines per-array reports into one room-level decision,
+// failing closed when no trustworthy evidence survives.
+func Fuse(reports []FusionArrayReport, cfg FusionConfig) RoomDecision {
+	return fusion.Fuse(reports, cfg)
+}
+
+// FusionHealthWeight converts an explicit mic.AssessHealth result into
+// a fusion vote weight (the healthy-channel fraction).
+func FusionHealthWeight(h ArrayHealth) float64 { return fusion.HealthWeight(h) }
 
 // Error taxonomy. Every failure the serving stack reports is either a
 // sentinel (match with errors.Is) or a typed error carrying detail

@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"headtalk/internal/dataset"
+)
+
+// TestMultiSpeakerExperiments runs the three multi-speaker extension
+// experiments end to end at the tiny corpus scale against one shared
+// runner (the Table III training corpus is generated once and cached).
+// The fusion experiment's acceptance criterion — the fused room
+// decision beats the best single array — is asserted directly.
+func TestMultiSpeakerExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a training corpus")
+	}
+	r := NewRunner(Options{Seed: 42, Scale: dataset.ScaleTiny})
+
+	singleA, singleC, fused, total, err := r.fusionCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("fusion scenario produced no trials")
+	}
+	best := singleA
+	if singleC > best {
+		best = singleC
+	}
+	if fused <= best {
+		t.Errorf("fused decision %d/%d does not beat best single array (A %d, C %d)",
+			fused, total, singleA, singleC)
+	}
+	if 2*fused < total {
+		t.Errorf("fused decision %d/%d below chance", fused, total)
+	}
+
+	tab, err := r.ArrayFusion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("fusion table rows %d, want 3 (A, C, fused)", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "criterion") {
+		t.Error("fusion table must state its accuracy criterion")
+	}
+
+	tab, err = r.OverlappingTalkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("overlap table rows %d, want 3 interference levels", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "criterion") {
+		t.Error("overlap table must state its accuracy criterion")
+	}
+
+	tab, err = r.TrajectoryWaypoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("trajectory table rows %d, want 3 scenarios", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "criterion") {
+		t.Error("trajectory table must state its accuracy criterion")
+	}
+}

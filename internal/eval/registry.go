@@ -42,6 +42,9 @@ func Experiments() []Experiment {
 		{"ablation-features", "ablation: feature groups", (*Runner).AblationFeatureGroups},
 		{"moving", "extension: moving speakers (§VI gap)", (*Runner).MovingSpeaker},
 		{"deviceselect", "extension: multi-VA device selection", (*Runner).DeviceSelection},
+		{"overlap", "extension: overlapping talkers (§VI gap)", (*Runner).OverlappingTalkers},
+		{"trajectory", "extension: waypoint trajectories (§VI gap)", (*Runner).TrajectoryWaypoints},
+		{"fusion", "extension: two-array decision fusion", (*Runner).ArrayFusion},
 	}
 }
 

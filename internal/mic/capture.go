@@ -63,14 +63,21 @@ func (sc *Scene) Capture(src room.Source, utter *Utterance, sourceSPL float64, r
 	outLen := utter.Length + sc.Sim.MaxDelaySamples()
 	mics := sc.Array.Place(sc.ArrayPos)
 	rec := audio.NewRecording(fs, len(mics), outLen)
+	sc.renderStatic(rec, mics, src, utter, sourceSPL, rng)
+	sc.addAmbient(rec, rng)
+	sc.addSelfNoise(rec, rng)
+	return rec
+}
 
+// renderStatic convolves the utterance through per-mic RIRs at one
+// fixed pose, accumulating into rec's channels.
+func (sc *Scene) renderStatic(rec *audio.Recording, mics []geom.Vec3, src room.Source, utter *Utterance, sourceSPL float64, rng *rand.Rand) {
 	// Source gain: calibrate dry-signal RMS to the requested SPL at
 	// the 1 m directivity reference.
 	gain := 1.0
 	if utter.RMS > 0 {
 		gain = audio.SPLToRMS(sourceSPL) / utter.RMS
 	}
-
 	for mi, mpos := range mics {
 		taps, _ := sc.Sim.BandRIR(src, mpos, rng)
 		dst := rec.Channels[mi]
@@ -82,18 +89,22 @@ func (sc *Scene) Capture(src room.Source, utter *Utterance, sourceSPL float64, r
 			dsp.ConvolveSparse(dst, bandSig, scaled)
 		}
 	}
+}
 
-	// Ambient noise: a diffuse field is partially coherent across the
-	// small array, so mix a shared component with per-mic independent
-	// components at equal power.
+// addAmbient mixes the scene's ambient noise sources into rec. A
+// diffuse field is partially coherent across the small array, so each
+// source is a shared component plus per-mic independent components at
+// equal power.
+func (sc *Scene) addAmbient(rec *audio.Recording, rng *rand.Rand) {
+	outLen := rec.Len()
 	for _, amb := range sc.Ambients {
 		if amb.SPL <= 0 {
 			continue
 		}
-		shared := audio.GenerateNoise(amb.Kind, outLen, fs, rng)
+		shared := audio.GenerateNoise(amb.Kind, outLen, rec.SampleRate, rng)
 		audio.SetSPL(shared, amb.SPL)
 		for mi := range rec.Channels {
-			indep := audio.GenerateNoise(amb.Kind, outLen, fs, rng)
+			indep := audio.GenerateNoise(amb.Kind, outLen, rec.SampleRate, rng)
 			audio.SetSPL(indep, amb.SPL)
 			ch := rec.Channels[mi]
 			for i := range ch {
@@ -101,23 +112,167 @@ func (sc *Scene) Capture(src room.Source, utter *Utterance, sourceSPL float64, r
 			}
 		}
 	}
+}
 
-	// Microphone self-noise at the device's typical SNR relative to
-	// the captured speech level.
-	if !sc.DisableSelfNoise {
-		for mi := range rec.Channels {
-			ch := rec.Channels[mi]
-			sigRMS := dsp.RMS(ch)
-			if sigRMS == 0 {
-				continue
+// addSelfNoise adds microphone self-noise at the device's typical SNR
+// relative to the captured level.
+func (sc *Scene) addSelfNoise(rec *audio.Recording, rng *rand.Rand) {
+	if sc.DisableSelfNoise {
+		return
+	}
+	for mi := range rec.Channels {
+		ch := rec.Channels[mi]
+		sigRMS := dsp.RMS(ch)
+		if sigRMS == 0 {
+			continue
+		}
+		noiseRMS := sigRMS / audio.DBToGain(sc.Array.SelfNoiseSNRdB)
+		for i := range ch {
+			ch[i] += noiseRMS * rng.NormFloat64()
+		}
+	}
+}
+
+// SceneSource is one talker (or interference source) in a multi-source
+// capture: its own pose or motion trajectory, directivity (carried on
+// the pose), utterance, level and onset.
+type SceneSource struct {
+	// Source is the pose for a static talker. Ignored when Trajectory
+	// is set and non-stationary.
+	Source room.Source
+	// Trajectory, when set, moves the talker during the utterance:
+	// the render samples the path at Segments poses and crossfades
+	// between full-utterance renders (accurate for walking-speed
+	// motion). A stationary trajectory collapses onto the static
+	// render path exactly.
+	Trajectory *room.Trajectory
+	// Segments is the crossfade segment count for a moving source
+	// (default 5; values <= 1 render statically at the start pose).
+	Segments int
+	// Utterance is the dry band-split signal. All sources of one
+	// capture must share a sample rate.
+	Utterance *Utterance
+	// SPL is the source level in dB SPL at 1 m on-axis.
+	SPL float64
+	// OnsetSec delays the source's first sample relative to capture
+	// start, letting talkers overlap partially rather than exactly.
+	OnsetSec float64
+	// Seed, when non-zero, pins the source's diffuse-tail randomness so
+	// a source renders identically inside any capture (the superposition
+	// property tests rely on this). Zero draws a seed from the capture
+	// rng.
+	Seed uint64
+}
+
+// pose returns the source's starting pose.
+func (s *SceneSource) pose() room.Source {
+	if s.Trajectory != nil && len(s.Trajectory.Waypoints) > 0 {
+		return s.Trajectory.At(0)
+	}
+	return s.Source
+}
+
+// CaptureMulti renders several simultaneous sources — overlapping
+// talkers, interference, moving speakers — into one multi-channel
+// recording. Each source is rendered independently (its own RIRs,
+// directivity, level, onset and tail seed) into a scratch buffer and
+// summed, so the result obeys superposition exactly: a two-source
+// capture is the sample-wise sum of the single-source captures with
+// the same seeds. Ambient noise and mic self-noise are added once,
+// after all sources.
+func (sc *Scene) CaptureMulti(srcs []SceneSource, rng *rand.Rand) *audio.Recording {
+	fs := sc.Sim.SampleRate
+	if fs == 0 {
+		fs = 48000
+	}
+	mics := sc.Array.Place(sc.ArrayPos)
+	maxDelay := sc.Sim.MaxDelaySamples()
+	outLen := maxDelay
+	for i := range srcs {
+		s := &srcs[i]
+		if s.Utterance == nil {
+			continue
+		}
+		fs = s.Utterance.SampleRate
+		if end := s.onsetSamples(fs) + s.Utterance.Length + maxDelay; end > outLen {
+			outLen = end
+		}
+	}
+	rec := audio.NewRecording(fs, len(mics), outLen)
+	for i := range srcs {
+		s := &srcs[i]
+		if s.Utterance == nil {
+			continue
+		}
+		seed := s.Seed
+		if seed == 0 {
+			seed = rng.Uint64()
+		}
+		scratch := audio.NewRecording(fs, len(mics), s.Utterance.Length+maxDelay)
+		sc.renderSource(scratch, mics, s, seed)
+		onset := s.onsetSamples(fs)
+		for c := range rec.Channels {
+			dst := rec.Channels[c][onset:]
+			src := scratch.Channels[c]
+			if len(src) > len(dst) {
+				src = src[:len(dst)]
 			}
-			noiseRMS := sigRMS / audio.DBToGain(sc.Array.SelfNoiseSNRdB)
-			for i := range ch {
-				ch[i] += noiseRMS * rng.NormFloat64()
+			for j, v := range src {
+				dst[j] += v
 			}
 		}
 	}
+	sc.addAmbient(rec, rng)
+	sc.addSelfNoise(rec, rng)
 	return rec
+}
+
+func (s *SceneSource) onsetSamples(fs float64) int {
+	if s.OnsetSec <= 0 {
+		return 0
+	}
+	return int(s.OnsetSec * fs)
+}
+
+// renderSource renders one source — static or moving — into dst. The
+// diffuse-tail randomness is derived from seed only, never from the
+// capture rng, so a source's render is a pure function of (scene,
+// source, seed).
+func (sc *Scene) renderSource(dst *audio.Recording, mics []geom.Vec3, s *SceneSource, seed uint64) {
+	segments := s.Segments
+	if segments == 0 {
+		segments = 5
+	}
+	if s.Trajectory == nil || s.Trajectory.Stationary() || segments <= 1 {
+		sc.renderStatic(dst, mics, s.pose(), s.Utterance, s.SPL, rand.New(rand.NewPCG(seed, 0)))
+		return
+	}
+	// Moving source: full render at each sampled pose, crossfaded.
+	// Every segment reuses the same tail seed, so the velvet-noise tap
+	// times stay frozen while the early reflections move — the diffuse
+	// field does not jump between segments.
+	renders := make([]*audio.Recording, segments)
+	for k := 0; k < segments; k++ {
+		t := float64(k) / float64(segments-1)
+		seg := audio.NewRecording(dst.SampleRate, len(mics), dst.Len())
+		sc.renderStatic(seg, mics, s.Trajectory.At(t), s.Utterance, s.SPL, rand.New(rand.NewPCG(seed, 0)))
+		renders[k] = seg
+	}
+	n := dst.Len()
+	segLen := float64(n) / float64(segments-1)
+	for c := range dst.Channels {
+		out := dst.Channels[c]
+		for i := range out {
+			pos := float64(i) / segLen
+			k := int(pos)
+			if k >= segments-1 {
+				out[i] += renders[segments-1].Channels[c][i]
+				continue
+			}
+			frac := pos - float64(k)
+			out[i] += renders[k].Channels[c][i]*(1-frac) + renders[k+1].Channels[c][i]*frac
+		}
+	}
 }
 
 // CaptureMoving renders an utterance from a source that moves (and
@@ -127,36 +282,17 @@ func (sc *Scene) Capture(src room.Source, utter *Utterance, sourceSPL float64, r
 // interpolated poses and crossfading between the renders, which is
 // accurate for walking-speed motion (the pose changes little within a
 // crossfade region). segments <= 1 degenerates to a static capture at
-// the start pose.
+// the start pose. Arbitrary waypoint paths and overlapping talkers go
+// through CaptureMulti directly.
 func (sc *Scene) CaptureMoving(start, end room.Source, utter *Utterance, sourceSPL float64, segments int, rng *rand.Rand) *audio.Recording {
 	if segments <= 1 {
 		return sc.Capture(start, utter, sourceSPL, rng)
 	}
-	renders := make([]*audio.Recording, segments)
-	for k := 0; k < segments; k++ {
-		t := float64(k) / float64(segments-1)
-		src := room.Source{
-			Pos:     start.Pos.Add(end.Pos.Sub(start.Pos).Scale(t)),
-			Azimuth: start.Azimuth + t*geom.NormalizeDeg(end.Azimuth-start.Azimuth),
-			Dir:     start.Dir,
-		}
-		renders[k] = sc.Capture(src, utter, sourceSPL, rng)
-	}
-	out := audio.NewRecording(renders[0].SampleRate, len(renders[0].Channels), renders[0].Len())
-	n := out.Len()
-	segLen := float64(n) / float64(segments-1)
-	for c := range out.Channels {
-		dst := out.Channels[c]
-		for i := range dst {
-			pos := float64(i) / segLen
-			k := int(pos)
-			if k >= segments-1 {
-				dst[i] = renders[segments-1].Channels[c][i]
-				continue
-			}
-			frac := pos - float64(k)
-			dst[i] = renders[k].Channels[c][i]*(1-frac) + renders[k+1].Channels[c][i]*frac
-		}
-	}
-	return out
+	tr := room.LineTrajectory(start, end)
+	return sc.CaptureMulti([]SceneSource{{
+		Trajectory: &tr,
+		Segments:   segments,
+		Utterance:  utter,
+		SPL:        sourceSPL,
+	}}, rng)
 }

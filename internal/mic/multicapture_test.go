@@ -1,0 +1,197 @@
+package mic
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"headtalk/internal/dsp"
+	"headtalk/internal/geom"
+	"headtalk/internal/room"
+)
+
+// TestCaptureMultiSuperposition pins the core property of the
+// multi-source renderer: with pinned per-source tail seeds and no
+// noise, a two-source capture equals the sample-wise sum of the two
+// single-source captures, bit for bit.
+func TestCaptureMultiSuperposition(t *testing.T) {
+	scene, sim := testScene(16)
+	scene.DisableSelfNoise = true
+	uttA := testUtterance(sim, 31)
+	uttB := testUtterance(sim, 32)
+	a := SceneSource{
+		Source:    room.Source{Pos: scene.ArrayPos.Add(geom.Vec3{X: 2}), Azimuth: 180},
+		Utterance: uttA,
+		SPL:       70,
+		Seed:      101,
+	}
+	b := SceneSource{
+		Source:    room.Source{Pos: scene.ArrayPos.Add(geom.Vec3{Y: 1.5}), Azimuth: 270},
+		Utterance: uttB,
+		SPL:       64,
+		OnsetSec:  0.05,
+		Seed:      102,
+	}
+	rng := func() *rand.Rand { return rand.New(rand.NewPCG(33, 33)) }
+	both := scene.CaptureMulti([]SceneSource{a, b}, rng())
+	onlyA := scene.CaptureMulti([]SceneSource{a}, rng())
+	onlyB := scene.CaptureMulti([]SceneSource{b}, rng())
+
+	if both.Len() < onlyA.Len() || both.Len() < onlyB.Len() {
+		t.Fatalf("combined length %d shorter than singles %d/%d", both.Len(), onlyA.Len(), onlyB.Len())
+	}
+	for c := range both.Channels {
+		for i, v := range both.Channels[c] {
+			var want float64
+			if i < onlyA.Len() {
+				want += onlyA.Channels[c][i]
+			}
+			if i < onlyB.Len() {
+				want += onlyB.Channels[c][i]
+			}
+			if v != want {
+				t.Fatalf("ch %d sample %d: combined %g != sum %g", c, i, v, want)
+			}
+		}
+	}
+	if dsp.RMS(both.Channels[0]) == 0 {
+		t.Fatal("silent combined capture")
+	}
+}
+
+// TestCaptureMultiStationaryBitForBit: a "moving" source whose
+// trajectory never moves must collapse onto the static render path and
+// produce the identical recording.
+func TestCaptureMultiStationaryBitForBit(t *testing.T) {
+	scene, sim := testScene(16)
+	scene.DisableSelfNoise = true
+	utt := testUtterance(sim, 41)
+	pose := room.Source{Pos: scene.ArrayPos.Add(geom.Vec3{X: 3}), Azimuth: 200}
+	tr := room.Trajectory{Waypoints: []room.Source{pose, pose, pose}}
+	moving := scene.CaptureMulti([]SceneSource{{
+		Trajectory: &tr,
+		Segments:   7,
+		Utterance:  utt,
+		SPL:        68,
+		Seed:       55,
+	}}, rand.New(rand.NewPCG(1, 1)))
+	static := scene.CaptureMulti([]SceneSource{{
+		Source:    pose,
+		Utterance: utt,
+		SPL:       68,
+		Seed:      55,
+	}}, rand.New(rand.NewPCG(2, 2)))
+	if moving.Len() != static.Len() {
+		t.Fatalf("length mismatch %d vs %d", moving.Len(), static.Len())
+	}
+	for c := range moving.Channels {
+		for i := range moving.Channels[c] {
+			if moving.Channels[c][i] != static.Channels[c][i] {
+				t.Fatalf("ch %d sample %d: stationary trajectory %g != static %g",
+					c, i, moving.Channels[c][i], static.Channels[c][i])
+			}
+		}
+	}
+}
+
+// TestCaptureMultiOnset: a delayed source contributes nothing before
+// its onset plus the direct-path delay.
+func TestCaptureMultiOnset(t *testing.T) {
+	scene, sim := testScene(-1)
+	scene.DisableSelfNoise = true
+	sim.ImageOrder = 0
+	utt := testUtterance(sim, 51)
+	const onset = 0.25
+	rec := scene.CaptureMulti([]SceneSource{{
+		Source:    room.Source{Pos: scene.ArrayPos.Add(geom.Vec3{X: 1}), Azimuth: 180, Dir: room.OmniDirectivity{}},
+		Utterance: utt,
+		SPL:       70,
+		OnsetSec:  onset,
+		Seed:      9,
+	}}, rand.New(rand.NewPCG(3, 3)))
+	onsetSamples := int(onset * rec.SampleRate)
+	if rec.Len() < onsetSamples+utt.Length {
+		t.Fatalf("capture %d too short for onset %d + utterance %d", rec.Len(), onsetSamples, utt.Length)
+	}
+	for c := range rec.Channels {
+		if got := dsp.RMS(rec.Channels[c][:onsetSamples]); got != 0 {
+			t.Errorf("ch %d: energy %g before onset", c, got)
+		}
+		if got := dsp.RMS(rec.Channels[c][onsetSamples:]); got == 0 {
+			t.Errorf("ch %d: silent after onset", c)
+		}
+	}
+}
+
+// TestCaptureMultiInterference: adding a second, louder off-axis talker
+// changes the mixture audibly (sanity: the renderer does not ignore
+// extra sources) while the primary talker alone still dominates its
+// own single-source capture.
+func TestCaptureMultiInterference(t *testing.T) {
+	scene, sim := testScene(16)
+	scene.DisableSelfNoise = true
+	utt := testUtterance(sim, 61)
+	interf := testUtterance(sim, 62)
+	primary := SceneSource{
+		Source:    room.Source{Pos: scene.ArrayPos.Add(geom.Vec3{X: 1.5}), Azimuth: 180},
+		Utterance: utt,
+		SPL:       68,
+		Seed:      71,
+	}
+	talker2 := SceneSource{
+		Source:    room.Source{Pos: scene.ArrayPos.Add(geom.Vec3{X: -2, Y: 1}), Azimuth: 60},
+		Utterance: interf,
+		SPL:       74,
+		Seed:      72,
+	}
+	clean := scene.CaptureMulti([]SceneSource{primary}, rand.New(rand.NewPCG(4, 4)))
+	mixed := scene.CaptureMulti([]SceneSource{primary, talker2}, rand.New(rand.NewPCG(4, 4)))
+	n := clean.Len()
+	diff := make([]float64, n)
+	for i := range diff {
+		diff[i] = mixed.Channels[0][i] - clean.Channels[0][i]
+	}
+	if dsp.RMS(diff) == 0 {
+		t.Fatal("interferer contributed nothing")
+	}
+	// The mixture is exactly the sum of the two solo renders.
+	solo := scene.CaptureMulti([]SceneSource{talker2}, rand.New(rand.NewPCG(4, 4)))
+	for i := range mixed.Channels[0] {
+		var want float64
+		if i < clean.Len() {
+			want += clean.Channels[0][i]
+		}
+		if i < solo.Len() {
+			want += solo.Channels[0][i]
+		}
+		if mixed.Channels[0][i] != want {
+			t.Fatalf("sample %d: mixture %g != clean+solo %g", i, mixed.Channels[0][i], want)
+		}
+	}
+}
+
+// TestCaptureMultiMovingDiffers: a genuinely moving trajectory must not
+// silently collapse onto the static path.
+func TestCaptureMultiMovingDiffers(t *testing.T) {
+	scene, sim := testScene(16)
+	scene.DisableSelfNoise = true
+	utt := testUtterance(sim, 81)
+	start := room.Source{Pos: scene.ArrayPos.Add(geom.Vec3{X: 1}), Azimuth: 180, Dir: room.OmniDirectivity{}}
+	end := room.Source{Pos: scene.ArrayPos.Add(geom.Vec3{X: 3.5}), Azimuth: 180, Dir: room.OmniDirectivity{}}
+	tr := room.LineTrajectory(start, end)
+	moving := scene.CaptureMulti([]SceneSource{{
+		Trajectory: &tr, Segments: 5, Utterance: utt, SPL: 70, Seed: 13,
+	}}, rand.New(rand.NewPCG(5, 5)))
+	static := scene.CaptureMulti([]SceneSource{{
+		Source: start, Utterance: utt, SPL: 70, Seed: 13,
+	}}, rand.New(rand.NewPCG(5, 5)))
+	same := true
+	for i := range moving.Channels[0] {
+		if moving.Channels[0][i] != static.Channels[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("moving capture identical to static capture")
+	}
+}

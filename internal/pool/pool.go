@@ -28,6 +28,7 @@ import (
 
 	"headtalk/internal/audio"
 	"headtalk/internal/core"
+	"headtalk/internal/fusion"
 	"headtalk/internal/metrics"
 	"headtalk/internal/serve"
 	"headtalk/internal/stream"
@@ -320,6 +321,18 @@ func (p *Pool) Decide(ctx context.Context, tenantID string, rec *audio.Recording
 		return core.Decision{}, err
 	}
 	return t.engine.Decide(ctx, rec)
+}
+
+// DecideFused serves one multi-array room-level decision through the
+// named tenant's engine: every array's capture runs the pipeline, and
+// the per-array posteriors are fused (health-weighted) into a single
+// accept/reject. An empty tenantID uses the hash fallback when enabled.
+func (p *Pool) DecideFused(ctx context.Context, tenantID string, arrays []serve.ArrayInput, cfg fusion.Config) (fusion.RoomDecision, []fusion.ArrayReport, error) {
+	t, err := p.resolve(tenantID, "")
+	if err != nil {
+		return fusion.RoomDecision{}, nil, err
+	}
+	return t.engine.DecideFused(ctx, arrays, cfg)
 }
 
 // PushFrames feeds one multichannel chunk into the named streaming

@@ -438,16 +438,23 @@ func pow(b float64, n int) float64 {
 
 // appendFractionalTap splits a fractional-delay tap into two integer
 // taps with linear interpolation weights, preserving sub-sample TDoA
-// structure across the array.
+// structure across the array. Delays are floored (not truncated toward
+// zero) so sub-sample and negative inputs keep correct interpolation
+// weights, and any tap that would land before sample zero — reachable
+// once source positions vary in time — is clamped to the start instead
+// of emitting an out-of-range Delay that ConvolveSparse would drop.
 func appendFractionalTap(taps []dsp.SparseTap, delaySamples, gain float64) []dsp.SparseTap {
 	if gain == 0 {
 		return taps
 	}
-	lo := int(delaySamples)
-	frac := delaySamples - float64(lo)
-	taps = append(taps, dsp.SparseTap{Delay: lo, Gain: gain * (1 - frac)})
-	if frac > 0 {
-		taps = append(taps, dsp.SparseTap{Delay: lo + 1, Gain: gain * frac})
+	if delaySamples <= 0 {
+		return append(taps, dsp.SparseTap{Delay: 0, Gain: gain})
 	}
-	return taps
+	lo := int(math.Floor(delaySamples))
+	frac := delaySamples - float64(lo)
+	if frac == 0 {
+		return append(taps, dsp.SparseTap{Delay: lo, Gain: gain})
+	}
+	taps = append(taps, dsp.SparseTap{Delay: lo, Gain: gain * (1 - frac)})
+	return append(taps, dsp.SparseTap{Delay: lo + 1, Gain: gain * frac})
 }

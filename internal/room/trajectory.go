@@ -1,0 +1,68 @@
+package room
+
+import "headtalk/internal/geom"
+
+// Trajectory is a piecewise-linear motion path for a source: a sequence
+// of poses (position + facing azimuth) traversed at uniform speed over
+// the duration of an utterance. It is the time-varying image-source
+// input for moving-speaker captures: the capture layer samples the
+// trajectory at segment boundaries, renders a full RIR at each sampled
+// pose and crossfades between the renders.
+type Trajectory struct {
+	// Waypoints are the poses visited, in order. One waypoint (or
+	// identical waypoints) is a stationary source. Dir is taken from the
+	// first waypoint; intermediate Dir values are ignored.
+	Waypoints []Source
+}
+
+// At returns the interpolated pose at normalized time t in [0, 1].
+// Positions interpolate linearly between adjacent waypoints; azimuths
+// interpolate along the shorter arc so a 350°→10° turn sweeps 20°, not
+// 340°.
+func (tr Trajectory) At(t float64) Source {
+	n := len(tr.Waypoints)
+	if n == 0 {
+		return Source{}
+	}
+	if n == 1 || t <= 0 {
+		return tr.Waypoints[0]
+	}
+	if t >= 1 {
+		return tr.Waypoints[n-1]
+	}
+	// Map t onto segment [k, k+1] of the n-1 equal-duration segments.
+	pos := t * float64(n-1)
+	k := int(pos)
+	if k >= n-1 {
+		k = n - 2
+	}
+	frac := pos - float64(k)
+	a, b := tr.Waypoints[k], tr.Waypoints[k+1]
+	return Source{
+		Pos:     a.Pos.Add(b.Pos.Sub(a.Pos).Scale(frac)),
+		Azimuth: a.Azimuth + frac*geom.NormalizeDeg(b.Azimuth-a.Azimuth),
+		Dir:     tr.Waypoints[0].Dir,
+	}
+}
+
+// Stationary reports whether every waypoint shares the first one's
+// pose, i.e. the "moving" source never actually moves or turns. The
+// capture layer uses this to collapse a degenerate trajectory onto the
+// static render path exactly.
+func (tr Trajectory) Stationary() bool {
+	if len(tr.Waypoints) <= 1 {
+		return true
+	}
+	first := tr.Waypoints[0]
+	for _, w := range tr.Waypoints[1:] {
+		if w.Pos != first.Pos || geom.NormalizeDeg(w.Azimuth-first.Azimuth) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LineTrajectory builds the common two-pose path from start to end.
+func LineTrajectory(start, end Source) Trajectory {
+	return Trajectory{Waypoints: []Source{start, end}}
+}

@@ -1,0 +1,106 @@
+package room
+
+import (
+	"math"
+	"testing"
+
+	"headtalk/internal/dsp"
+	"headtalk/internal/geom"
+)
+
+// TestAppendFractionalTap pins the delay-splitting semantics: negative
+// delays clamp to sample zero with full gain (never a Delay of -1 that
+// ConvolveSparse would drop), exact-integer delays emit a single
+// full-gain tap, and sub-sample delays split across the two bracketing
+// integers with linear weights.
+func TestAppendFractionalTap(t *testing.T) {
+	cases := []struct {
+		name  string
+		delay float64
+		gain  float64
+		want  []dsp.SparseTap
+	}{
+		{"negative", -1.5, 2.0, []dsp.SparseTap{{Delay: 0, Gain: 2.0}}},
+		{"negative sub-sample", -0.25, 1.0, []dsp.SparseTap{{Delay: 0, Gain: 1.0}}},
+		{"zero", 0, 3.0, []dsp.SparseTap{{Delay: 0, Gain: 3.0}}},
+		{"exact integer", 7, 1.5, []dsp.SparseTap{{Delay: 7, Gain: 1.5}}},
+		{"sub-sample", 3.25, 1.0, []dsp.SparseTap{{Delay: 3, Gain: 0.75}, {Delay: 4, Gain: 0.25}}},
+		{"below one", 0.5, 2.0, []dsp.SparseTap{{Delay: 0, Gain: 1.0}, {Delay: 1, Gain: 1.0}}},
+		{"zero gain", 4.5, 0, nil},
+	}
+	for _, c := range cases {
+		got := appendFractionalTap(nil, c.delay, c.gain)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i].Delay != c.want[i].Delay || math.Abs(got[i].Gain-c.want[i].Gain) > 1e-12 {
+				t.Errorf("%s: tap %d = %+v, want %+v", c.name, i, got[i], c.want[i])
+			}
+			if got[i].Delay < 0 {
+				t.Errorf("%s: emitted negative delay %d", c.name, got[i].Delay)
+			}
+		}
+	}
+	// Weight conservation: the split taps of any non-negative delay sum
+	// to the original gain.
+	for _, d := range []float64{0, 0.1, 1, 2.5, 10.999} {
+		var sum float64
+		for _, tap := range appendFractionalTap(nil, d, 1.0) {
+			sum += tap.Gain
+		}
+		if math.Abs(sum-1.0) > 1e-12 {
+			t.Errorf("delay %g: tap gains sum to %g, want 1", d, sum)
+		}
+	}
+}
+
+func TestTrajectoryInterpolation(t *testing.T) {
+	tr := Trajectory{Waypoints: []Source{
+		{Pos: geom.Vec3{X: 0, Y: 0, Z: 1}, Azimuth: 350},
+		{Pos: geom.Vec3{X: 2, Y: 0, Z: 1}, Azimuth: 10},
+		{Pos: geom.Vec3{X: 2, Y: 4, Z: 1}, Azimuth: 90},
+	}}
+	if got := tr.At(0); got.Pos.X != 0 || got.Azimuth != 350 {
+		t.Errorf("t=0: %+v", got)
+	}
+	if got := tr.At(1); got.Pos.Y != 4 || got.Azimuth != 90 {
+		t.Errorf("t=1: %+v", got)
+	}
+	// Midpoint of the first segment: the 350→10 turn goes the short way
+	// through 0, so t=0.25 (middle of segment 0) reads 350+10=360≡0.
+	mid := tr.At(0.25)
+	if math.Abs(mid.Pos.X-1) > 1e-12 {
+		t.Errorf("t=0.25 pos: %+v", mid.Pos)
+	}
+	if a := geom.NormalizeDeg(mid.Azimuth); math.Abs(a) > 1e-9 {
+		t.Errorf("t=0.25 azimuth %g, want ~0 (short-arc turn)", a)
+	}
+	// Clamping outside [0,1].
+	if got := tr.At(-1); got.Azimuth != 350 {
+		t.Errorf("t<0: %+v", got)
+	}
+	if got := tr.At(2); got.Azimuth != 90 {
+		t.Errorf("t>1: %+v", got)
+	}
+}
+
+func TestTrajectoryStationary(t *testing.T) {
+	p := geom.Vec3{X: 1, Y: 2, Z: 1.6}
+	if !(Trajectory{}).Stationary() {
+		t.Error("empty trajectory should be stationary")
+	}
+	same := Trajectory{Waypoints: []Source{{Pos: p, Azimuth: 30}, {Pos: p, Azimuth: 30}, {Pos: p, Azimuth: 390}}}
+	if !same.Stationary() {
+		t.Error("identical waypoints (mod 360°) should be stationary")
+	}
+	moved := Trajectory{Waypoints: []Source{{Pos: p, Azimuth: 30}, {Pos: p.Add(geom.Vec3{X: 0.1}), Azimuth: 30}}}
+	if moved.Stationary() {
+		t.Error("moved waypoint should not be stationary")
+	}
+	turned := Trajectory{Waypoints: []Source{{Pos: p, Azimuth: 30}, {Pos: p, Azimuth: 31}}}
+	if turned.Stationary() {
+		t.Error("turned waypoint should not be stationary")
+	}
+}

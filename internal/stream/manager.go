@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"headtalk/internal/metrics"
@@ -21,6 +22,10 @@ var (
 	// ErrBadFrame: the pushed chunk failed shape or finiteness
 	// validation.
 	ErrBadFrame = errors.New("stream: bad frame")
+	// ErrSessionEnded: the push raced with End/EvictIdle/Close and the
+	// session was unlinked before the push ran. The chunk was discarded;
+	// retrying the same ID starts a fresh session.
+	ErrSessionEnded = errors.New("stream: session ended")
 )
 
 // Config configures a session manager.
@@ -62,6 +67,12 @@ type Config struct {
 	// Decide runs the decision pipeline on spotted candidates. Nil is
 	// allowed: pushes then stop at StatusSpotted.
 	Decide DecideFunc
+	// Speakers, when set, enables per-speaker tracking: every spotted
+	// candidate is attributed to a speaker track by its TDoA signature,
+	// and push results carry the track's identity, orientation history
+	// and facing state. Tracks are evicted on their own timeout by the
+	// same janitor that sweeps sessions.
+	Speakers *TrackerConfig
 }
 
 // instruments holds pre-resolved metrics so the push hot path never
@@ -78,8 +89,14 @@ type instruments struct {
 	exitValidate *metrics.Counter
 	exitEnergy   *metrics.Counter
 	exitSpotter  *metrics.Counter
+	exitEvicted  *metrics.Counter
 	candidates   *metrics.Counter
 	decisions    *metrics.Counter
+
+	speakerActive  *metrics.Gauge
+	speakerCreated *metrics.Counter
+	speakerMatched *metrics.Counter
+	speakerEvicted *metrics.Counter
 }
 
 func newInstruments(reg *metrics.Registry) instruments {
@@ -97,8 +114,14 @@ func newInstruments(reg *metrics.Registry) instruments {
 		exitValidate: reg.Counter("stream.exit.validate"),
 		exitEnergy:   reg.Counter("stream.exit.energy"),
 		exitSpotter:  reg.Counter("stream.exit.spotter"),
+		exitEvicted:  reg.Counter("stream.exit.evicted"),
 		candidates:   reg.Counter("stream.candidates"),
 		decisions:    reg.Counter("stream.decisions"),
+
+		speakerActive:  reg.Gauge("stream.speakers.active"),
+		speakerCreated: reg.Counter("stream.speakers.created"),
+		speakerMatched: reg.Counter("stream.speakers.matched"),
+		speakerEvicted: reg.Counter("stream.speakers.evicted"),
 	}
 }
 
@@ -117,6 +140,14 @@ type Manager struct {
 	mu       sync.RWMutex
 	sessions map[string]*session
 	closed   bool
+	// sweeps counts at-capacity eviction sweeps triggered by acquire —
+	// a test hook asserting that concurrent creators at the limit share
+	// one sweep instead of each running their own.
+	sweeps atomic.Uint64
+
+	// speakers is non-nil when Config.Speakers enables cross-utterance
+	// speaker tracking.
+	speakers *Tracker
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -172,6 +203,11 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	if m.spotThreshold == 0 {
 		m.spotThreshold = cfg.Spotter.Threshold
+	}
+	if cfg.Speakers != nil {
+		tc := *cfg.Speakers
+		tc.applyDefaults(cfg.SessionTimeout)
+		m.speakers = &Tracker{cfg: tc}
 	}
 	if m.windowSamples < 1 {
 		return nil, fmt.Errorf("stream: window %g s holds no samples at %g Hz", cfg.WindowSeconds, cfg.SampleRate)
@@ -239,10 +275,6 @@ func (m *Manager) acquire(id string) (*session, error) {
 	if len(id) == 0 || len(id) > 128 {
 		return nil, fmt.Errorf("%w: session id length %d", ErrBadFrame, len(id))
 	}
-	// At capacity, sweep idle sessions before rejecting.
-	if m.Len() >= m.cfg.MaxSessions {
-		m.EvictIdle()
-	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -250,6 +282,14 @@ func (m *Manager) acquire(id string) (*session, error) {
 	}
 	if s, ok := m.sessions[id]; ok {
 		return s, nil
+	}
+	// At capacity, sweep idle sessions before rejecting — under the
+	// write lock, so concurrent creators at the limit share one sweep
+	// (the first holds the lock and evicts; the rest re-check and find
+	// room) and the sweep can never interleave with Close.
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.evictIdleLocked()
+		m.sweeps.Add(1)
 	}
 	if len(m.sessions) >= m.cfg.MaxSessions {
 		m.ins.rejected.Inc()
@@ -265,13 +305,17 @@ func (m *Manager) acquire(id string) (*session, error) {
 	return s, nil
 }
 
-// End removes the named session, reporting whether it existed.
+// End removes the named session, reporting whether it existed. An
+// in-flight push that raced the removal observes the tombstone and
+// returns StatusEvicted rather than silently mutating orphaned state.
 func (m *Manager) End(sessionID string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.sessions[sessionID]; !ok {
+	s, ok := m.sessions[sessionID]
+	if !ok {
 		return false
 	}
+	s.ended.Store(true)
 	delete(m.sessions, sessionID)
 	m.ins.ended.Inc()
 	m.ins.active.Set(int64(len(m.sessions)))
@@ -281,14 +325,28 @@ func (m *Manager) End(sessionID string) bool {
 // EvictIdle removes sessions idle longer than SessionTimeout and
 // returns how many were evicted. Idleness is read from a lock-free
 // per-session timestamp, so a session stalled mid-push neither blocks
-// the sweep nor counts as idle.
+// the sweep nor counts as idle. When speaker tracking is enabled, idle
+// speaker tracks are swept on their own timeout as well.
 func (m *Manager) EvictIdle() int {
-	cutoff := m.now().Add(-m.cfg.SessionTimeout).UnixNano()
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	n := m.evictIdleLocked()
+	m.mu.Unlock()
+	if m.speakers != nil {
+		if tn := m.speakers.EvictIdle(m.now()); tn > 0 {
+			m.ins.speakerEvicted.Add(uint64(tn))
+			m.ins.speakerActive.Set(int64(m.speakers.Len()))
+		}
+	}
+	return n
+}
+
+// evictIdleLocked is the sweep body; the caller holds m.mu.
+func (m *Manager) evictIdleLocked() int {
+	cutoff := m.now().Add(-m.cfg.SessionTimeout).UnixNano()
 	n := 0
 	for id, s := range m.sessions {
 		if s.lastTouched.Load() < cutoff {
+			s.ended.Store(true)
 			delete(m.sessions, id)
 			n++
 		}
@@ -310,6 +368,9 @@ func (m *Manager) Close() {
 	}
 	m.closed = true
 	n := len(m.sessions)
+	for _, s := range m.sessions {
+		s.ended.Store(true)
+	}
 	m.sessions = make(map[string]*session)
 	m.ins.active.Set(0)
 	if n > 0 {

@@ -37,6 +37,10 @@ const (
 	// StatusDecided: the wake word was spotted and the decision
 	// pipeline ran on the candidate window.
 	StatusDecided
+	// StatusEvicted: the push raced with End/EvictIdle/Close — the
+	// session was unlinked from the manager before the push ran, so the
+	// chunk was discarded. Retrying the same ID starts a fresh session.
+	StatusEvicted
 )
 
 // String returns the wire name of the status.
@@ -54,6 +58,8 @@ func (s Status) String() string {
 		return "spotted"
 	case StatusDecided:
 		return "decided"
+	case StatusEvicted:
+		return "evicted"
 	}
 	return "unknown"
 }
@@ -72,6 +78,10 @@ type PushResult struct {
 	SpotScore float64        // best window score this push (valid unless StatusBuffered/StatusInvalid/StatusSilent)
 	Decision  *core.Decision // set only for StatusDecided
 	Err       error          // decision pipeline error, if any (StatusDecided with nil Decision)
+	// Speaker identifies the tracked speaker this candidate was
+	// attributed to (StatusSpotted/StatusDecided with Config.Speakers
+	// enabled; nil otherwise).
+	Speaker *SpeakerInfo
 }
 
 // DecideFunc runs the full decision pipeline on a spotted candidate
@@ -109,6 +119,12 @@ type session struct {
 	pushReady bool
 
 	lastTouched atomic.Int64 // unix nanos; read lock-free by the janitor
+	// ended is set under the manager's map lock when the session is
+	// unlinked (End, EvictIdle, Close). A push that acquired the session
+	// pointer before the unlink observes the tombstone under s.mu and
+	// fails with StatusEvicted instead of silently mutating orphaned
+	// state that a later acquire of the same ID can never see.
+	ended atomic.Bool
 }
 
 func (m *Manager) newSession(id string) (*session, error) {
@@ -214,6 +230,10 @@ func (s *session) push(ctx context.Context, frame [][]float64) (PushResult, erro
 	defer s.mu.Unlock()
 
 	m := s.mgr
+	if s.ended.Load() {
+		m.ins.exitEvicted.Inc()
+		return PushResult{Status: StatusEvicted}, ErrSessionEnded
+	}
 	t0 := m.now()
 	s.lastTouched.Store(t0.UnixNano())
 	m.ins.pushTotal.Inc()
@@ -263,7 +283,16 @@ func (s *session) push(ctx context.Context, frame [][]float64) (PushResult, erro
 	s.cooldown = m.cfg.Spotter.TemplateFrames()
 	s.online.Reset()
 	res := PushResult{Status: StatusSpotted, SpotScore: s.pushBest}
+	// The speaker signature is computed before the decision pipeline
+	// runs: Decide owns its snapshot and may mutate it.
+	var sig []int
+	if m.speakers != nil {
+		if v, err := Signature(s.ring.Snapshot(m.cfg.SampleRate), m.speakers.cfg.MaxLag); err == nil {
+			sig = v
+		}
+	}
 	if m.cfg.Decide == nil {
+		res.Speaker = m.attributeSpeaker(sig, nil)
 		return res, nil
 	}
 	spans := SpanDurations{Ingest: tIngest.Sub(t0), Spot: tSpot.Sub(tIngest)}
@@ -271,9 +300,11 @@ func (s *session) push(ctx context.Context, frame [][]float64) (PushResult, erro
 	res.Status = StatusDecided
 	if err != nil {
 		res.Err = err
+		res.Speaker = m.attributeSpeaker(sig, nil)
 		return res, nil
 	}
 	m.ins.decisions.Inc()
 	res.Decision = &d
+	res.Speaker = m.attributeSpeaker(sig, &d)
 	return res, nil
 }
