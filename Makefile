@@ -20,10 +20,11 @@ test:
 # fault-tolerance layers (channel health, pair recomputation, fault
 # injection), the DSP layer now that it holds the shared FFT plan
 # cache and scratch pools, the streaming-ingest session manager
-# (concurrent push/evict plus speaker tracking), and the multi-array
-# fusion vote the fan-out feeds.
+# (concurrent push/evict plus speaker tracking), the multi-array
+# fusion vote the fan-out feeds, and the versioned model registry
+# (atomic hot-swap/rollback/shadow under concurrent readers).
 race:
-	$(GO) test -race ./internal/serve ./internal/pool ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp ./internal/trace ./internal/stream ./internal/cluster ./internal/fusion
+	$(GO) test -race ./internal/serve ./internal/pool ./internal/core ./internal/va ./internal/metrics ./internal/mic ./internal/srp ./internal/faultinject ./internal/dsp ./internal/trace ./internal/stream ./internal/cluster ./internal/fusion ./internal/registry
 
 # Static analysis beyond go vet. staticcheck is not vendored; this
 # target expects it on PATH (CI installs it with `go install`). Keep it
@@ -45,11 +46,14 @@ vet:
 # locally-owned tenants' latency and error rate untouched). The stream
 # pattern also covers the evicted-session push race and the
 # at-capacity single-sweep contention tests added with speaker
-# tracking.
+# tracking. The registry line storms promote/rollback against live
+# decision traffic: every resolved model set must stay complete and
+# coherent mid-swap.
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Breaker|Panic|FaultInject' ./internal/serve ./internal/stream
 	$(GO) test -race -count=2 ./internal/faultinject
 	$(GO) test -race -count=2 -run 'Chaos' ./internal/cluster
+	$(GO) test -race -count=2 -run 'HotSwap' ./internal/registry ./internal/core
 
 # Benchmarks, machine-readable: serving-layer throughput (worker
 # sweep), the paper's §IV-B15 pipeline-stage timings, and the DSP
@@ -65,8 +69,8 @@ chaos:
 # streaming-vs-batch decision cost on identical audio, and
 # ForwardOverhead records the federation tax (local vs peer-forwarded
 # decision over loopback TCP).
-BENCH_JSON ?= BENCH_pr9.json
-BENCH_TAG  ?= pr9
+BENCH_JSON ?= BENCH_pr10.json
+BENCH_TAG  ?= pr10
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngineThroughput|BenchmarkRuntime|BenchmarkPipelineStages|BenchmarkStreamEndToEnd' -benchmem -benchtime 50x . \

@@ -10,7 +10,7 @@
 //	headtalkd [-listen addr] [-workers N] [-queue N] [-mode M]
 //	          [-batch N] [-batch-gather D]
 //	          [-tenants spec] [-deadline D] [-metrics-every D]
-//	          [-no-enroll] [-seed N] [-trace] [-trace-capacity N]
+//	          [-no-enroll] [-ensemble] [-seed N] [-trace] [-trace-capacity N]
 //	          [-slow-threshold D] [-debug-addr addr]
 //
 // With -batch N (N > 1) each tenant's workers gather up to N queued
@@ -69,8 +69,25 @@
 // The "fused" response line carries the room decision plus a per-array
 // breakdown (accepted, reason_slug, facing/live scores, errors).
 //
-// Control requests honor "tenant" too: mode, health, trace, frames and
-// end_session all act on the named tenant only.
+// Protocol version 5 adds model-lifecycle control verbs against each
+// tenant's versioned model registry:
+//
+//	{"v":5,"id":"11","model_status":true}
+//	{"v":5,"id":"12","promote":{"kind":"orientation","version":4}}
+//	{"v":5,"id":"13","rollback":"orientation"}
+//
+// model_status answers a "models" line listing every model family's
+// versions (lifecycle state, checksum, active/shadow/previous) plus
+// the orientation drift detector's state. promote atomically hot-swaps
+// the named version to active without draining in-flight decisions;
+// rollback reactivates the previously active version byte-for-byte.
+// With -ensemble the daemon requires the fused liveness ensemble:
+// decisions must clear both the spectral liveness gate and the
+// enrolled array-fingerprint gate, and reject fail-closed when either
+// model is missing.
+//
+// Control requests honor "tenant" too: mode, health, trace, frames,
+// end_session and the model verbs all act on the named tenant only.
 //
 // With -debug-addr set, an HTTP listener additionally serves
 // net/http/pprof under /debug/pprof/, Prometheus text exposition at
@@ -139,6 +156,7 @@ func main() {
 		deadline     = flag.Duration("deadline", 0, "per-request deadline (0: none)")
 		metricsEvery = flag.Duration("metrics-every", 30*time.Second, "metrics summary interval (0: disable)")
 		noEnroll     = flag.Bool("no-enroll", false, "skip gate training (headtalk mode then rejects everything)")
+		ensemble     = flag.Bool("ensemble", false, "require the fused liveness ensemble (spectral + array fingerprint; fail-closed when either model is missing)")
 		seed         = flag.Uint64("seed", 7, "enrollment + synthesis seed")
 		orientReps   = flag.Int("orientation-reps", 2, "enrollment repetitions per angle/distance")
 		livePairs    = flag.Int("liveness-pairs", 36, "live/replay training pairs for the liveness gate")
@@ -184,6 +202,7 @@ func main() {
 		Deadline:          *deadline,
 		MetricsEvery:      *metricsEvery,
 		Enroll:            !*noEnroll,
+		Ensemble:          *ensemble,
 		Seed:              *seed,
 		OrientReps:        *orientReps,
 		LivePairs:         *livePairs,
@@ -349,9 +368,14 @@ type daemonOptions struct {
 	// anonymous tenant (single-tenant mode: responses and metrics keep
 	// their historical, label-free shape).
 	Tenants          []tenantSpec
-	Deadline         time.Duration
-	MetricsEvery     time.Duration
-	Enroll           bool
+	Deadline     time.Duration
+	MetricsEvery time.Duration
+	Enroll       bool
+	// Ensemble arms the fused liveness ensemble on every tenant's
+	// registry: a decision must clear BOTH the spectral gate and the
+	// array-fingerprint gate, and is rejected fail-closed when either
+	// model is missing.
+	Ensemble         bool
 	Seed             uint64
 	OrientReps       int
 	LivePairs        int
@@ -388,7 +412,7 @@ const defaultTenantID = "default"
 // Requests may carry "v"; absent means version 1. Every version from 1
 // through protocolVersion is accepted; anything else is rejected with
 // error_kind "unsupported_version".
-const protocolVersion = 4
+const protocolVersion = 5
 
 // minStreamVersion gates the continuous-ingest request fields: frames
 // and end_session require at least protocol version 2.
@@ -401,6 +425,11 @@ const minClusterVersion = 3
 // minFusedVersion gates multi-array fused decisions: the arrays
 // request field requires at least protocol version 4.
 const minFusedVersion = 4
+
+// minRegistryVersion gates the model-lifecycle control verbs:
+// model_status, promote and rollback require at least protocol
+// version 5.
+const minRegistryVersion = 5
 
 // defaultSessionID names the streaming session used when a frames or
 // end_session request carries no "session" field.
@@ -521,9 +550,14 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 
 	// Gate training is per (device, room): tenants sharing an
 	// environment share one enrollment run instead of re-simulating it.
+	// Each tenant still gets its OWN model registry seeded from the
+	// shared enrollment — lifecycle state (versions, shadow, adaptation,
+	// drift) is per-tenant, the trained weights are not.
 	enrollments := map[string]*headtalk.Enrollment{}
 	for _, spec := range specs {
 		cfg := headtalk.Config{}
+		tenantMetrics := metrics.NewRegistry()
+		var models *headtalk.Registry
 		if opts.Enroll {
 			key := spec.Device + "|" + spec.Room
 			enr, ok := enrollments[key]
@@ -542,8 +576,15 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 				}
 				enrollments[key] = enr
 			}
-			cfg.Liveness = enr.Liveness
-			cfg.Orientation = enr.Orientation
+			models, err = enr.Registry(headtalk.RegistryConfig{
+				Metrics:      tenantMetrics,
+				EnsembleMode: opts.Ensemble,
+			})
+			if err != nil {
+				_ = d.pool.Close()
+				return nil, fmt.Errorf("seeding model registry for tenant %q: %w", spec.ID, err)
+			}
+			cfg.Models = models
 		}
 		streamChannels := 4
 		if spec.Device != "" {
@@ -559,8 +600,7 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 			// Streamed frames must match the array geometry too.
 			streamChannels = array.Channels()
 		}
-		registry := metrics.NewRegistry()
-		cfg.Metrics = registry
+		cfg.Metrics = tenantMetrics
 		sys, serr := headtalk.NewSystem(cfg)
 		if serr != nil {
 			_ = d.pool.Close()
@@ -570,11 +610,12 @@ func newDaemon(opts daemonOptions) (*daemon, error) {
 		_, terr := d.pool.AddTenant(pool.TenantConfig{
 			ID:               spec.ID,
 			System:           sys,
+			Models:           models,
 			Workers:          opts.Workers,
 			QueueSize:        opts.QueueSize,
 			MaxBatch:         opts.MaxBatch,
 			GatherDelay:      opts.GatherDelay,
-			Metrics:          registry,
+			Metrics:          tenantMetrics,
 			BreakerThreshold: opts.BreakerThreshold,
 			BreakerCooldown:  opts.BreakerCooldown,
 			TraceCapacity:    opts.TraceCapacity,
@@ -645,12 +686,16 @@ func (d *daemon) restoreEnvelope(ctx context.Context, env *cluster.Envelope) err
 	if d.node != nil {
 		return d.node.Restore(ctx, env)
 	}
-	registry := metrics.NewRegistry()
-	sys, err := cluster.BuildSystem(env, registry)
+	reg := metrics.NewRegistry()
+	sys, models, err := cluster.BuildSystemWithModels(env, reg)
 	if err != nil {
 		return err
 	}
-	_, err = d.pool.ReplaceTenant(ctx, d.restoredTenantConfig(env, sys, registry))
+	tcfg := d.restoredTenantConfig(env, sys, reg)
+	// Registry-managed captures restore registry-managed, so the v5
+	// model verbs keep working on the restored tenant.
+	tcfg.Models = models
+	_, err = d.pool.ReplaceTenant(ctx, tcfg)
 	return err
 }
 
@@ -787,6 +832,25 @@ type request struct {
 	// per-array posteriors are fused (health-weighted) into one
 	// room-level accept/reject. Requires protocol version 4.
 	Arrays []arraySpec `json:"arrays,omitempty"`
+
+	// ModelStatus, when true, reports the tenant's model registry:
+	// per-kind versions with lifecycle states and checksums, plus the
+	// drift detector's state. Requires protocol version 5.
+	ModelStatus bool `json:"model_status,omitempty"`
+	// Promote hot-swaps the named version of a model kind to active
+	// (atomic, no drain). Requires protocol version 5.
+	Promote *promoteSpec `json:"promote,omitempty"`
+	// Rollback names a model kind whose previously active version is
+	// reactivated, byte-for-byte. Requires protocol version 5.
+	Rollback string `json:"rollback,omitempty"`
+}
+
+// promoteSpec is the body of a v5 promote request.
+type promoteSpec struct {
+	// Kind is the model family: orientation | liveness | fingerprint.
+	Kind string `json:"kind"`
+	// Version is the registry version number to activate.
+	Version uint64 `json:"version"`
 }
 
 // joinSpec is the body of a v3 join request.
@@ -857,6 +921,15 @@ type response struct {
 	Forwarded bool `json:"forwarded,omitempty"`
 	// Envelope answers a v3 snapshot request.
 	Envelope *cluster.Envelope `json:"envelope,omitempty"`
+
+	// Models answers a v5 model_status request: every model family's
+	// versions with lifecycle states and checksums. Drift rides along
+	// with the orientation drift detector's state.
+	Models []headtalk.ModelKindStatus `json:"models,omitempty"`
+	Drift  *headtalk.DriftState       `json:"drift,omitempty"`
+	// Kind and Version echo what a promote/rollback acted on.
+	Kind    string `json:"kind,omitempty"`
+	Version uint64 `json:"version,omitempty"`
 
 	// TraceEnabled acknowledges a {"trace":...} control request.
 	TraceEnabled *bool `json:"trace_enabled,omitempty"`
@@ -981,6 +1054,8 @@ func errorKind(err error) string {
 		return "peer_unavailable"
 	case errors.Is(err, cluster.ErrSnapshotVersion), errors.Is(err, cluster.ErrSnapshotChecksum), errors.Is(err, cluster.ErrSnapshotCorrupt):
 		return "snapshot"
+	case errors.Is(err, headtalk.ErrModelVersion), errors.Is(err, headtalk.ErrModelCorrupt):
+		return "model"
 	case serve.IsPanic(err):
 		return "panic"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -1155,6 +1230,15 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 		})
 		return
 	}
+	if (req.ModelStatus || req.Promote != nil || req.Rollback != "") && v < minRegistryVersion {
+		lw.write(response{
+			Type:      "error",
+			ID:        req.ID,
+			Error:     fmt.Sprintf("model_status/promote/rollback require protocol version %d (request is version %d)", minRegistryVersion, v),
+			ErrorKind: "unsupported_version",
+		})
+		return
+	}
 	if (req.Snapshot || req.Restore != nil || req.Join != nil || req.Leave != "") && v < minClusterVersion {
 		lw.write(response{
 			Type:      "error",
@@ -1192,6 +1276,10 @@ func (d *daemon) handle(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 			return
 		}
 		lw.write(response{Type: "snapshot", ID: req.ID, Tenant: echo, Envelope: env})
+		return
+	}
+	if req.ModelStatus || req.Promote != nil || req.Rollback != "" {
+		d.handleModels(req, t, lw)
 		return
 	}
 	if req.Frames != nil || req.EndSession {
@@ -1428,6 +1516,64 @@ func (d *daemon) echoID(id string) string {
 	return ""
 }
 
+// handleModels serves the v5 model-lifecycle control verbs against the
+// tenant's model registry: model_status (per-kind versions, lifecycle
+// states, checksums, drift), promote (atomic hot-swap, no drain) and
+// rollback (reactivate the previous version byte-for-byte). Like mode
+// and health they act on node-local state and are never forwarded.
+func (d *daemon) handleModels(req request, t *pool.Tenant, lw *lineWriter) {
+	echo := d.echoTenant(t)
+	reg := t.Models()
+	if reg == nil {
+		lw.write(response{
+			Type:      "error",
+			ID:        req.ID,
+			Tenant:    echo,
+			Error:     "tenant has no model registry (daemon started with -no-enroll?)",
+			ErrorKind: "request",
+		})
+		return
+	}
+	switch {
+	case req.ModelStatus:
+		drift := reg.DriftState()
+		lw.write(response{
+			Type:   "models",
+			ID:     req.ID,
+			Tenant: echo,
+			Models: reg.Status(),
+			Drift:  &drift,
+		})
+	case req.Promote != nil:
+		kind := headtalk.ModelKind(req.Promote.Kind)
+		switch kind {
+		case headtalk.KindOrientation, headtalk.KindLiveness, headtalk.KindArrayFingerprint:
+		default:
+			lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: fmt.Sprintf("unknown model kind %q (want orientation|liveness|fingerprint)", req.Promote.Kind), ErrorKind: "request"})
+			return
+		}
+		if err := reg.Promote(kind, req.Promote.Version); err != nil {
+			lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: err.Error(), ErrorKind: "request"})
+			return
+		}
+		lw.write(response{Type: "ok", ID: req.ID, Tenant: echo, Kind: string(kind), Version: req.Promote.Version})
+	case req.Rollback != "":
+		kind := headtalk.ModelKind(req.Rollback)
+		switch kind {
+		case headtalk.KindOrientation, headtalk.KindLiveness, headtalk.KindArrayFingerprint:
+		default:
+			lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: fmt.Sprintf("unknown model kind %q (want orientation|liveness|fingerprint)", req.Rollback), ErrorKind: "request"})
+			return
+		}
+		restored, err := reg.Rollback(kind)
+		if err != nil {
+			lw.write(response{Type: "error", ID: req.ID, Tenant: echo, Error: err.Error(), ErrorKind: "request"})
+			return
+		}
+		lw.write(response{Type: "ok", ID: req.ID, Tenant: echo, Kind: string(kind), Version: restored})
+	}
+}
+
 // handleCluster serves the v3 federation control verbs: restore (this
 // node), join and leave (membership).
 func (d *daemon) handleCluster(req request, lw *lineWriter) {
@@ -1476,7 +1622,8 @@ func (d *daemon) handleCluster(req request, lw *lineWriter) {
 func (d *daemon) handleForward(req request, lw *lineWriter, inflight *sync.WaitGroup) {
 	tid := req.Tenant
 	echo := d.echoID(tid)
-	if req.Health || req.Mode != "" || (req.Trace != nil && req.WAV == "" && req.Condition == nil) {
+	if req.Health || req.Mode != "" || req.ModelStatus || req.Promote != nil || req.Rollback != "" ||
+		(req.Trace != nil && req.WAV == "" && req.Condition == nil) {
 		lw.write(response{
 			Type:      "error",
 			ID:        req.ID,

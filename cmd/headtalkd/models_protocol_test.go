@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"headtalk"
+	"headtalk/internal/audio"
+	"headtalk/internal/features"
+	"headtalk/internal/orientation"
+	"headtalk/internal/pool"
+)
+
+// cheapRegistry trains a tiny orientation model on synthetic coherent
+// vs incoherent 4-channel noise and seeds a registry with two versions
+// (v1 installed, v2 promoted over it), so promote/rollback verbs have
+// real history to move across.
+func cheapRegistry(t *testing.T) *headtalk.Registry {
+	t.Helper()
+	rec := func(facing bool, seed uint64) *audio.Recording {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 24000
+		r := audio.NewRecording(48000, 4, n)
+		if facing {
+			src := make([]float64, n+8)
+			for i := range src {
+				src[i] = rng.NormFloat64()
+			}
+			for c := 0; c < 4; c++ {
+				copy(r.Channels[c], src[c:c+n])
+				for i := range r.Channels[c] {
+					r.Channels[c][i] += 0.1 * rng.NormFloat64()
+				}
+			}
+		} else {
+			for c := 0; c < 4; c++ {
+				for i := range r.Channels[c] {
+					r.Channels[c][i] = rng.NormFloat64()
+				}
+			}
+		}
+		return r
+	}
+	featCfg := features.DefaultConfig(13, 48000)
+	train := func(seedBase uint64) *orientation.Model {
+		var x [][]float64
+		var y []int
+		for i := 0; i < 14; i++ {
+			facing := i%2 == 1
+			f, err := features.Extract(rec(facing, seedBase+uint64(i)), featCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x = append(x, f)
+			label := orientation.LabelNonFacing
+			if facing {
+				label = orientation.LabelFacing
+			}
+			y = append(y, label)
+		}
+		m, err := orientation.Train(x, y, orientation.ModelConfig{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	reg, err := (&headtalk.Enrollment{Orientation: train(0)}).Registry(headtalk.RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := reg.AddModel(headtalk.KindOrientation, train(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Promote(headtalk.KindOrientation, v2); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// withRegistry swaps the daemon's default tenant for one carrying a
+// versioned model registry (test daemons skip enrollment, so they
+// normally have none).
+func withRegistry(t *testing.T, d *daemon, reg *headtalk.Registry) {
+	t.Helper()
+	tn, ok := d.pool.Tenant(defaultTenantID)
+	if !ok {
+		t.Fatal("default tenant missing")
+	}
+	if _, err := d.pool.ReplaceTenant(context.Background(), pool.TenantConfig{
+		ID:        defaultTenantID,
+		System:    tn.System(),
+		Models:    reg,
+		Workers:   2,
+		QueueSize: 16,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelVerbsNoRegistry: the v5 verbs on a registry-less tenant are
+// typed request errors, not crashes.
+func TestModelVerbsNoRegistry(t *testing.T) {
+	d := testDaemon(t, "normal")
+	resps := runStream(t, d,
+		`{"v":5,"id":"st","model_status":true}`+"\n"+
+			`{"v":5,"id":"pr","promote":{"kind":"orientation","version":1}}`+"\n"+
+			`{"v":5,"id":"rb","rollback":"orientation"}`+"\n")
+	m := byID(resps)
+	for _, id := range []string{"st", "pr", "rb"} {
+		r := m[id]
+		if r.Type != "error" || r.ErrorKind != "request" {
+			t.Fatalf("%s on registry-less tenant = %+v, want request error", id, r)
+		}
+	}
+}
+
+// TestModelVerbsLifecycle drives the full v5 control surface against a
+// real registry: status shows the promoted version, rollback restores
+// the prior one, promote moves forward again, and bad kinds/versions
+// are typed errors.
+func TestModelVerbsLifecycle(t *testing.T) {
+	d := testDaemon(t, "normal")
+	withRegistry(t, d, cheapRegistry(t))
+
+	resps := runStream(t, d,
+		`{"v":5,"id":"st1","model_status":true}`+"\n"+
+			`{"v":5,"id":"rb1","rollback":"orientation"}`+"\n"+
+			`{"v":5,"id":"st2","model_status":true}`+"\n"+
+			`{"v":5,"id":"pr1","promote":{"kind":"orientation","version":2}}`+"\n"+
+			`{"v":5,"id":"badkind","promote":{"kind":"telepathy","version":1}}`+"\n"+
+			`{"v":5,"id":"badver","promote":{"kind":"orientation","version":42}}`+"\n"+
+			`{"v":5,"id":"rbdry","rollback":"liveness"}`+"\n")
+	m := byID(resps)
+
+	st1 := m["st1"]
+	if st1.Type != "models" || st1.Drift == nil {
+		t.Fatalf("model_status = %+v", st1)
+	}
+	var orient *headtalk.ModelKindStatus
+	for i := range st1.Models {
+		if string(st1.Models[i].Kind) == "orientation" {
+			orient = &st1.Models[i]
+		}
+	}
+	if orient == nil || orient.Active != 2 || orient.Previous != 1 {
+		t.Fatalf("orientation status %+v, want active=2 previous=1", orient)
+	}
+	if len(orient.Versions) < 2 {
+		t.Fatalf("status lists %d versions, want both", len(orient.Versions))
+	}
+
+	// Rollback restores v1 and echoes the restored number.
+	if r := m["rb1"]; r.Type != "ok" || r.Kind != "orientation" || r.Version != 1 {
+		t.Fatalf("rollback = %+v, want ok kind=orientation version=1", r)
+	}
+	st2 := m["st2"]
+	for i := range st2.Models {
+		if string(st2.Models[i].Kind) == "orientation" && st2.Models[i].Active != 1 {
+			t.Fatalf("post-rollback active %d, want 1", st2.Models[i].Active)
+		}
+	}
+
+	// Promote moves forward to v2 again.
+	if r := m["pr1"]; r.Type != "ok" || r.Kind != "orientation" || r.Version != 2 {
+		t.Fatalf("promote = %+v", r)
+	}
+
+	// Typed failures: unknown kind, unknown version, rollback with no
+	// history for that kind.
+	for _, id := range []string{"badkind", "badver", "rbdry"} {
+		if r := m[id]; r.Type != "error" || r.ErrorKind != "request" {
+			t.Fatalf("%s = %+v, want request error", id, r)
+		}
+	}
+}
+
+// TestModelVerbsNotForwardable: the model lifecycle verbs act on the
+// node that received them; addressing a peer-owned tenant is a typed
+// rejection naming the owner, never a silent forward.
+func TestModelVerbsNotForwardable(t *testing.T) {
+	a, _, _, tenantB := newFederation(t)
+	resps := runStream(t, a,
+		`{"v":5,"id":"st","tenant":"`+tenantB+`","model_status":true}`+"\n"+
+			`{"v":5,"id":"rb","tenant":"`+tenantB+`","rollback":"orientation"}`+"\n")
+	m := byID(resps)
+	for _, id := range []string{"st", "rb"} {
+		r := m[id]
+		if r.Type != "error" || r.ErrorKind != "request" || !strings.Contains(r.Error, "not forwarded") {
+			t.Fatalf("%s against peer-owned tenant = %+v, want node-local rejection", id, r)
+		}
+	}
+}

@@ -85,10 +85,11 @@ func TestProtocolVersionGate(t *testing.T) {
 			`{"v":2,"id":"ok2","condition":{}}`+"\n"+
 			`{"v":3,"id":"ok3","condition":{}}`+"\n"+
 			`{"v":4,"id":"ok4","condition":{}}`+"\n"+
-			`{"v":5,"id":"future","condition":{}}`+"\n"+
+			`{"v":5,"id":"ok5","condition":{}}`+"\n"+
+			`{"v":6,"id":"future","condition":{}}`+"\n"+
 			`{"v":0,"id":"zero","health":true}`+"\n")
 	m := byID(resps)
-	for _, id := range []string{"ok", "ok2", "ok3", "ok4"} {
+	for _, id := range []string{"ok", "ok2", "ok3", "ok4", "ok5"} {
 		if r := m[id]; r.Type != "decision" || r.Accepted == nil || !*r.Accepted {
 			t.Fatalf("%s response %+v", id, r)
 		}
@@ -98,7 +99,7 @@ func TestProtocolVersionGate(t *testing.T) {
 		if r.Type != "error" || r.ErrorKind != "unsupported_version" {
 			t.Fatalf("%s response %+v, want unsupported_version error", id, r)
 		}
-		if !strings.Contains(r.Error, "supported: 1..4") {
+		if !strings.Contains(r.Error, "supported: 1..5") {
 			t.Fatalf("%s error message %q should name the supported versions", id, r.Error)
 		}
 	}

@@ -58,19 +58,21 @@ func TestStreamProtocolVersionGate(t *testing.T) {
 			mustJSON(t, request{V: v(1), ID: "f-v1", Frames: silent})+"\n"+
 			mustJSON(t, request{V: v(1), ID: "e-v1", EndSession: true})+"\n"+
 			`{"v":3,"id":"a-v3","arrays":[{"condition":{}}]}`+"\n"+
-			`{"v":5,"id":"v5","condition":{}}`+"\n"+
+			`{"v":6,"id":"v6","condition":{}}`+"\n"+
+			`{"v":4,"id":"m-v4","model_status":true}`+"\n"+
+			`{"v":5,"id":"ok5","condition":{}}`+"\n"+
 			`{"v":4,"id":"ok4","condition":{}}`+"\n"+
 			`{"v":3,"id":"ok3","condition":{}}`+"\n"+
 			`{"v":2,"id":"ok2","condition":{}}`+"\n"+
 			`{"v":1,"id":"ok1","condition":{}}`+"\n")
 	m := byID(resps)
-	for _, id := range []string{"f-nov", "f-v1", "e-v1", "a-v3", "v5"} {
+	for _, id := range []string{"f-nov", "f-v1", "e-v1", "a-v3", "v6", "m-v4"} {
 		r := m[id]
 		if r.Type != "error" || r.ErrorKind != "unsupported_version" {
 			t.Fatalf("response %q = %+v, want unsupported_version error", id, r)
 		}
 	}
-	for _, id := range []string{"ok4", "ok3", "ok2", "ok1"} {
+	for _, id := range []string{"ok5", "ok4", "ok3", "ok2", "ok1"} {
 		r := m[id]
 		if r.Type != "decision" || r.Accepted == nil || !*r.Accepted {
 			t.Fatalf("response %q = %+v, want accepted decision", id, r)

@@ -1,14 +1,18 @@
 package headtalk
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"headtalk/internal/audio"
 	"headtalk/internal/dataset"
 	"headtalk/internal/liveness"
 	"headtalk/internal/orientation"
+	"headtalk/internal/registry"
 )
 
 // EnrollmentOptions controls Enroll, the convenience that trains both
@@ -25,7 +29,12 @@ type EnrollmentOptions struct {
 	// LivenessPairs is the number of live/replayed utterance pairs
 	// for the liveness detector (default 36).
 	LivenessPairs int
-	// SkipLiveness trains only the orientation gate.
+	// FingerprintCaptures is the number of live multi-channel captures
+	// the array-fingerprint gate enrolls from (default 6, minimum 2).
+	FingerprintCaptures int
+	// SkipLiveness trains only the orientation gate (and skips the
+	// array fingerprint, which is the other half of the liveness
+	// ensemble).
 	SkipLiveness bool
 	// Progress, when non-nil, receives progress lines.
 	Progress io.Writer
@@ -35,10 +44,15 @@ type EnrollmentOptions struct {
 type Enrollment struct {
 	Orientation *OrientationModel
 	Liveness    *LivenessDetector
+	// ArrayFingerprint is the enrolled array-signature liveness gate
+	// (the second model of the fused ensemble); nil when liveness
+	// enrollment was skipped.
+	ArrayFingerprint *ArrayFingerprint
 }
 
 // Enroll generates a synthetic enrollment corpus and trains the
-// orientation model (and, unless skipped, the liveness detector).
+// orientation model (and, unless skipped, the liveness detector and
+// the array fingerprint).
 // This is the "first day of setup" flow: the paper's user speaks the
 // wake word at marked angles; here the simulator does.
 func Enroll(opts EnrollmentOptions) (*Enrollment, error) {
@@ -50,6 +64,12 @@ func Enroll(opts EnrollmentOptions) (*Enrollment, error) {
 	}
 	if opts.LivenessPairs <= 0 {
 		opts.LivenessPairs = 36
+	}
+	if opts.FingerprintCaptures <= 0 {
+		opts.FingerprintCaptures = 6
+	}
+	if opts.FingerprintCaptures < 2 {
+		opts.FingerprintCaptures = 2
 	}
 	progress := func(format string, args ...any) {
 		if opts.Progress != nil {
@@ -132,12 +152,63 @@ func Enroll(opts EnrollmentOptions) (*Enrollment, error) {
 		return nil, fmt.Errorf("headtalk: training liveness detector: %w", err)
 	}
 	out.Liveness = det
+
+	// Array-fingerprint enrollment: the long-term spectral signature of
+	// this array at this placement, learned from live multi-channel
+	// captures (varying distance and repetition so the per-band
+	// tolerances reflect real utterance-to-utterance spread).
+	genCap := dataset.NewGenerator(opts.Seed + 2)
+	progress("enrolling array fingerprint: %d captures...", opts.FingerprintCaptures)
+	var caps []*audio.Recording
+	for i := 0; i < opts.FingerprintCaptures; i++ {
+		rec, err := dataset.CaptureRecording(genCap, dataset.Condition{
+			Room: opts.Room, Device: opts.Device, Word: opts.Word,
+			Distance: dataset.Distances[i%len(dataset.Distances)],
+			AngleDeg: 0, Rep: i + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("headtalk: fingerprint enrollment: %w", err)
+		}
+		caps = append(caps, rec)
+	}
+	fp, err := liveness.TrainArrayFingerprint(caps, liveness.FingerprintConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("headtalk: training array fingerprint: %w", err)
+	}
+	out.ArrayFingerprint = fp
 	return out, nil
 }
 
-// SaveTo persists the enrollment into dir (orientation.json plus, when
-// the liveness gate was trained, liveness.json), so a deployment
-// enrolls once and loads on every boot.
+// Registry seeds a versioned model registry with the enrollment's
+// trained gates (each installed as the active version 1..n) — the
+// bridge from the one-shot enrollment flow to the registry-managed
+// lifecycle.
+func (e *Enrollment) Registry(cfg RegistryConfig) (*Registry, error) {
+	reg := registry.New(cfg)
+	if e.Orientation != nil {
+		if _, err := reg.Install(registry.KindOrientation, e.Orientation); err != nil {
+			return nil, fmt.Errorf("headtalk: installing orientation model: %w", err)
+		}
+	}
+	if e.Liveness != nil {
+		if _, err := reg.Install(registry.KindLiveness, e.Liveness); err != nil {
+			return nil, fmt.Errorf("headtalk: installing liveness model: %w", err)
+		}
+	}
+	if e.ArrayFingerprint != nil {
+		if _, err := reg.Install(registry.KindArrayFingerprint, e.ArrayFingerprint); err != nil {
+			return nil, fmt.Errorf("headtalk: installing array fingerprint: %w", err)
+		}
+	}
+	return reg, nil
+}
+
+// SaveTo persists the enrollment into dir: orientation.json plus, when
+// the liveness gates were trained, liveness.json and fingerprint.json.
+// Every file is a registry model envelope — the same checksummed,
+// byte-stable serialization cluster snapshots and the model registry
+// use — written atomically (temp file + fsync + rename), so a crash
+// mid-save can never leave a torn model on disk.
 func (e *Enrollment) SaveTo(dir string) error {
 	if e.Orientation == nil {
 		return fmt.Errorf("headtalk: enrollment has no orientation model")
@@ -145,61 +216,119 @@ func (e *Enrollment) SaveTo(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("headtalk: creating %s: %w", dir, err)
 	}
-	if err := writeModel(filepath.Join(dir, "orientation.json"), e.Orientation.Save); err != nil {
+	save := func(name string, kind registry.Kind, write func(io.Writer) error) error {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			return fmt.Errorf("headtalk: serializing %s: %w", name, err)
+		}
+		env := registry.Seal(kind, 0, bytes.TrimSpace(buf.Bytes()))
+		if err := registry.WriteEnvelopeFile(filepath.Join(dir, name), env); err != nil {
+			return fmt.Errorf("headtalk: writing %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := save("orientation.json", registry.KindOrientation, e.Orientation.Save); err != nil {
 		return err
 	}
 	if e.Liveness != nil {
-		if err := writeModel(filepath.Join(dir, "liveness.json"), e.Liveness.Save); err != nil {
+		if err := save("liveness.json", registry.KindLiveness, e.Liveness.Save); err != nil {
+			return err
+		}
+	}
+	if e.ArrayFingerprint != nil {
+		if err := save("fingerprint.json", registry.KindArrayFingerprint, e.ArrayFingerprint.Save); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// LoadEnrollment restores an enrollment saved with SaveTo. A missing
-// liveness.json leaves the liveness gate nil (orientation-only
-// deployments are valid).
-func LoadEnrollment(dir string) (*Enrollment, error) {
-	of, err := os.Open(filepath.Join(dir, "orientation.json"))
+// readModelDoc loads one enrollment model file and returns the raw
+// model document. Envelope files (SaveTo's format) are
+// checksum-verified and unwrapped; pre-envelope files — the raw model
+// JSON older versions wrote — pass through unchanged, so existing
+// enrollment directories keep loading.
+func readModelDoc(path string, kind registry.Kind) ([]byte, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("headtalk: opening orientation model: %w", err)
+		return nil, err
 	}
-	defer of.Close()
-	model, err := orientation.Load(of)
+	var probe struct {
+		Kind     string `json:"kind"`
+		Checksum string `json:"checksum"`
+	}
+	if json.Unmarshal(data, &probe) == nil && probe.Kind != "" && probe.Checksum != "" {
+		var env registry.Envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", registry.ErrModelCorrupt, filepath.Base(path), err)
+		}
+		if env.Kind != string(kind) {
+			return nil, fmt.Errorf("%w: %s holds a %q model, want %q", registry.ErrModelCorrupt, filepath.Base(path), env.Kind, kind)
+		}
+		return env.Open()
+	}
+	// Legacy layout: the file is the bare model document.
+	return data, nil
+}
+
+// LoadEnrollment restores an enrollment saved with SaveTo (either the
+// current envelope format or the legacy bare-JSON layout). A missing
+// liveness.json or fingerprint.json leaves that gate nil
+// (orientation-only deployments are valid). Damage surfaces as typed
+// errors: ErrModelCorrupt / ErrModelVersion for envelope-level
+// problems, the model loaders' sentinels for blob-level ones.
+func LoadEnrollment(dir string) (*Enrollment, error) {
+	doc, err := readModelDoc(filepath.Join(dir, "orientation.json"), registry.KindOrientation)
+	if err != nil {
+		return nil, fmt.Errorf("headtalk: loading orientation model: %w", err)
+	}
+	model, err := orientation.Load(bytes.NewReader(doc))
 	if err != nil {
 		return nil, err
 	}
 	out := &Enrollment{Orientation: model}
 
-	lf, err := os.Open(filepath.Join(dir, "liveness.json"))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return out, nil
+	doc, err = readModelDoc(filepath.Join(dir, "liveness.json"), registry.KindLiveness)
+	switch {
+	case err == nil:
+		det, err := liveness.Load(bytes.NewReader(doc))
+		if err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("headtalk: opening liveness model: %w", err)
+		out.Liveness = det
+	case os.IsNotExist(err):
+	default:
+		return nil, fmt.Errorf("headtalk: loading liveness model: %w", err)
 	}
-	defer lf.Close()
-	det, err := liveness.Load(lf)
-	if err != nil {
-		return nil, err
+
+	doc, err = readModelDoc(filepath.Join(dir, "fingerprint.json"), registry.KindArrayFingerprint)
+	switch {
+	case err == nil:
+		fp, err := liveness.LoadFingerprint(bytes.NewReader(doc))
+		if err != nil {
+			return nil, err
+		}
+		out.ArrayFingerprint = fp
+	case os.IsNotExist(err):
+	default:
+		return nil, fmt.Errorf("headtalk: loading array fingerprint: %w", err)
 	}
-	out.Liveness = det
 	return out, nil
 }
 
-// writeModel writes one model file atomically enough for this purpose
-// (write then close; partial files fail to parse on load).
+// writeModel writes one model file atomically: the document is
+// serialized to memory, written to a temp file in the target
+// directory, fsynced, and renamed over the destination (with a
+// directory fsync so the rename itself is durable). A crash at any
+// point leaves either the old complete file or the new complete file —
+// never a truncated model.
 func writeModel(path string, save func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("headtalk: creating %s: %w", path, err)
+	var buf bytes.Buffer
+	if err := save(&buf); err != nil {
+		return fmt.Errorf("headtalk: serializing %s: %w", path, err)
 	}
-	if err := save(f); err != nil {
-		f.Close()
+	if err := registry.AtomicWriteFile(path, buf.Bytes()); err != nil {
 		return fmt.Errorf("headtalk: writing %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("headtalk: closing %s: %w", path, err)
 	}
 	return nil
 }

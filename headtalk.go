@@ -50,6 +50,7 @@ import (
 	"headtalk/internal/mic"
 	"headtalk/internal/orientation"
 	"headtalk/internal/pool"
+	"headtalk/internal/registry"
 	"headtalk/internal/room"
 	"headtalk/internal/serve"
 	"headtalk/internal/speech"
@@ -358,6 +359,18 @@ type (
 	// LivenessDetector distinguishes live humans from mechanical
 	// speakers.
 	LivenessDetector = liveness.Detector
+	// ArrayFingerprint is the per-array spectral-signature liveness
+	// gate: the long-term coloration the enrolled microphone array
+	// imprints on everything it captures. Replayed audio crosses an
+	// extra electro-acoustic chain and deviates from the signature.
+	ArrayFingerprint = liveness.ArrayFingerprint
+	// FingerprintConfig tunes array-fingerprint enrollment.
+	FingerprintConfig = liveness.FingerprintConfig
+	// LivenessEnsemble fuses the spectral detector and the array
+	// fingerprint into one fail-closed liveness gate.
+	LivenessEnsemble = liveness.Ensemble
+	// LivenessEnsembleResult is one fused liveness check.
+	LivenessEnsembleResult = liveness.EnsembleResult
 )
 
 // NewLivenessDetector returns an untrained detector seeded for
@@ -365,6 +378,82 @@ type (
 func NewLivenessDetector(seed uint64) *LivenessDetector {
 	return liveness.NewDetector(seed)
 }
+
+// TrainArrayFingerprint learns an array's spectral signature from live
+// enrollment captures (at least two, all from the same array).
+func TrainArrayFingerprint(recs []*Recording, cfg FingerprintConfig) (*ArrayFingerprint, error) {
+	return liveness.TrainArrayFingerprint(recs, cfg)
+}
+
+// Versioned model management (see internal/registry): an immutable,
+// per-tenant model store with atomic hot-swap and rollback, shadow
+// evaluation of candidate versions, online adaptation from accepted
+// decisions, and drift detection. Attach one as Config.Models — the
+// System resolves all of its gates through the registry with a single
+// atomic load per decision, so promote/rollback never expose a torn
+// model set and never require draining the serving engine.
+type (
+	// Registry is the versioned model store (implements ModelProvider).
+	Registry = registry.Registry
+	// RegistryConfig tunes a Registry (metrics, retention, adaptation,
+	// drift detection, ensemble arming).
+	RegistryConfig = registry.Config
+	// ModelSet is one immutable view of every model a decision needs.
+	ModelSet = registry.ModelSet
+	// ModelProvider resolves the current ModelSet (Config.Models).
+	ModelProvider = registry.Provider
+	// StaticModels is the zero-machinery provider: one fixed ModelSet.
+	StaticModels = registry.Static
+	// ModelKind names a managed model family.
+	ModelKind = registry.Kind
+	// ModelState is a version's lifecycle position
+	// (candidate → shadow → active → archived).
+	ModelState = registry.State
+	// ModelEnvelope is one sealed, checksummed model document — the
+	// serialization enrollment artifacts and registries share.
+	ModelEnvelope = registry.Envelope
+	// ModelKindStatus summarizes one family's versions and lifecycle.
+	ModelKindStatus = registry.KindStatus
+	// ModelVersionInfo is one version's metadata.
+	ModelVersionInfo = registry.VersionInfo
+	// AdaptConfig tunes online adaptation from accepted decisions.
+	AdaptConfig = registry.AdaptConfig
+	// DriftConfig tunes the score-distribution drift detector.
+	DriftConfig = registry.DriftConfig
+	// DriftState is the drift detector's observable state.
+	DriftState = registry.DriftState
+)
+
+// Managed model families.
+const (
+	KindOrientation      = registry.KindOrientation
+	KindLiveness         = registry.KindLiveness
+	KindArrayFingerprint = registry.KindArrayFingerprint
+)
+
+// Model version lifecycle states.
+const (
+	ModelStateCandidate = registry.StateCandidate
+	ModelStateShadow    = registry.StateShadow
+	ModelStateActive    = registry.StateActive
+	ModelStateArchived  = registry.StateArchived
+)
+
+var (
+	// ErrModelVersion rejects a model envelope from an unsupported
+	// format version.
+	ErrModelVersion = registry.ErrModelVersion
+	// ErrModelCorrupt rejects a model envelope whose payload fails its
+	// checksum or cannot decode.
+	ErrModelCorrupt = registry.ErrModelCorrupt
+)
+
+// NewRegistry returns an empty versioned model registry.
+func NewRegistry(cfg RegistryConfig) *Registry { return registry.New(cfg) }
+
+// NewStaticModels wraps a fixed model set in a provider — the
+// compatibility bridge for configurations that do not need versioning.
+func NewStaticModels(set ModelSet) *StaticModels { return registry.NewStatic(set) }
 
 // Orientation detection.
 type (

@@ -562,7 +562,7 @@ func (n *Node) Snapshot(ctx context.Context, tenantID string) (env *Envelope, fo
 // existing tenant serving untouched.
 func (n *Node) Restore(ctx context.Context, env *Envelope) error {
 	reg := metrics.NewRegistry()
-	sys, err := BuildSystem(env, reg)
+	sys, models, err := BuildSystemWithModels(env, reg)
 	if err != nil {
 		return err
 	}
@@ -571,6 +571,12 @@ func (n *Node) Restore(ctx context.Context, env *Envelope) error {
 		tcfg = n.cfg.TenantBuilder(env, sys, reg)
 	} else {
 		tcfg = pool.TenantConfig{ID: env.TenantID, System: sys, Metrics: reg}
+	}
+	if tcfg.Models == nil {
+		// Registry-managed captures restore registry-managed: the
+		// reconstructed model registry rides along so model_status /
+		// promote / rollback keep working on the restored tenant.
+		tcfg.Models = models
 	}
 	if _, err := n.cfg.Pool.ReplaceTenant(ctx, tcfg); err != nil {
 		return fmt.Errorf("cluster: activating restored tenant %q: %w", env.TenantID, err)

@@ -15,6 +15,7 @@ import (
 	"headtalk/internal/metrics"
 	"headtalk/internal/orientation"
 	"headtalk/internal/pool"
+	"headtalk/internal/registry"
 )
 
 // SnapshotVersion is the envelope format this build reads and writes.
@@ -75,6 +76,20 @@ type snapshotPayload struct {
 	// OrientationByChannels carries the degraded-array fallback models,
 	// keyed by channel count (JSON object keys are strings).
 	OrientationByChannels map[string]json.RawMessage `json:"orientation_by_channels,omitempty"`
+	// ArrayFingerprint is the enrolled array-signature liveness model
+	// (fused ensemble), when trained.
+	ArrayFingerprint json.RawMessage `json:"array_fingerprint,omitempty"`
+	// RegistryVersions, when present, records the model-registry
+	// version number each blob above was serving as at capture time
+	// (keyed by registry.Kind). Restore rebuilds a versioned registry
+	// with these numbers, so a capture → restore → capture round trip
+	// is byte- and version-stable. Absent for static model sets —
+	// these fields are additive, so SnapshotVersion stays 1 and old
+	// envelopes restore unchanged.
+	RegistryVersions map[string]uint64 `json:"registry_versions,omitempty"`
+	// EnsembleMode records whether the fused liveness ensemble was
+	// armed (fail-closed liveness) on the captured tenant.
+	EnsembleMode bool `json:"ensemble_mode,omitempty"`
 }
 
 // checksum hashes payload bytes with FNV-64a, hex-encoded.
@@ -102,23 +117,53 @@ func CaptureTenant(t *pool.Tenant, device, room string) (*Envelope, error) {
 		Device:            device,
 		Room:              room,
 	}
-	if cfg.Liveness != nil {
-		var buf bytes.Buffer
-		if err := cfg.Liveness.Save(&buf); err != nil {
-			return nil, fmt.Errorf("cluster: capturing liveness model for %q: %w", t.ID(), err)
+	set := sys.ModelSet()
+	p.EnsembleMode = set.RequireEnsemble
+	if reg := t.Models(); reg != nil {
+		// Registry-managed tenant: embed the stored canonical bytes and
+		// version numbers directly. No re-serialization happens, so the
+		// blob a restored registry serves is byte-for-byte the blob the
+		// source registry served, and re-capture reproduces the same
+		// envelope checksum.
+		p.RegistryVersions = make(map[string]uint64)
+		if b, num := reg.ActiveBytes(registry.KindOrientation); b != nil {
+			p.Orientation = bytes.TrimSpace(b)
+			p.RegistryVersions[string(registry.KindOrientation)] = num
 		}
-		p.Liveness = bytes.TrimSpace(buf.Bytes())
-	}
-	if cfg.Orientation != nil {
-		var buf bytes.Buffer
-		if err := cfg.Orientation.Save(&buf); err != nil {
-			return nil, fmt.Errorf("cluster: capturing orientation model for %q: %w", t.ID(), err)
+		if b, num := reg.ActiveBytes(registry.KindLiveness); b != nil {
+			p.Liveness = bytes.TrimSpace(b)
+			p.RegistryVersions[string(registry.KindLiveness)] = num
 		}
-		p.Orientation = bytes.TrimSpace(buf.Bytes())
+		if b, num := reg.ActiveBytes(registry.KindArrayFingerprint); b != nil {
+			p.ArrayFingerprint = bytes.TrimSpace(b)
+			p.RegistryVersions[string(registry.KindArrayFingerprint)] = num
+		}
+	} else {
+		if set.Liveness != nil {
+			var buf bytes.Buffer
+			if err := set.Liveness.Save(&buf); err != nil {
+				return nil, fmt.Errorf("cluster: capturing liveness model for %q: %w", t.ID(), err)
+			}
+			p.Liveness = bytes.TrimSpace(buf.Bytes())
+		}
+		if set.Orientation != nil {
+			var buf bytes.Buffer
+			if err := set.Orientation.Save(&buf); err != nil {
+				return nil, fmt.Errorf("cluster: capturing orientation model for %q: %w", t.ID(), err)
+			}
+			p.Orientation = bytes.TrimSpace(buf.Bytes())
+		}
+		if set.ArrayFingerprint != nil {
+			var buf bytes.Buffer
+			if err := set.ArrayFingerprint.Save(&buf); err != nil {
+				return nil, fmt.Errorf("cluster: capturing array fingerprint for %q: %w", t.ID(), err)
+			}
+			p.ArrayFingerprint = bytes.TrimSpace(buf.Bytes())
+		}
 	}
-	if len(cfg.OrientationByChannels) > 0 {
-		p.OrientationByChannels = make(map[string]json.RawMessage, len(cfg.OrientationByChannels))
-		for n, m := range cfg.OrientationByChannels {
+	if len(set.OrientationByChannels) > 0 {
+		p.OrientationByChannels = make(map[string]json.RawMessage, len(set.OrientationByChannels))
+		for n, m := range set.OrientationByChannels {
 			var buf bytes.Buffer
 			if err := m.Save(&buf); err != nil {
 				return nil, fmt.Errorf("cluster: capturing %d-channel fallback model for %q: %w", n, t.ID(), err)
@@ -190,20 +235,31 @@ func parseMode(s string) (core.Mode, error) {
 // core.System from it: model blobs are decoded through their typed
 // loaders (corruption and version skew surface as matchable errors),
 // thresholds and feature geometry are restored, and the captured
-// privacy mode is applied. registry may be nil. Nothing is activated
+// privacy mode is applied. metricsReg may be nil. Nothing is activated
 // here — the caller swaps the system in only after this fully
 // succeeds (restore-then-activate).
-func BuildSystem(e *Envelope, registry *metrics.Registry) (*core.System, error) {
+func BuildSystem(e *Envelope, metricsReg *metrics.Registry) (*core.System, error) {
+	sys, _, err := BuildSystemWithModels(e, metricsReg)
+	return sys, err
+}
+
+// BuildSystemWithModels is BuildSystem returning, additionally, the
+// reconstructed model registry when the envelope was captured from a
+// registry-managed tenant (nil for static-model envelopes). The
+// registry is re-seeded through ImportActive with the captured version
+// numbers and canonical bytes, so a restored tenant's model_status —
+// and a re-capture — report exactly what the source node served.
+func BuildSystemWithModels(e *Envelope, metricsReg *metrics.Registry) (*core.System, *registry.Registry, error) {
 	if err := e.Verify(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var p snapshotPayload
 	if err := json.Unmarshal(e.Payload, &p); err != nil {
-		return nil, fmt.Errorf("%w: decoding payload: %v", ErrSnapshotCorrupt, err)
+		return nil, nil, fmt.Errorf("%w: decoding payload: %v", ErrSnapshotCorrupt, err)
 	}
 	mode, err := parseMode(p.Mode)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg := core.Config{
 		SampleRate:        p.SampleRate,
@@ -212,40 +268,94 @@ func BuildSystem(e *Envelope, registry *metrics.Registry) (*core.System, error) 
 		Features:          p.Features,
 		ChannelSubset:     p.ChannelSubset,
 		MinChannels:       p.MinChannels,
-		Metrics:           registry,
+		Metrics:           metricsReg,
 	}
+	set := registry.ModelSet{RequireEnsemble: p.EnsembleMode}
 	if len(p.Liveness) > 0 {
 		det, err := liveness.Load(bytes.NewReader(p.Liveness))
 		if err != nil {
-			return nil, fmt.Errorf("cluster: snapshot liveness model: %w", err)
+			return nil, nil, fmt.Errorf("cluster: snapshot liveness model: %w", err)
 		}
-		cfg.Liveness = det
+		set.Liveness = det
 	}
 	if len(p.Orientation) > 0 {
 		m, err := orientation.Load(bytes.NewReader(p.Orientation))
 		if err != nil {
-			return nil, fmt.Errorf("cluster: snapshot orientation model: %w", err)
+			return nil, nil, fmt.Errorf("cluster: snapshot orientation model: %w", err)
 		}
-		cfg.Orientation = m
+		set.Orientation = m
+	}
+	if len(p.ArrayFingerprint) > 0 {
+		fp, err := liveness.LoadFingerprint(bytes.NewReader(p.ArrayFingerprint))
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: snapshot array fingerprint: %w", err)
+		}
+		set.ArrayFingerprint = fp
 	}
 	if len(p.OrientationByChannels) > 0 {
-		cfg.OrientationByChannels = make(map[int]*orientation.Model, len(p.OrientationByChannels))
+		set.OrientationByChannels = make(map[int]*orientation.Model, len(p.OrientationByChannels))
 		for key, blob := range p.OrientationByChannels {
 			n, err := strconv.Atoi(key)
 			if err != nil || n < 1 {
-				return nil, fmt.Errorf("%w: fallback model key %q is not a channel count", ErrSnapshotCorrupt, key)
+				return nil, nil, fmt.Errorf("%w: fallback model key %q is not a channel count", ErrSnapshotCorrupt, key)
 			}
 			m, err := orientation.Load(bytes.NewReader(blob))
 			if err != nil {
-				return nil, fmt.Errorf("cluster: snapshot %d-channel fallback model: %w", n, err)
+				return nil, nil, fmt.Errorf("cluster: snapshot %d-channel fallback model: %w", n, err)
 			}
-			cfg.OrientationByChannels[n] = m
+			set.OrientationByChannels[n] = m
 		}
+	}
+
+	var models *registry.Registry
+	if len(p.RegistryVersions) > 0 {
+		// Registry-managed capture: rebuild a versioned registry from
+		// the canonical blobs at their recorded version numbers.
+		models = registry.New(registry.Config{Metrics: metricsReg, EnsembleMode: p.EnsembleMode})
+		imp := func(k registry.Kind, blob json.RawMessage) error {
+			num := p.RegistryVersions[string(k)]
+			if len(blob) == 0 || num == 0 {
+				return nil
+			}
+			return models.ImportActive(k, num, blob)
+		}
+		if err := imp(registry.KindOrientation, p.Orientation); err != nil {
+			return nil, nil, fmt.Errorf("cluster: restoring orientation version: %w", err)
+		}
+		if err := imp(registry.KindLiveness, p.Liveness); err != nil {
+			return nil, nil, fmt.Errorf("cluster: restoring liveness version: %w", err)
+		}
+		if err := imp(registry.KindArrayFingerprint, p.ArrayFingerprint); err != nil {
+			return nil, nil, fmt.Errorf("cluster: restoring fingerprint version: %w", err)
+		}
+		cfg.Models = models
+		// The degraded-array fallbacks are not registry-versioned;
+		// layer them over the registry's sets via a composite provider.
+		if len(set.OrientationByChannels) > 0 {
+			cfg.Models = &fallbackProvider{inner: models, fallbacks: set.OrientationByChannels}
+		}
+	} else {
+		cfg.Models = registry.NewStatic(set)
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("%w: rebuilding system: %v", ErrSnapshotCorrupt, err)
+		return nil, nil, fmt.Errorf("%w: rebuilding system: %v", ErrSnapshotCorrupt, err)
 	}
 	sys.SetMode(mode)
-	return sys, nil
+	return sys, models, nil
+}
+
+// fallbackProvider overlays static degraded-array fallback models on a
+// registry-managed provider (the per-channel-count fallbacks are
+// enrollment geometry, not versioned registry state). The overlay is
+// applied on a copy, preserving the inner set's immutability.
+type fallbackProvider struct {
+	inner     registry.Provider
+	fallbacks map[int]*orientation.Model
+}
+
+func (f *fallbackProvider) ModelSet() *registry.ModelSet {
+	set := *f.inner.ModelSet()
+	set.OrientationByChannels = f.fallbacks
+	return &set
 }

@@ -19,6 +19,7 @@ import (
 	"headtalk/internal/metrics"
 	"headtalk/internal/mic"
 	"headtalk/internal/orientation"
+	"headtalk/internal/registry"
 	"headtalk/internal/trace"
 )
 
@@ -74,6 +75,11 @@ const (
 	// ReasonPanic: the pipeline panicked mid-decision; the serving
 	// layer converts the recovered panic into this fail-closed reject.
 	ReasonPanic Reason = "rejected: pipeline panic"
+	// ReasonFingerprintMismatch: the capture's spectral profile does
+	// not match the enrolled array fingerprint — it crossed an
+	// electro-acoustic chain (or a microphone array) the enrollment
+	// never saw.
+	ReasonFingerprintMismatch Reason = "rejected: capture does not match enrolled array fingerprint"
 	// ReasonUnhealthy: the serving engine's circuit breaker is open
 	// after repeated pipeline failures; decisions fail closed without
 	// running the pipeline.
@@ -108,6 +114,8 @@ func (r Reason) Slug() string {
 		return "degraded"
 	case ReasonPanic:
 		return "panic"
+	case ReasonFingerprintMismatch:
+		return "fingerprint_mismatch"
 	case ReasonUnhealthy:
 		return "unhealthy"
 	default:
@@ -127,6 +135,15 @@ type Decision struct {
 	// facing) when the orientation gate ran.
 	FacingScore float64
 	FacingRan   bool
+	// FingerprintScore is the array-fingerprint similarity in (0, 1]
+	// when that liveness gate ran (fused ensemble).
+	FingerprintScore float64
+	FingerprintRan   bool
+	// ShadowScore is the shadow (candidate) orientation model's margin
+	// when a registry had a version under shadow evaluation. It never
+	// affects Accepted.
+	ShadowScore float64
+	ShadowRan   bool
 	// Latencies of the two gates (paper §IV-B15 reports 42 ms and
 	// 136 ms on a PC).
 	LivenessLatency    time.Duration
@@ -153,10 +170,22 @@ type Config struct {
 	// not need to continuously face the device for the remaining
 	// session"). Default 30 s.
 	SessionTimeout time.Duration
+	// Models resolves the trained gates for every decision. This is
+	// the model-attachment API: pass a *registry.Registry for
+	// versioned models with hot-swap, rollback, shadow evaluation and
+	// online adaptation, or registry.NewStatic for a fixed set. When
+	// nil, NewSystem wraps the deprecated raw fields below into a
+	// static single-version provider, so existing configurations keep
+	// working unchanged.
+	Models registry.Provider
 	// Liveness and Orientation are the trained gates. Either may be
 	// nil: a nil liveness detector skips the human/mechanical check, a
 	// nil orientation model causes HeadTalk mode to reject with
 	// ReasonNoOrientation.
+	//
+	// Deprecated: set Models instead. These fields are read only when
+	// Models is nil, in which case NewSystem folds them (together with
+	// OrientationByChannels) into a registry.Static provider.
 	Liveness    *liveness.Detector
 	Orientation *orientation.Model
 	// LivenessThreshold is the minimum live score (default 0.5).
@@ -196,6 +225,8 @@ type Config struct {
 	// matching entry the decision fails closed with ReasonDegraded
 	// (a model trained on k channels cannot score a k'-channel feature
 	// vector).
+	//
+	// Deprecated: set Models instead (see Liveness/Orientation above).
 	OrientationByChannels map[int]*orientation.Model
 	// LogCapacity bounds the decision log. A long-running daemon
 	// otherwise grows the log without limit; once full, the oldest
@@ -246,6 +277,7 @@ type instruments struct {
 	byReason   map[Reason]*metrics.Counter
 	preprocess *metrics.Histogram
 	liveGate   *metrics.Histogram
+	fpGate     *metrics.Histogram
 	orientGate *metrics.Histogram
 	logDropped *metrics.Counter
 
@@ -266,6 +298,7 @@ func newInstruments(r *metrics.Registry) *instruments {
 		byReason:          make(map[Reason]*metrics.Counter),
 		preprocess:        r.Histogram("headtalk.preprocess.latency", nil),
 		liveGate:          r.Histogram("headtalk.gate.liveness.latency", nil),
+		fpGate:            r.Histogram("headtalk.gate.fingerprint.latency", nil),
 		orientGate:        r.Histogram("headtalk.gate.orientation.latency", nil),
 		logDropped:        r.Counter("headtalk.log.dropped"),
 		inputRejected:     make(map[audio.BadInputReason]*metrics.Counter),
@@ -278,6 +311,7 @@ func newInstruments(r *metrics.Registry) *instruments {
 		ReasonSessionActive, ReasonNormalMode, ReasonNoOrientation,
 		ReasonNoLiveness, ReasonProcessingFail,
 		ReasonBadInput, ReasonDegraded, ReasonPanic, ReasonUnhealthy,
+		ReasonFingerprintMismatch,
 	} {
 		ins.byReason[reason] = r.Counter("headtalk.decisions.reason." + reason.Slug())
 	}
@@ -341,6 +375,16 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: designing bandpass: %w", err)
 	}
+	if cfg.Models == nil {
+		// Compatibility: fold the deprecated raw model fields into a
+		// static single-version provider so pre-registry configs keep
+		// working byte-for-byte.
+		cfg.Models = registry.NewStatic(registry.ModelSet{
+			Orientation:           cfg.Orientation,
+			OrientationByChannels: cfg.OrientationByChannels,
+			Liveness:              cfg.Liveness,
+		})
+	}
 	s := &System{mode: ModeNormal, cfg: cfg, bp: bp}
 	s.prePool.New = func() any { return s.NewPreprocessor() }
 	if cfg.Metrics != nil {
@@ -369,9 +413,10 @@ type Preprocessor struct {
 	preRec    audio.Recording
 	selChans  [][]float64
 	selRec    audio.Recording
-	mono      []float64
-	feats     features.Workspace
-	mlScratch []float64
+	mono          []float64
+	feats         features.Workspace
+	mlScratch     []float64
+	shadowScratch []float64
 
 	// Arena: batch scratch (ProcessWakeBatchWith).
 	batch batchScratch
@@ -389,6 +434,16 @@ func (s *System) NewPreprocessor() *Preprocessor {
 // for migration; the referenced models are shared, not cloned, and
 // must be treated as read-only.
 func (s *System) Config() Config { return s.cfg }
+
+// Models returns the system's model provider (a *registry.Registry
+// when one was attached, or the static wrapper NewSystem built from
+// the deprecated raw config fields).
+func (s *System) Models() registry.Provider { return s.cfg.Models }
+
+// ModelSet resolves the current model set — the same one-atomic-load
+// view the decision path uses. The returned set and its models are
+// read-only.
+func (s *System) ModelSet() *registry.ModelSet { return s.cfg.Models.ModelSet() }
 
 // Apply runs the paper's fifth-order Butterworth band-pass
 // (100 Hz – 16 kHz) over every channel, returning a new recording.
@@ -525,15 +580,17 @@ type planScratch struct {
 // does the plan fall back to a smaller per-count model, or fail closed.
 func (s *System) planChannels(rec *audio.Recording) channelPlan {
 	var scratch planScratch
-	return s.planChannelsInto(&scratch, rec)
+	return s.planChannelsInto(&scratch, rec, s.cfg.Models.ModelSet())
 }
 
-// planChannelsInto is planChannels running on caller-owned scratch.
-// The returned plan's active and healthy slices alias the scratch and
-// are valid until its next use.
-func (s *System) planChannelsInto(ps *planScratch, rec *audio.Recording) channelPlan {
+// planChannelsInto is planChannels running on caller-owned scratch and
+// an already-resolved model set (one resolution per decision keeps the
+// plan and the gates on the same registry version). The returned
+// plan's active and healthy slices alias the scratch and are valid
+// until its next use.
+func (s *System) planChannelsInto(ps *planScratch, rec *audio.Recording, set *registry.ModelSet) channelPlan {
 	if s.cfg.DisableChannelHealth {
-		return channelPlan{active: s.cfg.ChannelSubset, ok: true, model: s.cfg.Orientation}
+		return channelPlan{active: s.cfg.ChannelSubset, ok: true, model: set.Orientation}
 	}
 	mic.AssessHealthInto(&ps.health, rec, s.cfg.ChannelHealth)
 	h := &ps.health
@@ -587,12 +644,12 @@ func (s *System) planChannelsInto(ps *planScratch, rec *audio.Recording) channel
 		// Fewer healthy channels than the floor: fail closed.
 	case len(active) == target:
 		plan.ok = true
-		plan.model = s.cfg.Orientation
+		plan.model = set.Orientation
 	default:
 		// Surviving pair set is smaller than the primary model's; only
 		// a fallback trained for exactly this channel count can score
 		// it.
-		if m := s.cfg.OrientationByChannels[len(active)]; m != nil {
+		if m := set.OrientationByChannels[len(active)]; m != nil {
 			plan.ok = true
 			plan.model = m
 		}
@@ -719,13 +776,19 @@ func (s *System) ProcessWakeWithCtx(ctx context.Context, p *Preprocessor, rec *a
 }
 
 func (s *System) headTalkDecision(tr *trace.Recorder, p *Preprocessor, rec *audio.Recording) (Decision, error) {
+	// Resolve the model set exactly once: everything downstream — the
+	// channel plan, both liveness gates, the orientation score and any
+	// shadow score — works from this one immutable set, so a registry
+	// hot-swap mid-decision can never mix versions.
+	set := s.cfg.Models.ModelSet()
+
 	// Degraded-array policy first: channels the health check distrusts
 	// must not feed either gate, and with too few survivors the
 	// decision fails closed before any feature is computed.
 	planStart := tr.Begin()
-	plan := s.planChannelsInto(&p.plan, rec)
+	plan := s.planChannelsInto(&p.plan, rec, set)
 	tr.End(trace.StageChannelPlan, planStart)
-	return s.decideWithPlan(tr, p, rec, plan, nil, nil)
+	return s.decideWithPlan(tr, p, rec, plan, nil, nil, set)
 }
 
 // decideWithPlan runs the liveness and orientation gates for one
@@ -735,7 +798,7 @@ func (s *System) headTalkDecision(tr *trace.Recorder, p *Preprocessor, rec *audi
 // place of recomputation, so a batch item's OrientationLatency covers
 // only feature checking and classifier scoring — the shared extraction
 // sweep is traced by the serving layer's batch span instead.
-func (s *System) decideWithPlan(tr *trace.Recorder, p *Preprocessor, rec *audio.Recording, plan channelPlan, pre *audio.Recording, feats []float64) (Decision, error) {
+func (s *System) decideWithPlan(tr *trace.Recorder, p *Preprocessor, rec *audio.Recording, plan channelPlan, pre *audio.Recording, feats []float64, set *registry.ModelSet) (Decision, error) {
 	var d Decision
 	tr.SetPlan(plan.active, plan.degraded)
 	d.DegradedChannels = plan.degraded
@@ -768,7 +831,15 @@ func (s *System) decideWithPlan(tr *trace.Recorder, p *Preprocessor, rec *audio.
 		return pre
 	}
 
-	if s.cfg.Liveness != nil {
+	// Fused-ensemble arming: with RequireEnsemble set, liveness fails
+	// closed — a missing spectral or fingerprint model rejects instead
+	// of silently skipping a gate.
+	if set.RequireEnsemble && (set.Liveness == nil || set.ArrayFingerprint == nil) {
+		d.Reason = ReasonNoLiveness
+		return d, nil
+	}
+
+	if set.Liveness != nil {
 		// Liveness mixes down every *healthy* channel — a dead channel
 		// would dilute the mono mix by its share.
 		monoSrc := preprocess()
@@ -782,7 +853,7 @@ func (s *System) decideWithPlan(tr *trace.Recorder, p *Preprocessor, rec *audio.
 		start := time.Now()
 		mono := monoSrc.MonoInto(p.mono)
 		p.mono = mono
-		score, lerr := s.cfg.Liveness.Score(mono, rec.SampleRate)
+		score, lerr := set.Liveness.Score(mono, rec.SampleRate)
 		d.LivenessLatency = time.Since(start)
 		tr.Observe(trace.StageLiveness, d.LivenessLatency)
 		if s.ins != nil {
@@ -795,6 +866,39 @@ func (s *System) decideWithPlan(tr *trace.Recorder, p *Preprocessor, rec *audio.
 		d.LiveRan = true
 		if score < s.cfg.LivenessThreshold {
 			d.Reason = ReasonNotLive
+			return d, nil
+		}
+	}
+
+	if set.ArrayFingerprint != nil {
+		// Second liveness signal: the capture's long-term spectral
+		// profile must match the enrolled array fingerprint. It runs on
+		// the RAW healthy channels — band-passing would strip exactly
+		// the out-of-band coloration (driver roll-off, playback noise
+		// floor) the fingerprint keys on. Like the spectral gate, it is
+		// enforced even on open sessions so a replay can't ride one.
+		fpSrc := rec
+		if len(plan.healthy) > 0 && len(plan.healthy) < len(rec.Channels) {
+			sel, serr := p.selectInto(rec, plan.healthy)
+			if serr != nil {
+				return d, fmt.Errorf("core: fingerprint gate: %w", serr)
+			}
+			fpSrc = sel
+		}
+		start := time.Now()
+		fpOK, fpScore, ferr := set.ArrayFingerprint.Check(fpSrc)
+		fpDur := time.Since(start)
+		tr.Observe(trace.StageFingerprint, fpDur)
+		if s.ins != nil {
+			s.ins.fpGate.ObserveDuration(fpDur)
+		}
+		if ferr != nil {
+			return d, fmt.Errorf("core: fingerprint gate: %w", ferr)
+		}
+		d.FingerprintScore = fpScore
+		d.FingerprintRan = true
+		if !fpOK {
+			d.Reason = ReasonFingerprintMismatch
 			return d, nil
 		}
 	}
@@ -846,12 +950,36 @@ func (s *System) decideWithPlan(tr *trace.Recorder, p *Preprocessor, rec *audio.
 		s.ins.orientGate.ObserveDuration(d.OrientationLatency)
 	}
 	d.FacingRan = true
+	if set.OnScore != nil {
+		set.OnScore(score)
+	}
+
+	// Shadow evaluation: the candidate version scores the same feature
+	// vector, outside the active gate's timing window; its result is
+	// recorded and metered but never decides.
+	if set.Shadow != nil {
+		if cerr := set.Shadow.CheckFeatures(feats); cerr == nil {
+			sPred, sScore, sScratch := set.Shadow.PredictScore(feats, p.shadowScratch)
+			p.shadowScratch = sScratch
+			d.ShadowScore = sScore
+			d.ShadowRan = true
+			if set.OnShadow != nil {
+				set.OnShadow(pred, sPred, score, sScore)
+			}
+		}
+	}
+
 	if pred != orientation.LabelFacing {
 		d.Reason = ReasonNotFacing
 		return d, nil
 	}
 	d.Accepted = true
 	d.Reason = ReasonAccepted
+	if set.OnAccepted != nil {
+		// feats aliases the preprocessor arena: the hook must copy what
+		// it keeps (the registry's adaptation hook does).
+		set.OnAccepted(feats, score)
+	}
 	s.openSession()
 	return d, nil
 }

@@ -101,7 +101,11 @@ func (s *System) ProcessWakeBatch(reqs []BatchRequest, results []BatchResult) []
 // extraction pure waste).
 func (s *System) ProcessWakeBatchWith(p *Preprocessor, reqs []BatchRequest, results []BatchResult) []BatchResult {
 	results = results[:0]
-	if len(reqs) <= 1 || s.cfg.Liveness != nil || s.SessionActive() {
+	// One model-set resolution for the whole batch: every item plans
+	// and decides against the same registry version, so a hot-swap
+	// mid-batch can never split the batch across versions.
+	set := s.cfg.Models.ModelSet()
+	if len(reqs) <= 1 || set.Liveness != nil || set.ArrayFingerprint != nil || set.RequireEnsemble || s.SessionActive() {
 		for _, rq := range reqs {
 			d, err := s.ProcessWakeWith(rq.Ctx, p, rq.Rec)
 			results = append(results, BatchResult{Decision: d, Err: err})
@@ -148,7 +152,7 @@ func (s *System) ProcessWakeBatchWith(p *Preprocessor, reqs []BatchRequest, resu
 			it.done = true
 		case ModeHeadTalk:
 			planStart := tr.Begin()
-			plan := s.planChannelsInto(&p.plan, it.rec)
+			plan := s.planChannelsInto(&p.plan, it.rec, set)
 			tr.End(trace.StageChannelPlan, planStart)
 			it.planOK = plan.ok
 			it.planDegraded = plan.degraded
@@ -190,7 +194,7 @@ func (s *System) ProcessWakeBatchWith(p *Preprocessor, reqs []BatchRequest, resu
 			active:   b.ints[it.activeOff : it.activeOff+it.activeLen],
 			healthy:  b.ints[it.healthyOff : it.healthyOff+it.healthyLen],
 		}
-		d, err := s.decideWithPlan(tr, p, it.rec, plan, it.pre, it.feats)
+		d, err := s.decideWithPlan(tr, p, it.rec, plan, it.pre, it.feats, set)
 		if err != nil {
 			s.logEvent(it.mode, Decision{Reason: ReasonProcessingFail})
 			tr.SetGates(d.LiveScore, d.LiveRan, d.FacingScore, d.FacingRan)

@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"testing"
+
+	"headtalk/internal/dataset"
+)
+
+// TestEnsembleBeatsSpectralAlone pins the PR's acceptance criterion:
+// under the replay-attack protocol (spectral gate trained on Smart TV
+// only, tested against unseen replay devices), the fused
+// spectral+fingerprint ensemble is strictly more accurate than the
+// spectral gate alone.
+func TestEnsembleBeatsSpectralAlone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a liveness detector")
+	}
+	r := NewRunner(Options{Seed: 7, Scale: dataset.ScaleTiny})
+	c, err := r.runLivenessEnsemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.liveTotal == 0 || c.replayTotal == 0 {
+		t.Fatalf("degenerate test set: %+v", c)
+	}
+	sp, ens := c.spectralAccuracy(), c.ensembleAccuracy()
+	t.Logf("spectral alone %.3f, fused ensemble %.3f (counts %+v)", sp, ens, c)
+	if ens <= sp {
+		t.Fatalf("fused ensemble (%.3f) does not strictly beat the spectral gate alone (%.3f)", ens, sp)
+	}
+	// The fingerprint must not buy its replay rejection by throwing
+	// away live traffic wholesale.
+	if c.ensembleFalseReject > c.liveTotal/2 {
+		t.Fatalf("ensemble rejects most live captures: %d/%d", c.ensembleFalseReject, c.liveTotal)
+	}
+}
+
+// TestEnsembleRegistryEntry: the experiment is runnable by name from
+// the CLI registry.
+func TestEnsembleRegistryEntry(t *testing.T) {
+	e, err := Lookup("ensemble")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Run == nil || e.PaperRef == "" {
+		t.Fatalf("registry entry incomplete: %+v", e)
+	}
+}

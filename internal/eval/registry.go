@@ -45,6 +45,7 @@ func Experiments() []Experiment {
 		{"overlap", "extension: overlapping talkers (§VI gap)", (*Runner).OverlappingTalkers},
 		{"trajectory", "extension: waypoint trajectories (§VI gap)", (*Runner).TrajectoryWaypoints},
 		{"fusion", "extension: two-array decision fusion", (*Runner).ArrayFusion},
+		{"ensemble", "extension: fused liveness ensemble vs unseen replays", (*Runner).LivenessEnsemble},
 	}
 }
 

@@ -1,0 +1,66 @@
+package liveness
+
+import (
+	"fmt"
+
+	"headtalk/internal/audio"
+)
+
+// Ensemble fuses the two independent liveness signals — the spectral
+// ConvNet detector over the mono mix and the array fingerprint over
+// the raw multi-channel capture — into one fail-closed gate: audio is
+// live only when BOTH gates pass, and a missing model rejects rather
+// than waving the check through. Two physical signals make spoofing
+// strictly harder: a replay must fool the high-band spectral detector
+// AND reproduce the enrolled array's long-term coloration.
+type Ensemble struct {
+	// Spectral is the ConvNet human-vs-mechanical detector.
+	Spectral *Detector
+	// Fingerprint is the enrolled array signature gate.
+	Fingerprint *ArrayFingerprint
+	// SpectralThreshold is the minimum live score (default 0.5).
+	SpectralThreshold float64
+}
+
+// EnsembleResult is one fused liveness check.
+type EnsembleResult struct {
+	// Live is the fused verdict: both gates passed.
+	Live bool
+	// SpectralScore / SpectralRan report the ConvNet gate.
+	SpectralScore float64
+	SpectralRan   bool
+	// FingerprintScore / FingerprintRan report the array gate.
+	FingerprintScore float64
+	FingerprintRan   bool
+}
+
+// Check runs both gates over one capture. rec is the raw multi-channel
+// recording (the fingerprint wants the array's full-band coloration);
+// mono is the preprocessed mono mix at rate fs for the spectral
+// detector. The ensemble fails closed: either model missing rejects
+// with an error, and any gate error rejects.
+func (e *Ensemble) Check(rec *audio.Recording, mono []float64, fs float64) (EnsembleResult, error) {
+	var res EnsembleResult
+	if e.Spectral == nil || e.Fingerprint == nil {
+		return res, fmt.Errorf("liveness: ensemble is missing a gate model (spectral %v, fingerprint %v) — failing closed",
+			e.Spectral != nil, e.Fingerprint != nil)
+	}
+	thr := e.SpectralThreshold
+	if thr == 0 {
+		thr = 0.5
+	}
+	fpOK, fpScore, err := e.Fingerprint.Check(rec)
+	if err != nil {
+		return res, err
+	}
+	res.FingerprintScore = fpScore
+	res.FingerprintRan = true
+	spScore, err := e.Spectral.Score(mono, fs)
+	if err != nil {
+		return res, err
+	}
+	res.SpectralScore = spScore
+	res.SpectralRan = true
+	res.Live = fpOK && spScore >= thr
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package liveness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+const fingerprintFormatVersion = 1
+
+// fingerprintDTO is the on-disk form of a trained array fingerprint.
+// Serialization is byte-stable: save → load → save yields identical
+// bytes, the invariant the model registry's checksummed envelopes and
+// the cluster snapshot discipline both rely on.
+type fingerprintDTO struct {
+	Version    int               `json:"version"`
+	Config     FingerprintConfig `json:"config"`
+	SampleRate float64           `json:"sample_rate"`
+	Signature  []float64         `json:"signature"`
+	Tolerance  []float64         `json:"tolerance"`
+}
+
+// Save writes the trained fingerprint to w as versioned JSON.
+func (f *ArrayFingerprint) Save(w io.Writer) error {
+	if len(f.signature) == 0 {
+		return fmt.Errorf("liveness: array fingerprint is not trained")
+	}
+	dto := fingerprintDTO{
+		Version:    fingerprintFormatVersion,
+		Config:     f.cfg,
+		SampleRate: f.sampleRate,
+		Signature:  f.signature,
+		Tolerance:  f.tolerance,
+	}
+	return json.NewEncoder(w).Encode(dto)
+}
+
+// LoadFingerprint reads a fingerprint written by Save. Version skew
+// and structural damage surface as the package's typed load errors.
+func LoadFingerprint(r io.Reader) (*ArrayFingerprint, error) {
+	var dto fingerprintDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("liveness: decoding fingerprint: %w: %v", ErrCorruptModel, err)
+	}
+	if dto.Version != fingerprintFormatVersion {
+		return nil, fmt.Errorf("liveness: %w: fingerprint version %d (want %d)", ErrUnsupportedVersion, dto.Version, fingerprintFormatVersion)
+	}
+	if len(dto.Signature) == 0 || len(dto.Signature) != len(dto.Tolerance) {
+		return nil, fmt.Errorf("liveness: %w: fingerprint signature/tolerance lengths %d/%d", ErrCorruptModel, len(dto.Signature), len(dto.Tolerance))
+	}
+	if dto.Config.Bands != len(dto.Signature) {
+		return nil, fmt.Errorf("liveness: %w: fingerprint bands %d vs signature %d", ErrCorruptModel, dto.Config.Bands, len(dto.Signature))
+	}
+	if dto.SampleRate <= 0 || dto.Config.FrameLen <= 0 {
+		return nil, fmt.Errorf("liveness: %w: fingerprint sample rate %g / frame %d", ErrCorruptModel, dto.SampleRate, dto.Config.FrameLen)
+	}
+	for _, tol := range dto.Tolerance {
+		if tol <= 0 {
+			return nil, fmt.Errorf("liveness: %w: non-positive fingerprint tolerance", ErrCorruptModel)
+		}
+	}
+	f := &ArrayFingerprint{
+		cfg:        dto.Config,
+		sampleRate: dto.SampleRate,
+		signature:  dto.Signature,
+		tolerance:  dto.Tolerance,
+	}
+	f.computeEdges()
+	return f, nil
+}

@@ -7,6 +7,7 @@ import (
 	"headtalk/internal/audio"
 	"headtalk/internal/core"
 	"headtalk/internal/metrics"
+	"headtalk/internal/registry"
 	"headtalk/internal/serve"
 	"headtalk/internal/stream"
 	"headtalk/internal/trace"
@@ -64,6 +65,13 @@ type TenantConfig struct {
 	// rejects another tenant's streams. The config is copied per
 	// tenant, so one TenantConfig template may be reused.
 	Streaming *stream.Config
+	// Models is the tenant's versioned model registry, when the
+	// System's models are registry-managed. The pool only holds the
+	// handle (for model_status/promote/rollback control paths and
+	// snapshot capture); the System resolves its models itself through
+	// its provider, so a nil Models simply means the tenant runs a
+	// static model set.
+	Models *registry.Registry
 }
 
 // Tenant is one named (System, Engine) pair inside a Pool, with its
@@ -75,6 +83,7 @@ type Tenant struct {
 	engine   *serve.Engine
 	registry *metrics.Registry
 	traces   *trace.Store
+	models   *registry.Registry
 }
 
 // newTenant validates cfg, builds the tenant's serving stack and
@@ -123,11 +132,16 @@ func newTenant(cfg TenantConfig) (*Tenant, error) {
 		engine:   engine,
 		registry: registry,
 		traces:   traces,
+		models:   cfg.Models,
 	}, nil
 }
 
 // ID returns the tenant's name.
 func (t *Tenant) ID() string { return t.id }
+
+// Models returns the tenant's versioned model registry, or nil when
+// the tenant serves a static model set.
+func (t *Tenant) Models() *registry.Registry { return t.models }
 
 // System returns the tenant's HeadTalk controller (to switch modes,
 // read its decision log, ...).

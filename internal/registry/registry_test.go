@@ -1,0 +1,403 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"headtalk/internal/metrics"
+	"headtalk/internal/orientation"
+)
+
+// trainedModel builds a tiny orientation model on synthetic 4-d
+// features: facing samples cluster at +shift on the first dimension,
+// non-facing at -shift. Different seeds/shifts give models with
+// different serialized bytes, which is what the version tests need.
+func trainedModel(t *testing.T, seed uint64, shift float64) *orientation.Model {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 17))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 40; i++ {
+		facing := i%2 == 0
+		f := make([]float64, 4)
+		for j := range f {
+			f[j] = 0.3 * rng.NormFloat64()
+		}
+		if facing {
+			f[0] += shift
+			y = append(y, orientation.LabelFacing)
+		} else {
+			f[0] -= shift
+			y = append(y, orientation.LabelNonFacing)
+		}
+		x = append(x, f)
+	}
+	m, err := orientation.Train(x, y, orientation.ModelConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func modelBytes(t *testing.T, m *orientation.Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEnvelopeSealVerifyOpen(t *testing.T) {
+	payload := []byte(`{"hello":"world"}`)
+	env := Seal(KindOrientation, 3, payload)
+	if env.Version != EnvelopeVersion || env.Kind != "orientation" || env.ModelVersion != 3 {
+		t.Fatalf("envelope header %+v", env)
+	}
+	got, err := env.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload %q, want %q", got, payload)
+	}
+
+	// Tampered payload must fail the checksum.
+	bad := *env
+	bad.Payload = []byte(`{"hello":"W0RLD"}`)
+	if err := bad.Verify(); !errors.Is(err, ErrModelCorrupt) {
+		t.Fatalf("tampered payload: %v, want ErrModelCorrupt", err)
+	}
+
+	// Future format version is a version error, not corruption.
+	future := *env
+	future.Version = EnvelopeVersion + 1
+	if err := future.Verify(); !errors.Is(err, ErrModelVersion) {
+		t.Fatalf("future version: %v, want ErrModelVersion", err)
+	}
+
+	var nilEnv *Envelope
+	if err := nilEnv.Verify(); !errors.Is(err, ErrModelCorrupt) {
+		t.Fatalf("nil envelope: %v, want ErrModelCorrupt", err)
+	}
+}
+
+func TestEnvelopeFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	env := Seal(KindLiveness, 7, []byte(`{"v":1}`))
+	if err := WriteEnvelopeFile(path, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEnvelopeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != env.Kind || got.Checksum != env.Checksum || got.ModelVersion != 7 {
+		t.Fatalf("round trip %+v, want %+v", got, env)
+	}
+
+	// A torn/garbage file surfaces as ErrModelCorrupt, never a panic.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEnvelopeFile(path); !errors.Is(err, ErrModelCorrupt) {
+		t.Fatalf("garbage file: %v, want ErrModelCorrupt", err)
+	}
+}
+
+func TestAtomicWriteFileLeavesNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicWriteFile(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "two" {
+		t.Fatalf("content %q, want %q", data, "two")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestInstallPromoteRollbackByteExact(t *testing.T) {
+	reg := New(Config{})
+	m1 := trainedModel(t, 1, 2.0)
+	v1, err := reg.Install(KindOrientation, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := reg.ModelSet()
+	if set.Orientation == nil || set.Version(KindOrientation) != v1 {
+		t.Fatalf("after install: set %+v", set.Versions)
+	}
+	b1, n1 := reg.ActiveBytes(KindOrientation)
+	if n1 != v1 || len(b1) == 0 {
+		t.Fatalf("ActiveBytes (%d bytes, v%d)", len(b1), n1)
+	}
+
+	m2 := trainedModel(t, 2, 3.0)
+	v2, err := reg.AddModel(KindOrientation, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A candidate must not serve.
+	if got := reg.ModelSet().Version(KindOrientation); got != v1 {
+		t.Fatalf("candidate leaked into serving set: v%d", got)
+	}
+	if err := reg.Promote(KindOrientation, v2); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.ModelSet().Version(KindOrientation); got != v2 {
+		t.Fatalf("after promote: serving v%d, want v%d", got, v2)
+	}
+
+	// Rollback restores the prior version byte for byte.
+	restored, err := reg.Rollback(KindOrientation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != v1 {
+		t.Fatalf("rollback restored v%d, want v%d", restored, v1)
+	}
+	b1Again, n1Again := reg.ActiveBytes(KindOrientation)
+	if n1Again != v1 || !bytes.Equal(b1, b1Again) {
+		t.Fatalf("rollback not byte-exact: %d bytes v%d vs %d bytes v%d", len(b1), n1, len(b1Again), n1Again)
+	}
+	// The served model decodes from those same bytes.
+	if reg.ModelSet().Version(KindOrientation) != v1 {
+		t.Fatal("serving set disagrees with ActiveBytes after rollback")
+	}
+
+	// Rolling back again swaps forward to v2 (active/prev exchange).
+	again, err := reg.Rollback(KindOrientation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != v2 {
+		t.Fatalf("second rollback restored v%d, want v%d", again, v2)
+	}
+}
+
+func TestRollbackWithoutHistoryFails(t *testing.T) {
+	reg := New(Config{})
+	if _, err := reg.Rollback(KindOrientation); err == nil {
+		t.Fatal("rollback on empty registry should fail")
+	}
+	if _, err := reg.Install(KindOrientation, trainedModel(t, 3, 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Rollback(KindOrientation); err == nil {
+		t.Fatal("rollback with no previous version should fail")
+	}
+}
+
+func TestShadowLifecycle(t *testing.T) {
+	reg := New(Config{})
+	if _, err := reg.Install(KindOrientation, trainedModel(t, 4, 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	cand, err := reg.AddModel(KindOrientation, trainedModel(t, 5, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Shadow(cand); err != nil {
+		t.Fatal(err)
+	}
+	set := reg.ModelSet()
+	if set.Shadow == nil || set.ShadowVersion != cand {
+		t.Fatalf("shadow not published: version %d", set.ShadowVersion)
+	}
+	if set.OnShadow == nil {
+		t.Fatal("shadow set without OnShadow hook")
+	}
+
+	// Promoting the shadow graduates it: shadow slot clears.
+	if err := reg.Promote(KindOrientation, cand); err != nil {
+		t.Fatal(err)
+	}
+	set = reg.ModelSet()
+	if set.Shadow != nil || set.ShadowVersion != 0 {
+		t.Fatal("promoted shadow should leave the shadow slot empty")
+	}
+	if set.Version(KindOrientation) != cand {
+		t.Fatalf("promoted shadow not active: v%d", set.Version(KindOrientation))
+	}
+
+	// Shadowing the active version is an error.
+	if err := reg.Shadow(cand); err == nil {
+		t.Fatal("shadowing the active version should fail")
+	}
+}
+
+func TestImportActivePreservesVersionNumbers(t *testing.T) {
+	reg := New(Config{})
+	v1, err := reg.Install(KindOrientation, trainedModel(t, 6, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, num := reg.ActiveBytes(KindOrientation)
+	if num != v1 {
+		t.Fatalf("ActiveBytes v%d, want v%d", num, v1)
+	}
+
+	// Reconstruct (what snapshot restore does) and compare checksums.
+	restored := New(Config{})
+	if err := restored.ImportActive(KindOrientation, num, payload); err != nil {
+		t.Fatal(err)
+	}
+	b2, n2 := restored.ActiveBytes(KindOrientation)
+	if n2 != num || !bytes.Equal(payload, b2) {
+		t.Fatal("import did not preserve bytes/version")
+	}
+	st := restored.Status()
+	if len(st) != 1 || st[0].Active != num || st[0].Versions[0].Checksum != reg.Status()[0].Versions[len(reg.Status()[0].Versions)-1].Checksum {
+		t.Fatalf("restored status %+v", st)
+	}
+
+	// New versions added after an import allocate past the imported
+	// number.
+	v2, err := restored.AddModel(KindOrientation, trainedModel(t, 7, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 <= num {
+		t.Fatalf("post-import version %d not past imported %d", v2, num)
+	}
+}
+
+func TestAddRejectsGarbage(t *testing.T) {
+	reg := New(Config{})
+	if _, err := reg.Add(KindOrientation, []byte("{")); !errors.Is(err, ErrModelCorrupt) {
+		t.Fatalf("garbage payload: %v, want ErrModelCorrupt", err)
+	}
+	if _, err := reg.Add(Kind("bogus"), []byte("{}")); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	if err := reg.ImportActive(KindOrientation, 0, modelBytes(t, trainedModel(t, 8, 2.0))); err == nil {
+		t.Fatal("import with version 0 should fail")
+	}
+}
+
+func TestPruneNeverDropsLifecycleVersions(t *testing.T) {
+	reg := New(Config{MaxVersionsPerKind: 3})
+	var nums []uint64
+	for i := 0; i < 6; i++ {
+		n, err := reg.AddModel(KindOrientation, trainedModel(t, uint64(10+i), 2.0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nums = append(nums, n)
+	}
+	if err := reg.Promote(KindOrientation, nums[4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Promote(KindOrientation, nums[5]); err != nil {
+		t.Fatal(err)
+	}
+	// Trip pruning once more.
+	if _, err := reg.AddModel(KindOrientation, trainedModel(t, 20, 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	st := reg.Status()[0]
+	if len(st.Versions) > 4 { // max 3 + the just-added candidate before next prune pass settles
+		t.Fatalf("prune retained %d versions (max 3): %+v", len(st.Versions), st.Versions)
+	}
+	seen := map[uint64]bool{}
+	for _, v := range st.Versions {
+		seen[v.Number] = true
+	}
+	if !seen[st.Active] || (st.Previous != 0 && !seen[st.Previous]) {
+		t.Fatalf("prune dropped a lifecycle version: %+v", st)
+	}
+}
+
+// TestConcurrentHotSwapUnderLoad hammers promote/rollback from one set
+// of goroutines while others resolve ModelSets and score through them.
+// Run with -race; the invariant is that every resolved set is
+// internally consistent (model present, version one of the two live
+// ones) no matter how the swaps interleave.
+func TestConcurrentHotSwapUnderLoad(t *testing.T) {
+	reg := New(Config{Metrics: metrics.NewRegistry()})
+	v1, err := reg.Install(KindOrientation, trainedModel(t, 30, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := reg.AddModel(KindOrientation, trainedModel(t, 31, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Promote(KindOrientation, v2); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		swappers = 4
+		readers  = 4
+		rounds   = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, swappers+readers)
+	for i := 0; i < swappers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				if j%2 == 0 {
+					_ = reg.Promote(KindOrientation, v1)
+				} else {
+					_, _ = reg.Rollback(KindOrientation)
+				}
+			}
+		}(i)
+	}
+	feat := []float64{2, 0, 0, 0}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := make([]float64, 0, 8)
+			for j := 0; j < rounds; j++ {
+				set := reg.ModelSet()
+				if set.Orientation == nil {
+					errs <- errors.New("resolved set lost its orientation model mid-swap")
+					return
+				}
+				got := set.Version(KindOrientation)
+				if got != v1 && got != v2 {
+					errs <- errors.New("resolved set serves an unknown version")
+					return
+				}
+				set.Orientation.PredictScore(feat, scratch)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The registry must still be coherent after the storm.
+	if set := reg.ModelSet(); set.Orientation == nil {
+		t.Fatal("registry lost its model after concurrent swaps")
+	}
+}

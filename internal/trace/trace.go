@@ -72,6 +72,9 @@ const (
 	StagePreprocess
 	// StageLiveness is the human-vs-mechanical gate.
 	StageLiveness
+	// StageFingerprint is the array-fingerprint liveness gate (the
+	// enrolled array-signature check of the fused ensemble).
+	StageFingerprint
 	// StageOrientation is the facing/non-facing gate (GCC-PHAT feature
 	// extraction plus SVM scoring).
 	StageOrientation
@@ -107,6 +110,8 @@ func (s Stage) String() string {
 		return "preprocess"
 	case StageLiveness:
 		return "liveness"
+	case StageFingerprint:
+		return "fingerprint"
 	case StageOrientation:
 		return "orientation"
 	case StageDecide:
